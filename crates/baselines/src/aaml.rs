@@ -1,0 +1,318 @@
+//! AAML: Approximation Algorithm for Maximizing Lifetime \[1\].
+//!
+//! The algorithm, as described by Wu–Fahmy–Shroff and summarized in §VII of
+//! the MRLC paper: start from an arbitrary aggregation tree and repeatedly
+//! relieve the *bottleneck* — the node whose energy depletes first — by
+//! switching one of its children to a different parent, as long as the
+//! switch improves the network. We accept a switch when it improves the
+//! pair `(network lifetime, −|bottleneck set|)` lexicographically, which
+//! both drives the min-lifetime up and breaks plateaus where several nodes
+//! tie at the minimum; the potential strictly increases, so the search
+//! terminates.
+
+use wsn_graph::bfs_tree;
+use wsn_model::{lifetime, AggregationTree, EnergyModel, ModelError, Network, NodeId};
+
+/// Tuning knobs for the local search.
+#[derive(Clone, Copy, Debug)]
+pub struct AamlConfig {
+    /// Hard cap on accepted switches (defense against pathological inputs;
+    /// the potential argument already guarantees termination).
+    pub max_switches: usize,
+}
+
+impl Default for AamlConfig {
+    fn default() -> Self {
+        AamlConfig { max_switches: 10_000 }
+    }
+}
+
+/// Output of AAML.
+#[derive(Clone, Debug)]
+pub struct AamlResult {
+    /// The lifetime-optimized aggregation tree.
+    pub tree: AggregationTree,
+    /// Its network lifetime `L(T)` in rounds.
+    pub lifetime: f64,
+    /// Number of child switches performed.
+    pub switches: usize,
+}
+
+/// Potential: (network lifetime, −#nodes at the minimum). Higher is better.
+fn potential(net: &Network, tree: &AggregationTree, model: &EnergyModel) -> (f64, i64) {
+    let mut min_l = f64::INFINITY;
+    let mut count = 0i64;
+    for i in 0..net.n() {
+        let v = NodeId::new(i);
+        let l = lifetime::node_lifetime(net.initial_energy(v), model, tree.num_children(v));
+        if l < min_l - 1e-9 {
+            min_l = l;
+            count = 1;
+        } else if (l - min_l).abs() <= 1e-9 {
+            count += 1;
+        }
+    }
+    (min_l, -count)
+}
+
+fn lex_gt(a: (f64, i64), b: (f64, i64)) -> bool {
+    a.0 > b.0 * (1.0 + 1e-12) + 1e-12 || ((a.0 - b.0).abs() <= 1e-9 + 1e-12 * b.0.abs() && a.1 > b.1)
+}
+
+/// Runs AAML from `initial` (or the BFS tree when `None`).
+///
+/// Link qualities are ignored — AAML predates reliability-aware trees; the
+/// paper's evaluation additionally pre-filters links with `q < 0.95` before
+/// calling it (do that with [`Network::restrict_edges`]).
+pub fn aaml_tree(
+    net: &Network,
+    model: &EnergyModel,
+    initial: Option<AggregationTree>,
+    config: &AamlConfig,
+) -> Result<AamlResult, ModelError> {
+    let mut tree = match initial {
+        Some(t) => t,
+        None => bfs_tree(net)?,
+    };
+    let n = net.n();
+    let mut switches = 0usize;
+
+    'outer: loop {
+        if switches >= config.max_switches {
+            break;
+        }
+        let current = potential(net, &tree, model);
+
+        // All nodes whose lifetime equals the bottleneck value.
+        let bottlenecks: Vec<NodeId> = (0..n)
+            .map(NodeId::new)
+            .filter(|&v| {
+                let l =
+                    lifetime::node_lifetime(net.initial_energy(v), model, tree.num_children(v));
+                (l - current.0).abs() <= 1e-9 * (1.0 + current.0.abs())
+            })
+            .collect();
+
+        let mut best: Option<((f64, i64), NodeId, NodeId)> = None;
+        for &b in &bottlenecks {
+            // Work over a snapshot of b's children (the tree mutates in the
+            // evaluation below only virtually).
+            let children: Vec<NodeId> = tree.children(b).to_vec();
+            for c in children {
+                for &(_, w) in net.neighbors(c) {
+                    if w == b || tree.in_subtree(w, c) {
+                        continue;
+                    }
+                    // Evaluate the switch c: b → w without mutating: only b
+                    // and w change children counts.
+                    let score = switch_potential(net, &tree, model, b, w);
+                    if lex_gt(score, current) && best.is_none_or(|(s, _, _)| lex_gt(score, s)) {
+                        best = Some((score, c, w));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((_, c, w)) => {
+                tree.reattach(c, w).expect("switch candidates were pre-validated");
+                switches += 1;
+            }
+            None => break 'outer,
+        }
+    }
+
+    let life = lifetime::network_lifetime(net, &tree, model);
+    Ok(AamlResult { tree, lifetime: life, switches })
+}
+
+/// Potential after moving one child from `from` to `to` (children counts of
+/// exactly these two nodes change by ∓1).
+fn switch_potential(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+    from: NodeId,
+    to: NodeId,
+) -> (f64, i64) {
+    let mut min_l = f64::INFINITY;
+    let mut count = 0i64;
+    for i in 0..net.n() {
+        let v = NodeId::new(i);
+        let mut ch = tree.num_children(v);
+        if v == from {
+            ch -= 1;
+        } else if v == to {
+            ch += 1;
+        }
+        let l = lifetime::node_lifetime(net.initial_energy(v), model, ch);
+        if l < min_l - 1e-9 {
+            min_l = l;
+            count = 1;
+        } else if (l - min_l).abs() <= 1e-9 {
+            count += 1;
+        }
+    }
+    (min_l, -count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NetworkBuilder;
+
+    fn complete(n: usize) -> Network {
+        let mut b = NetworkBuilder::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                b.add_edge(u, v, 0.9).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// Brute-force max lifetime over all spanning trees (tiny graphs).
+    fn brute_max_lifetime(net: &Network, model: &EnergyModel) -> f64 {
+        let n = net.n();
+        let m = net.num_edges();
+        assert!(m <= 16);
+        let mut best: f64 = 0.0;
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != n - 1 {
+                continue;
+            }
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| net.links()[i].endpoints())
+                .collect();
+            if let Ok(t) = AggregationTree::from_edges(NodeId::SINK, n, &edges) {
+                best = best.max(lifetime::network_lifetime(net, &t, model));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn spreads_load_on_complete_graph() {
+        // On K6 with equal energy the optimum is a Hamiltonian path
+        // (every node ≤ 1 child).
+        let net = complete(6);
+        let model = EnergyModel::PAPER;
+        let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
+        let max_children = (0..6)
+            .map(|i| res.tree.num_children(NodeId::new(i)))
+            .max()
+            .unwrap();
+        assert!(max_children <= 1, "AAML left a node with {max_children} children");
+        let expect = lifetime::node_lifetime(3000.0, &model, 1);
+        assert!((res.lifetime - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn reaches_brute_force_optimum_on_k5() {
+        let net = complete(5);
+        let model = EnergyModel::PAPER;
+        let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
+        let best = brute_max_lifetime(&net, &model);
+        assert!(
+            (res.lifetime - best).abs() < 1.0,
+            "AAML {} vs optimum {}",
+            res.lifetime,
+            best
+        );
+    }
+
+    #[test]
+    fn never_worse_than_initial() {
+        let net = complete(6);
+        let model = EnergyModel::PAPER;
+        let init = bfs_tree(&net).unwrap();
+        let init_l = lifetime::network_lifetime(&net, &init, &model);
+        let res = aaml_tree(&net, &model, Some(init), &AamlConfig::default()).unwrap();
+        assert!(res.lifetime >= init_l - 1e-9);
+    }
+
+    #[test]
+    fn respects_heterogeneous_energy() {
+        // Node 1 is nearly dead; AAML must keep it childless if possible.
+        let mut b = NetworkBuilder::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                b.add_edge(u, v, 0.9).unwrap();
+            }
+        }
+        b.set_energy(NodeId::new(1), 100.0).unwrap();
+        let net = b.build().unwrap();
+        let model = EnergyModel::PAPER;
+        let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
+        assert_eq!(res.tree.num_children(NodeId::new(1)), 0);
+        // Its lifetime as a leaf is the hard ceiling.
+        let ceiling = lifetime::node_lifetime(100.0, &model, 0);
+        assert!((res.lifetime - ceiling).abs() < 1.0);
+    }
+
+    #[test]
+    fn switch_cap_respected() {
+        let net = complete(8);
+        let model = EnergyModel::PAPER;
+        let res = aaml_tree(&net, &model, None, &AamlConfig { max_switches: 1 }).unwrap();
+        assert!(res.switches <= 1);
+    }
+
+    #[test]
+    fn star_topology_has_no_choice() {
+        // A physical star: the hub must carry everyone.
+        let mut b = NetworkBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(0, v, 0.9).unwrap();
+        }
+        let net = b.build().unwrap();
+        let model = EnergyModel::PAPER;
+        let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
+        assert_eq!(res.tree.num_children(NodeId::SINK), 4);
+        assert_eq!(res.switches, 0);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+            #[test]
+            fn aaml_improves_and_stays_valid(
+                n in 4usize..8,
+                seed in any::<u64>(),
+                extra_p in 0u32..100,
+            ) {
+                // Random connected graph: path + random chords.
+                let mut b = NetworkBuilder::new(n);
+                let mut rng = StdRng::seed_from_u64(seed);
+                use rand::RngExt;
+                for i in 0..n - 1 {
+                    b.add_edge(i, i + 1, 0.9).unwrap();
+                }
+                for u in 0..n {
+                    for v in u + 2..n {
+                        if rng.random_range(0..100) < extra_p {
+                            let _ = b.add_edge(u, v, 0.9);
+                        }
+                    }
+                }
+                let net = b.build().unwrap();
+                let model = EnergyModel::PAPER;
+                let init = crate::random_tree(&net, &mut rng).unwrap();
+                let init_l = lifetime::network_lifetime(&net, &init, &model);
+                let res = aaml_tree(&net, &model, Some(init), &AamlConfig::default()).unwrap();
+                prop_assert!(res.lifetime >= init_l - 1e-9);
+                // Valid spanning tree over network edges.
+                prop_assert_eq!(res.tree.edges().count(), n - 1);
+                for (c, p) in res.tree.edges() {
+                    prop_assert!(net.find_edge(c, p).is_some());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Baseline aggregation-tree builders the paper evaluates against (§VII).
+//!
+//! * [`aaml`] — the Approximation Algorithm for Maximizing Lifetime of
+//!   Wu, Fahmy and Shroff (INFOCOM'08, reference \[1\] of the paper),
+//!   reimplemented from its published description: start from an arbitrary
+//!   tree and iteratively relieve the bottleneck (minimum-lifetime) node by
+//!   re-homing one of its children, until no switch improves the network
+//!   lifetime. AAML ignores link quality entirely — that is exactly the
+//!   deficiency MRLC targets.
+//! * [`mst`] — Prim's minimum spanning tree under `c_e = −log q_e`
+//!   (reference \[18\]); the paper uses it as the lower bound on the optimal
+//!   MRLC cost ("The optimal solution of MRLC should be at least the cost
+//!   of MST").
+//! * [`spt`] / [`random_tree`] — shortest-path and random spanning trees,
+//!   used as simulation workloads and AAML starting points.
+
+pub mod aaml;
+
+use rand::Rng;
+use wsn_model::{AggregationTree, ModelError, Network};
+
+pub use aaml::{aaml_tree, AamlConfig, AamlResult};
+
+/// The MST baseline: minimum total `−log q_e` cost, rooted at the sink.
+pub fn mst(net: &Network) -> Result<AggregationTree, ModelError> {
+    wsn_graph::mst_tree(net)
+}
+
+/// Most-reliable-path shortest-path tree (CTP-style reference).
+pub fn spt(net: &Network) -> Result<AggregationTree, ModelError> {
+    wsn_graph::shortest_path_tree(net)
+}
+
+/// A random spanning tree (workload generator; AAML initializer).
+pub fn random_tree<R: Rng + ?Sized>(
+    net: &Network,
+    rng: &mut R,
+) -> Result<AggregationTree, ModelError> {
+    wsn_graph::random_spanning_tree(net, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_model::NetworkBuilder;
+
+    #[test]
+    fn wrappers_produce_spanning_trees() {
+        let mut b = NetworkBuilder::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                b.add_edge(u, v, 0.9 + 0.01 * (u + v) as f64 / 2.0).unwrap();
+            }
+        }
+        let net = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for t in [
+            mst(&net).unwrap(),
+            spt(&net).unwrap(),
+            random_tree(&net, &mut rng).unwrap(),
+        ] {
+            assert_eq!(t.n(), 5);
+            assert_eq!(t.edges().count(), 4);
+            for (c, p) in t.edges() {
+                assert!(net.find_edge(c, p).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! One benchmark per paper figure: each measures the cost of regenerating
+//! that figure's data at a reduced-but-representative scale (the `fast()`
+//! presets), so regressions in any stage of the pipeline show up here.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wsn_experiments::*;
+
+fn bench_fig1(c: &mut Criterion) {
+    let cfg = fig1::Config::fast();
+    c.bench_function("fig1_retransmission_packets", |b| {
+        b.iter(|| black_box(fig1::run(&cfg)))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = fig2::Config::fast();
+    c.bench_function("fig2_prr_vs_distance", |b| b.iter(|| black_box(fig2::run(&cfg))));
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = fig3::Config::fast();
+    c.bench_function("fig3_power_traces", |b| b.iter(|| black_box(fig3::run(&cfg))));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4_toy_reliability", |b| b.iter(|| black_box(fig4::run())));
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_prufer_example", |b| b.iter(|| black_box(fig5::run())));
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let cfg = fig7::Config::default();
+    let mut g = c.benchmark_group("fig7_dfl_comparison");
+    g.sample_size(20);
+    g.bench_function("aaml_mst_ira", |b| b.iter(|| black_box(fig7::run(&cfg))));
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let cfg = fig8::Config { instances: 4, ..fig8::Config::default() };
+    let mut g = c.benchmark_group("fig8_random_equal_energy");
+    g.sample_size(10);
+    g.bench_function("four_instances", |b| b.iter(|| black_box(fig8::run(&cfg))));
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let cfg = fig8::Config { instances: 4, ..fig9::paper_config() };
+    let mut g = c.benchmark_group("fig9_random_heterogeneous_energy");
+    g.sample_size(10);
+    g.bench_function("four_instances", |b| b.iter(|| black_box(fig9::run(&cfg))));
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let cfg = fig10::Config { probabilities: vec![0.3, 0.7], instances: 3, base_seed: 1000 };
+    let mut g = c.benchmark_group("fig10_density_sweep");
+    g.sample_size(10);
+    g.bench_function("two_densities", |b| b.iter(|| black_box(fig10::run(&cfg))));
+    g.finish();
+}
+
+fn bench_fig11_13(c: &mut Criterion) {
+    let cfg = fig11_13::Config { rounds: 10, ..fig11_13::Config::default() };
+    let mut g = c.benchmark_group("fig11_13_link_dynamics");
+    g.sample_size(10);
+    g.bench_function("ten_rounds", |b| b.iter(|| black_box(fig11_13::run(&cfg))));
+    g.finish();
+}
+
+/// One core, many benches: shorter measurement windows keep the full suite
+/// tractable while criterion still reports stable medians.
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_millis(1500))
+        .sample_size(10)
+}
+
+criterion_group!(
+    name = figures;
+    config = quick_config();
+    targets =
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11_13,
+);
+criterion_main!(figures);

@@ -1,0 +1,26 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_model::Network;
+use wsn_testbed::{random_graph, RandomGraphConfig};
+
+/// A deterministic connected `G(n, 0.7)` instance with the paper's link
+/// qualities and energies.
+pub fn bench_graph(n: usize, seed: u64) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = RandomGraphConfig { n, ..RandomGraphConfig::default() };
+    random_graph(&cfg, &mut rng).expect("connected bench instance")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = bench_graph(16, 1);
+        let b = bench_graph(16, 1);
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

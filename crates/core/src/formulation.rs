@@ -1,0 +1,350 @@
+//! The LP of Eqs. 11–15 with lazily generated subtour constraints.
+//!
+//! `CutLp` owns the active edge set and the per-node fractional degree caps
+//! (`x(δ(v)) ≤ β_v`, the LP image of the lifetime constraints of Eq. 15)
+//! and repeatedly solves a relaxation with the extreme-point simplex,
+//! adding violated subtour constraints from the min-cut oracle until the
+//! point is feasible for the full polytope. Extreme-point status is
+//! preserved: a basic solution of the relaxation that satisfies every
+//! dropped constraint is a basic solution of the full system.
+
+use crate::separation::{violated_sets, FracEdge};
+use wsn_lp::{LpProblem, LpStatus, Relation, VarId};
+
+/// Safety valve on cutting-plane rounds (each round adds ≥ 1 new set, and
+/// distinct sets are finite, but numerics deserve a cap).
+const MAX_CUT_ROUNDS: usize = 400;
+
+/// Violation tolerance for separation.
+const SEP_TOL: f64 = 1e-7;
+
+/// One active edge of the LP.
+#[derive(Clone, Copy, Debug)]
+pub struct LpEdge {
+    /// Endpoint (dense node index).
+    pub u: usize,
+    /// Endpoint (dense node index).
+    pub v: usize,
+    /// Edge cost `c_e = −ln q_e`.
+    pub cost: f64,
+    /// Caller tag (the network's `EdgeId` index).
+    pub tag: usize,
+}
+
+/// Outcome of a cutting-plane solve.
+#[derive(Clone, Debug)]
+pub enum CutLpOutcome {
+    /// An optimal extreme point of `LP(G, L', W)`.
+    Optimal {
+        /// `x_e` per active edge (same order as the input edge slice).
+        x: Vec<f64>,
+        /// Objective `Σ c_e x_e`.
+        objective: f64,
+    },
+    /// The constraints admit no fractional spanning structure.
+    Infeasible,
+}
+
+/// Errors from the LP layer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CutLpError {
+    /// The inner simplex failed (iteration limit / invalid bounds).
+    Lp(wsn_lp::LpError),
+    /// Cutting-plane rounds exceeded the safety cap.
+    CutRoundLimit,
+    /// Separation returned a set the LP already contains — numerical stall.
+    StalledCut,
+}
+
+impl std::fmt::Display for CutLpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CutLpError::Lp(e) => write!(f, "simplex failure: {e}"),
+            CutLpError::CutRoundLimit => write!(f, "cutting-plane round limit exceeded"),
+            CutLpError::StalledCut => write!(f, "cutting planes stalled on a repeated set"),
+        }
+    }
+}
+
+impl std::error::Error for CutLpError {}
+
+/// Cutting-plane state: accumulated subtour sets survive across IRA
+/// iterations (they remain valid as edges/constraints are removed).
+#[derive(Clone, Debug, Default)]
+pub struct CutLp {
+    subtour_sets: Vec<Vec<usize>>,
+    seen: std::collections::BTreeSet<Vec<usize>>,
+    /// Total LP solves performed (statistics).
+    pub lp_solves: usize,
+    /// Total subtour cuts generated (statistics).
+    pub cuts_added: usize,
+}
+
+impl CutLp {
+    /// Creates an empty cutting-plane state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Solves `min Σ c_e x_e` over the spanning-tree polytope of the given
+    /// edges intersected with the degree caps.
+    ///
+    /// `caps` lists `(node, β_v)` pairs — the lifetime constraints of the
+    /// still-constrained set `W`. Nodes without an entry are unconstrained.
+    pub fn solve(
+        &mut self,
+        n: usize,
+        edges: &[LpEdge],
+        caps: &[(usize, f64)],
+    ) -> Result<CutLpOutcome, CutLpError> {
+        assert!(n >= 1);
+        if n == 1 {
+            return Ok(CutLpOutcome::Optimal { x: vec![], objective: 0.0 });
+        }
+
+        for _round in 0..MAX_CUT_ROUNDS {
+            let mut lp = LpProblem::new();
+            let vars: Vec<VarId> = edges.iter().map(|e| lp.add_unit_var(e.cost)).collect();
+
+            // Eq. 14: x(E(V)) = |V| − 1.
+            let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(&all, Relation::Eq, n as f64 - 1.0);
+
+            // Eq. 15 as degree caps: x(δ(v)) ≤ β_v.
+            for &(node, beta) in caps {
+                let incident: Vec<(VarId, f64)> = edges
+                    .iter()
+                    .zip(&vars)
+                    .filter(|(e, _)| e.u == node || e.v == node)
+                    .map(|(_, &v)| (v, 1.0))
+                    .collect();
+                if incident.is_empty() {
+                    continue;
+                }
+                // A cap at or above the incident count is vacuous.
+                if beta >= incident.len() as f64 - 1e-12 {
+                    continue;
+                }
+                lp.add_constraint(&incident, Relation::Le, beta);
+            }
+
+            // Eq. 13 for the accumulated family of subtour sets.
+            for set in &self.subtour_sets {
+                let member = |v: usize| set.binary_search(&v).is_ok();
+                let internal: Vec<(VarId, f64)> = edges
+                    .iter()
+                    .zip(&vars)
+                    .filter(|(e, _)| member(e.u) && member(e.v))
+                    .map(|(_, &v)| (v, 1.0))
+                    .collect();
+                if internal.len() >= set.len() {
+                    lp.add_constraint(&internal, Relation::Le, set.len() as f64 - 1.0);
+                }
+            }
+
+            self.lp_solves += 1;
+            let sol = lp.solve().map_err(CutLpError::Lp)?;
+            match sol.status {
+                LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
+                LpStatus::Unbounded => {
+                    unreachable!("box-bounded variables cannot be unbounded")
+                }
+                LpStatus::Optimal => {}
+            }
+
+            let frac: Vec<FracEdge> = edges
+                .iter()
+                .zip(&sol.x)
+                .map(|(e, &x)| FracEdge { u: e.u, v: e.v, x })
+                .collect();
+            let violated = violated_sets(n, &frac, SEP_TOL);
+            if violated.is_empty() {
+                return Ok(CutLpOutcome::Optimal { x: sol.x, objective: sol.objective });
+            }
+            let mut progressed = false;
+            for mut set in violated {
+                set.sort_unstable();
+                if self.seen.insert(set.clone()) {
+                    self.subtour_sets.push(set);
+                    self.cuts_added += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Err(CutLpError::StalledCut);
+            }
+        }
+        Err(CutLpError::CutRoundLimit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_graph::{kruskal, WeightedEdge};
+
+    fn lpe(u: usize, v: usize, cost: f64, tag: usize) -> LpEdge {
+        LpEdge { u, v, cost, tag }
+    }
+
+    /// Complete graph K5 with distinct costs.
+    fn k5() -> Vec<LpEdge> {
+        let mut edges = Vec::new();
+        let mut tag = 0;
+        for u in 0..5 {
+            for v in u + 1..5 {
+                // A deterministic but non-monotone cost pattern.
+                let cost = ((u * 7 + v * 13) % 17) as f64 / 10.0 + 0.05;
+                edges.push(lpe(u, v, cost, tag));
+                tag += 1;
+            }
+        }
+        edges
+    }
+
+    fn assert_integral_tree(n: usize, edges: &[LpEdge], x: &[f64]) {
+        let mut count = 0;
+        for (e, &v) in edges.iter().zip(x) {
+            assert!(
+                v.abs() < 1e-6 || (v - 1.0).abs() < 1e-6,
+                "fractional value {v} on edge ({}, {})",
+                e.u,
+                e.v
+            );
+            if v > 0.5 {
+                count += 1;
+            }
+        }
+        assert_eq!(count, n - 1, "support must have n−1 edges");
+    }
+
+    #[test]
+    fn unconstrained_lp_is_mst() {
+        // Lemma 1: without degree caps, the extreme point is integral and
+        // optimal ⇒ it is a minimum spanning tree.
+        let edges = k5();
+        let mut cut = CutLp::new();
+        let out = cut.solve(5, &edges, &[]).unwrap();
+        let CutLpOutcome::Optimal { x, objective } = out else {
+            panic!("K5 is feasible")
+        };
+        assert_integral_tree(5, &edges, &x);
+        let wedges: Vec<WeightedEdge> = edges
+            .iter()
+            .map(|e| WeightedEdge { u: e.u, v: e.v, w: e.cost, id: e.tag })
+            .collect();
+        let mst = kruskal(5, &wedges).unwrap();
+        let mst_cost: f64 = mst
+            .iter()
+            .map(|&id| edges.iter().find(|e| e.tag == id).unwrap().cost)
+            .sum();
+        assert!(
+            (objective - mst_cost).abs() < 1e-6,
+            "LP {objective} vs MST {mst_cost}"
+        );
+    }
+
+    #[test]
+    fn degree_cap_changes_the_tree() {
+        // Star-friendly costs: all edges to node 0 are cheapest, so the MST
+        // is the star at 0; capping x(δ(0)) ≤ 2 forces a different shape.
+        let mut edges = Vec::new();
+        let mut tag = 0;
+        for v in 1..5 {
+            edges.push(lpe(0, v, 0.1, tag));
+            tag += 1;
+        }
+        for u in 1..5 {
+            for v in u + 1..5 {
+                edges.push(lpe(u, v, 1.0, tag));
+                tag += 1;
+            }
+        }
+        let mut cut = CutLp::new();
+        let CutLpOutcome::Optimal { objective: unconstrained, .. } =
+            cut.solve(5, &edges, &[]).unwrap()
+        else {
+            panic!()
+        };
+        assert!((unconstrained - 0.4).abs() < 1e-6);
+
+        let mut cut2 = CutLp::new();
+        let CutLpOutcome::Optimal { x, objective } =
+            cut2.solve(5, &edges, &[(0, 2.0)]).unwrap()
+        else {
+            panic!()
+        };
+        // Optimal now: 2 star edges + 2 expensive edges = 0.2 + 2.0.
+        assert!((objective - 2.2).abs() < 1e-6, "got {objective}");
+        let deg0: f64 = edges
+            .iter()
+            .zip(&x)
+            .filter(|(e, _)| e.u == 0 || e.v == 0)
+            .map(|(_, &v)| v)
+            .sum();
+        assert!(deg0 <= 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_caps_detected() {
+        // A path graph where the middle node is capped below 2 — no spanning
+        // tree can avoid degree 2 at the middle of a path.
+        let edges = vec![lpe(0, 1, 1.0, 0), lpe(1, 2, 1.0, 1)];
+        let mut cut = CutLp::new();
+        let out = cut.solve(3, &edges, &[(1, 1.5)]).unwrap();
+        assert!(matches!(out, CutLpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn cuts_are_needed_and_found() {
+        // Two triangles sharing no vertex, joined by one expensive edge:
+        // without subtour constraints the LP would love to put mass 3 on a
+        // cheap triangle. The cutting plane loop must forbid it.
+        let edges = vec![
+            lpe(0, 1, 0.1, 0),
+            lpe(1, 2, 0.1, 1),
+            lpe(0, 2, 0.1, 2),
+            lpe(3, 4, 0.1, 3),
+            lpe(4, 5, 0.1, 4),
+            lpe(3, 5, 0.1, 5),
+            lpe(2, 3, 5.0, 6),
+        ];
+        let mut cut = CutLp::new();
+        let CutLpOutcome::Optimal { x, objective } = cut.solve(6, &edges, &[]).unwrap() else {
+            panic!()
+        };
+        assert!(cut.cuts_added > 0, "subtour cuts must fire");
+        assert_integral_tree(6, &edges, &x);
+        // Must include the bridge and drop one edge per triangle.
+        assert!((objective - (0.4 + 5.0)).abs() < 1e-6, "got {objective}");
+        assert!((x[6] - 1.0).abs() < 1e-6, "bridge must be chosen");
+    }
+
+    #[test]
+    fn single_node_trivial() {
+        let mut cut = CutLp::new();
+        let CutLpOutcome::Optimal { x, objective } = cut.solve(1, &[], &[]).unwrap() else {
+            panic!()
+        };
+        assert!(x.is_empty());
+        assert_eq!(objective, 0.0);
+    }
+
+    #[test]
+    fn state_reuse_across_solves() {
+        // Cuts accumulated on the first solve should carry to the second
+        // (IRA re-solves after removing edges).
+        let edges = vec![
+            lpe(0, 1, 0.1, 0),
+            lpe(1, 2, 0.1, 1),
+            lpe(0, 2, 0.1, 2),
+            lpe(2, 3, 2.0, 3),
+        ];
+        let mut cut = CutLp::new();
+        let _ = cut.solve(4, &edges, &[]).unwrap();
+        let cuts_after_first = cut.cuts_added;
+        let _ = cut.solve(4, &edges, &[]).unwrap();
+        // No *new* cuts should be necessary the second time.
+        assert_eq!(cut.cuts_added, cuts_after_first);
+    }
+}

@@ -1,0 +1,603 @@
+//! Algorithm 1: the Iterative Relaxation Algorithm.
+
+use crate::formulation::{CutLp, CutLpError, CutLpOutcome, LpEdge};
+use crate::problem::MrlcInstance;
+use wsn_model::{lifetime, AggregationTree, ModelError, NodeId};
+
+/// Edge values at or below this are treated as `x_e = 0` (Alg. 1 line 6).
+const ZERO_TOL: f64 = 1e-7;
+
+/// Configuration knobs for IRA.
+#[derive(Clone, Copy, Debug)]
+pub struct IraConfig {
+    /// Include the sink in the constrained set `W` (the paper's `W ← V`;
+    /// set to `false` for a mains-powered sink).
+    pub constrain_sink: bool,
+    /// Remove every qualifying vertex per iteration instead of the paper's
+    /// single vertex — equivalent output, fewer LP solves.
+    pub batch_removal: bool,
+    /// If `LP(G, L', V)` is infeasible, retry with `L' = LC`. This trades
+    /// the hard `L(T) ≥ LC` guarantee for the paper's "optimal reliability
+    /// by a little violation of lifetime" behaviour near the lifetime
+    /// optimum.
+    pub fallback_to_lc: bool,
+}
+
+impl Default for IraConfig {
+    fn default() -> Self {
+        IraConfig { constrain_sink: true, batch_removal: true, fallback_to_lc: true }
+    }
+}
+
+/// Diagnostics accumulated during a solve.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IraStats {
+    /// Outer iterations of Algorithm 1 (constraint-removal rounds).
+    pub iterations: usize,
+    /// Inner LP solves across all cutting-plane rounds.
+    pub lp_solves: usize,
+    /// Subtour cuts generated.
+    pub cuts_added: usize,
+    /// Times the Theorem-2 guard fired (no vertex passed the exact removal
+    /// test and the slackest one was removed instead). Zero on paper-scale
+    /// instances; a nonzero value voids the `L(T) ≥ LC` guarantee.
+    pub guard_removals: usize,
+    /// The tightened bound actually used inside the LP.
+    pub l_prime: f64,
+    /// True if the `L' = LC` fallback was taken.
+    pub relaxed_to_lc: bool,
+}
+
+/// Failure modes of IRA.
+#[derive(Debug)]
+pub enum IraError {
+    /// No aggregation tree can meet the requested lifetime (either `L'` is
+    /// undefined, or the LP is infeasible even after any configured
+    /// fallback). This is the paper's "shows that there is no data
+    /// aggregation tree with lifetime bounded by LC" outcome.
+    LifetimeUnachievable {
+        /// The requested bound.
+        lc: f64,
+        /// Human-readable explanation of which stage failed.
+        reason: String,
+    },
+    /// The LP layer failed numerically.
+    Lp(CutLpError),
+    /// Tree assembly failed (should be unreachable on valid instances).
+    Model(ModelError),
+}
+
+impl std::fmt::Display for IraError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IraError::LifetimeUnachievable { lc, reason } => {
+                write!(f, "no aggregation tree with lifetime ≥ {lc}: {reason}")
+            }
+            IraError::Lp(e) => write!(f, "LP failure: {e}"),
+            IraError::Model(e) => write!(f, "model failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IraError {}
+
+/// A solved instance.
+#[derive(Clone, Debug)]
+pub struct IraSolution {
+    /// The aggregation tree found.
+    pub tree: AggregationTree,
+    /// Natural-log cost `C(T)`.
+    pub cost: f64,
+    /// Reliability `Q(T)`.
+    pub reliability: f64,
+    /// Lifetime `L(T)` in rounds.
+    pub lifetime: f64,
+    /// True if `L(T) ≥ LC` (up to floating-point slack).
+    pub meets_lc: bool,
+    /// Solver diagnostics.
+    pub stats: IraStats,
+}
+
+/// Runs Algorithm 1 on an instance.
+pub fn solve_ira(inst: &MrlcInstance, config: &IraConfig) -> Result<IraSolution, IraError> {
+    let net = inst.network();
+    let n = net.n();
+    if n == 1 {
+        let tree = AggregationTree::from_parents(NodeId::SINK, vec![None])
+            .map_err(IraError::Model)?;
+        return Ok(IraSolution {
+            tree,
+            cost: 0.0,
+            reliability: 1.0,
+            lifetime: f64::INFINITY,
+            meets_lc: true,
+            stats: IraStats { l_prime: inst.lc(), ..IraStats::default() },
+        });
+    }
+
+    let i_min = net.min_initial_energy();
+    let tightened = lifetime::tightened_bound(i_min, inst.model(), inst.lc());
+
+    // First attempt at L' (when defined), optional fallback at LC.
+    let mut attempts: Vec<(f64, bool)> = Vec::new();
+    match tightened {
+        Some(b) => {
+            attempts.push((b.l_prime, false));
+            if config.fallback_to_lc {
+                attempts.push((inst.lc(), true));
+            }
+        }
+        None => {
+            if config.fallback_to_lc {
+                attempts.push((inst.lc(), true));
+            } else {
+                return Err(IraError::LifetimeUnachievable {
+                    lc: inst.lc(),
+                    reason: format!(
+                        "L' undefined: I_min = {i_min} ≤ 2·Rx·LC = {}",
+                        2.0 * inst.model().rx * inst.lc()
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut last_reason = String::new();
+    for (l_used, relaxed) in attempts {
+        match attempt(inst, config, l_used, relaxed) {
+            Ok(sol) => return Ok(sol),
+            Err(AttemptError::Infeasible(reason)) => last_reason = reason,
+            Err(AttemptError::Lp(e)) => return Err(IraError::Lp(e)),
+            Err(AttemptError::Model(e)) => return Err(IraError::Model(e)),
+        }
+    }
+    Err(IraError::LifetimeUnachievable { lc: inst.lc(), reason: last_reason })
+}
+
+enum AttemptError {
+    Infeasible(String),
+    Lp(CutLpError),
+    Model(ModelError),
+}
+
+fn attempt(
+    inst: &MrlcInstance,
+    config: &IraConfig,
+    l_used: f64,
+    relaxed: bool,
+) -> Result<IraSolution, AttemptError> {
+    let net = inst.network();
+    let model = inst.model();
+    let n = net.n();
+
+    // Fractional degree caps β_v at the working bound.
+    let mut caps = vec![f64::INFINITY; n];
+    let mut w_set: Vec<bool> = vec![false; n];
+    for i in 0..n {
+        let v = NodeId::new(i);
+        if v == NodeId::SINK && !config.constrain_sink {
+            continue;
+        }
+        let beta = lifetime::degree_cap(net.initial_energy(v), model, l_used, v == NodeId::SINK);
+        if beta < 1.0 - 1e-9 {
+            return Err(AttemptError::Infeasible(format!(
+                "node {v} cannot hold even one tree edge at bound {l_used:.3e} (β = {beta:.3})"
+            )));
+        }
+        // Caps beyond n−1 are vacuous in any simple spanning tree.
+        caps[i] = beta.min(n as f64 - 1.0);
+        w_set[i] = true;
+    }
+
+    let mut active: Vec<bool> = vec![true; net.num_edges()];
+    let mut cut = CutLp::new();
+    let mut stats = IraStats {
+        l_prime: l_used,
+        relaxed_to_lc: relaxed,
+        ..IraStats::default()
+    };
+
+    while w_set.iter().any(|&b| b) {
+        stats.iterations += 1;
+
+        let edges: Vec<LpEdge> = net
+            .edges()
+            .filter(|(e, _)| active[e.index()])
+            .map(|(e, l)| LpEdge {
+                u: l.u().index(),
+                v: l.v().index(),
+                cost: l.cost(),
+                tag: e.index(),
+            })
+            .collect();
+        let cap_list: Vec<(usize, f64)> = (0..n).filter(|&i| w_set[i]).map(|i| (i, caps[i])).collect();
+
+        let outcome = cut.solve(n, &edges, &cap_list).map_err(AttemptError::Lp)?;
+        stats.lp_solves = cut.lp_solves;
+        stats.cuts_added = cut.cuts_added;
+        let x = match outcome {
+            CutLpOutcome::Infeasible => {
+                return Err(AttemptError::Infeasible(format!(
+                    "LP(G, {l_used:.3e}, W) infeasible with |W| = {}",
+                    cap_list.len()
+                )));
+            }
+            CutLpOutcome::Optimal { x, .. } => x,
+        };
+
+        // Line 6: drop x_e = 0 edges.
+        for (edge, &xv) in edges.iter().zip(&x) {
+            if xv <= ZERO_TOL {
+                active[edge.tag] = false;
+            }
+        }
+
+        // Line 8: remove lifetime constraints that can no longer bind —
+        // worst-case lifetime over the support already meets LC.
+        let mut deg = vec![0usize; n];
+        for (e, l) in net.edges() {
+            if active[e.index()] {
+                deg[l.u().index()] += 1;
+                deg[l.v().index()] += 1;
+            }
+        }
+        let mut removed_any = false;
+        for i in 0..n {
+            if !w_set[i] {
+                continue;
+            }
+            let v = NodeId::new(i);
+            let wc = inst.worst_case_lifetime(v, deg[i]);
+            if wc >= inst.lc() * (1.0 - 1e-12) {
+                w_set[i] = false;
+                removed_any = true;
+                if !config.batch_removal {
+                    break;
+                }
+            }
+        }
+        if !removed_any {
+            // Theorem 2 guarantees a removable vertex under exact
+            // arithmetic; numerically, remove the slackest vertex and count
+            // the event.
+            let slackest = (0..n)
+                .filter(|&i| w_set[i])
+                .max_by(|&a, &b| {
+                    let la = inst.worst_case_lifetime(NodeId::new(a), deg[a]);
+                    let lb = inst.worst_case_lifetime(NodeId::new(b), deg[b]);
+                    la.partial_cmp(&lb).unwrap()
+                })
+                .expect("W is nonempty inside the loop");
+            w_set[slackest] = false;
+            stats.guard_removals += 1;
+        }
+    }
+
+    // W = ∅: the LP is the subtour LP whose extreme points are spanning
+    // trees (Lemma 1). The minimum spanning tree of the remaining support
+    // attains the same optimum and is numerically robust.
+    let wedges: Vec<wsn_graph::WeightedEdge> = net
+        .edges()
+        .filter(|(e, _)| active[e.index()])
+        .map(|(e, l)| wsn_graph::WeightedEdge {
+            u: l.u().index(),
+            v: l.v().index(),
+            w: l.cost(),
+            id: e.index(),
+        })
+        .collect();
+    let chosen = wsn_graph::prim(n, &wedges).ok_or_else(|| {
+        AttemptError::Infeasible("support graph lost connectivity (numerical)".into())
+    })?;
+    let tree_edges: Vec<(NodeId, NodeId)> = chosen
+        .iter()
+        .map(|&id| net.links()[id].endpoints())
+        .collect();
+    let tree = AggregationTree::from_edges(NodeId::SINK, n, &tree_edges)
+        .map_err(AttemptError::Model)?;
+
+    let cost = inst.cost(&tree);
+    let reliability = inst.reliability(&tree);
+    let lt = inst.lifetime(&tree);
+    Ok(IraSolution {
+        meets_lc: lt >= inst.lc() * (1.0 - 1e-9),
+        tree,
+        cost,
+        reliability,
+        lifetime: lt,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::{EnergyModel, Network, NetworkBuilder};
+
+    /// Builds a network where all edges to the sink are cheapest — the MST
+    /// is the star at the sink, which concentrates children there.
+    fn starry(n: usize) -> Network {
+        let mut b = NetworkBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(0, v, 0.99).unwrap();
+        }
+        for u in 1..n {
+            for v in u + 1..n {
+                b.add_edge(u, v, 0.90).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// All spanning trees by brute force; returns (cost, lifetime) pairs.
+    fn enumerate_trees(inst: &MrlcInstance) -> Vec<(f64, f64)> {
+        let net = inst.network();
+        let n = net.n();
+        let m = net.num_edges();
+        assert!(m <= 20, "brute force only for tiny graphs");
+        let mut out = Vec::new();
+        for mask in 0u32..(1 << m) {
+            if mask.count_ones() as usize != n - 1 {
+                continue;
+            }
+            let edges: Vec<(NodeId, NodeId)> = (0..m)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| net.links()[i].endpoints())
+                .collect();
+            if let Ok(tree) = AggregationTree::from_edges(NodeId::SINK, n, &edges) {
+                out.push((inst.cost(&tree), inst.lifetime(&tree)));
+            }
+        }
+        out
+    }
+
+    fn brute_opt_cost(inst: &MrlcInstance, bound: f64) -> Option<f64> {
+        enumerate_trees(inst)
+            .into_iter()
+            .filter(|&(_, l)| l >= bound * (1.0 - 1e-12))
+            .map(|(c, _)| c)
+            .min_by(|a, b| a.partial_cmp(b).unwrap())
+    }
+
+    fn brute_max_lifetime(inst: &MrlcInstance) -> f64 {
+        enumerate_trees(inst)
+            .into_iter()
+            .map(|(_, l)| l)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn loose_lc_reduces_to_mst() {
+        let net = starry(5);
+        // LC so small every tree qualifies and constraints are vacuous.
+        let inst = MrlcInstance::new(net, EnergyModel::PAPER, 10.0).unwrap();
+        let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(sol.meets_lc);
+        assert_eq!(sol.stats.guard_removals, 0);
+        let mst = brute_opt_cost(&inst, 0.0).unwrap();
+        assert!((sol.cost - mst).abs() < 1e-9, "IRA {} vs MST {}", sol.cost, mst);
+        // The star at the sink is the MST here.
+        assert_eq!(sol.tree.num_children(NodeId::SINK), 4);
+    }
+
+    #[test]
+    fn tight_lc_forces_load_spreading() {
+        let net = starry(6);
+        let model = EnergyModel::PAPER;
+        // Demand a lifetime achievable only if the sink has ≤ 4 children —
+        // the MST (star, 5 children) violates it, and the bound leaves the
+        // two-children slack the L' tightening consumes.
+        let lc = lifetime::node_lifetime(3000.0, &model, 4) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(sol.meets_lc, "lifetime {} < LC {lc}", sol.lifetime);
+        assert!(!sol.stats.relaxed_to_lc, "L' must be feasible here");
+        assert!(sol.tree.num_children(NodeId::SINK) <= 4);
+        // Paper guarantee: cost ≤ OPT(L'), cost ≥ OPT(LC).
+        let opt_lc = brute_opt_cost(&inst, lc).unwrap();
+        let l_prime = sol.stats.l_prime;
+        let opt_lp = brute_opt_cost(&inst, l_prime).unwrap();
+        assert!(sol.cost >= opt_lc - 1e-9);
+        assert!(sol.cost <= opt_lp + 1e-9, "IRA {} vs OPT(L') {}", sol.cost, opt_lp);
+        // And strictly more expensive than the unconstrained MST.
+        let mst = brute_opt_cost(&inst, 0.0).unwrap();
+        assert!(sol.cost > mst + 1e-9);
+    }
+
+    #[test]
+    fn unachievable_lc_is_reported() {
+        let net = starry(4);
+        // Beyond even a leaf's lifetime.
+        let lc = 3000.0 / EnergyModel::PAPER.tx * 10.0;
+        let inst = MrlcInstance::new(net, EnergyModel::PAPER, lc).unwrap();
+        let err = solve_ira(&inst, &IraConfig::default()).unwrap_err();
+        assert!(matches!(err, IraError::LifetimeUnachievable { .. }));
+    }
+
+    #[test]
+    fn near_optimal_lc_uses_fallback_or_succeeds() {
+        let net = starry(5);
+        let model = EnergyModel::PAPER;
+        let inst0 = MrlcInstance::new(net.clone(), model, 1.0).unwrap();
+        let max_l = brute_max_lifetime(&inst0);
+        // Ask for 99.9% of the absolute optimum: L' will typically be
+        // infeasible, the LC fallback must kick in — this is the paper's
+        // "optimal reliability by a little violation of lifetime" regime,
+        // so the LC guarantee softens to an additive children-count slack.
+        let inst = MrlcInstance::new(net, model, max_l * 0.999).unwrap();
+        let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(sol.stats.relaxed_to_lc, "the fallback should have engaged");
+        // The violation is bounded: at most two extra children at the
+        // bottleneneck, i.e. lifetime ≥ I_min/(Tx + Rx·(Ch_LC + 2)).
+        let floor = lifetime::node_lifetime(
+            3000.0,
+            &model,
+            lifetime::children_bound(3000.0, &model, max_l * 0.999).floor() as usize + 2,
+        );
+        assert!(
+            sol.lifetime >= floor * (1.0 - 1e-9),
+            "lifetime {} below the +2-children floor {}",
+            sol.lifetime,
+            floor
+        );
+    }
+
+    #[test]
+    fn strict_mode_rejects_near_optimal_lc() {
+        let net = starry(5);
+        let model = EnergyModel::PAPER;
+        let inst0 = MrlcInstance::new(net.clone(), model, 1.0).unwrap();
+        let max_l = brute_max_lifetime(&inst0);
+        let inst = MrlcInstance::new(net, model, max_l * 0.9999).unwrap();
+        let cfg = IraConfig { fallback_to_lc: false, ..IraConfig::default() };
+        match solve_ira(&inst, &cfg) {
+            // Either the strict bound is provably unreachable…
+            Err(IraError::LifetimeUnachievable { .. }) => {}
+            // …or the instance still admits it; then the guarantee is hard.
+            Ok(sol) => assert!(sol.meets_lc),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn unconstrained_sink_config() {
+        let net = starry(6);
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 2) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let cfg = IraConfig { constrain_sink: false, ..IraConfig::default() };
+        let sol = solve_ira(&inst, &cfg).unwrap();
+        // With a mains-powered sink the star is permissible again.
+        assert_eq!(sol.tree.num_children(NodeId::SINK), 5);
+        // Every non-sink node still meets LC.
+        for i in 1..6 {
+            let v = NodeId::new(i);
+            let l = lifetime::node_lifetime(3000.0, &model, sol.tree.num_children(v));
+            assert!(l >= lc * (1.0 - 1e-9));
+        }
+    }
+
+    #[test]
+    fn single_vertex_removal_matches_batch() {
+        let net = starry(6);
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 2) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let batch = solve_ira(&inst, &IraConfig::default()).unwrap();
+        let single = solve_ira(
+            &inst,
+            &IraConfig { batch_removal: false, ..IraConfig::default() },
+        )
+        .unwrap();
+        assert!((batch.cost - single.cost).abs() < 1e-9);
+        assert!(single.stats.iterations >= batch.stats.iterations);
+    }
+
+    #[test]
+    fn single_node_network() {
+        // Single node: no links needed, lifetime infinite.
+        let mut b = NetworkBuilder::new(1);
+        b.set_uniform_energy(3000.0).unwrap();
+        let net = b.build().unwrap();
+        let inst = MrlcInstance::new(net, EnergyModel::PAPER, 1e6).unwrap();
+        let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(sol.meets_lc);
+        assert_eq!(sol.cost, 0.0);
+    }
+
+    #[test]
+    fn heterogeneous_energy_protects_weak_nodes() {
+        // Node 1 has little energy; cheap edges pull traffic through it.
+        let mut b = NetworkBuilder::new(5);
+        b.add_edge(0, 1, 0.999).unwrap();
+        b.add_edge(1, 2, 0.999).unwrap();
+        b.add_edge(1, 3, 0.999).unwrap();
+        b.add_edge(1, 4, 0.999).unwrap();
+        b.add_edge(0, 2, 0.95).unwrap();
+        b.add_edge(0, 3, 0.95).unwrap();
+        b.add_edge(2, 4, 0.95).unwrap();
+        b.set_energy(NodeId::new(1), 400.0).unwrap();
+        let net = b.build().unwrap();
+        let model = EnergyModel::PAPER;
+        // LC that node 1 can only meet with ≤ 3 children (so the tightened
+        // bound L' still allows it one child); the cheap star at node 1
+        // would give it 3 children + relay duty, pushing it to the limit.
+        let lc = lifetime::node_lifetime(400.0, &model, 3) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(sol.meets_lc, "lifetime {} < {lc}", sol.lifetime);
+        assert!(sol.tree.num_children(NodeId::new(1)) <= 3);
+        // Healthy nodes are unconstrained at this LC (their bound is ~22
+        // children), so the solver must not have degraded their edges.
+        assert!(!sol.stats.relaxed_to_lc);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_instance() -> impl Strategy<Value = (MrlcInstance, f64)> {
+            // n in 4..=6, random extra edges over a guaranteed-connected
+            // path, PRRs in (0.5, 1), energies in [1000, 5000].
+            (4usize..7).prop_flat_map(|n| {
+                let spine_q = proptest::collection::vec(50u32..100, n - 1);
+                let extra = proptest::collection::vec((0usize..6, 0usize..6, 50u32..100), 0..6);
+                let energy = proptest::collection::vec(1000u32..5000, n);
+                let frac = 1u32..95u32;
+                (Just(n), spine_q, extra, energy, frac).prop_map(
+                    |(n, spine, extra, energy, frac)| {
+                        let mut b = NetworkBuilder::new(n);
+                        for (i, q) in spine.iter().enumerate() {
+                            b.add_edge(i, i + 1, *q as f64 / 100.0).unwrap();
+                        }
+                        for (u, v, q) in extra {
+                            if u < n && v < n && u != v {
+                                let _ = b.add_edge(u, v, q as f64 / 100.0);
+                            }
+                        }
+                        for (i, e) in energy.iter().enumerate() {
+                            b.set_energy(NodeId::new(i), *e as f64).unwrap();
+                        }
+                        let net = b.build().unwrap();
+                        let inst = MrlcInstance::new(net, EnergyModel::PAPER, 1.0).unwrap();
+                        (inst, frac as f64 / 100.0)
+                    },
+                )
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(40))]
+            #[test]
+            fn ira_is_sandwiched_by_brute_force((inst0, frac) in arb_instance()) {
+                // Choose LC as a fraction of the best achievable lifetime so
+                // the instance is always feasible at LC.
+                let max_l = brute_max_lifetime(&inst0);
+                prop_assume!(max_l.is_finite() && max_l > 0.0);
+                let lc = max_l * frac;
+                let inst = MrlcInstance::new(
+                    inst0.network().clone(), *inst0.model(), lc).unwrap();
+                // Strict mode: success means the full Theorem-2 guarantee.
+                let cfg = IraConfig { fallback_to_lc: false, ..IraConfig::default() };
+                let sol = match solve_ira(&inst, &cfg) {
+                    Ok(s) => s,
+                    // LC within the 2-children band of the optimum: the
+                    // strict algorithm legitimately reports unachievable.
+                    Err(IraError::LifetimeUnachievable { .. }) => return Ok(()),
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                };
+                prop_assert_eq!(sol.stats.guard_removals, 0,
+                    "Theorem 2 guard fired on a tiny instance");
+                prop_assert!(sol.meets_lc,
+                    "lifetime {} < LC {}", sol.lifetime, lc);
+                let opt_lc = brute_opt_cost(&inst, lc).unwrap();
+                prop_assert!(sol.cost >= opt_lc - 1e-7,
+                    "cost {} below OPT(LC) {}", sol.cost, opt_lc);
+                let opt_lp = brute_opt_cost(&inst, sol.stats.l_prime)
+                    .unwrap_or(f64::INFINITY);
+                prop_assert!(sol.cost <= opt_lp + 1e-7,
+                    "cost {} above OPT(L') {}", sol.cost, opt_lp);
+            }
+        }
+    }
+}

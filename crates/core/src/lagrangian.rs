@@ -1,0 +1,335 @@
+//! Lagrangian relaxation of the degree-bounded spanning tree — an
+//! alternative solver to IRA, and an independent source of lower bounds.
+//!
+//! Dualizing the degree caps `deg_T(v) ≤ b_v` (the integer image of the
+//! lifetime constraints) with multipliers `λ ≥ 0` gives
+//!
+//! `L(λ) = min_T Σ_{(u,v)∈T} (c_e + λ_u + λ_v) − Σ_v λ_v·b_v`,
+//!
+//! an ordinary MST under reweighted costs, so each subgradient step is one
+//! Kruskal run. Weak duality makes every `L(λ)` a lower bound on `OPT(LC)`;
+//! whenever the reweighted MST happens to satisfy the caps it is a feasible
+//! incumbent. This is the classical Held–Karp-style approach the OR
+//! literature uses for degree-constrained trees — here it serves as an
+//! ablation against IRA (which solves LPs instead) and as a bound
+//! certificate the optimality-gap experiment can cross-check.
+
+use crate::problem::MrlcInstance;
+use wsn_graph::{kruskal, WeightedEdge};
+use wsn_model::{lifetime, AggregationTree, NodeId};
+
+/// Subgradient-ascent parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct LagrangianConfig {
+    /// Subgradient iterations.
+    pub iterations: usize,
+    /// Initial step size (scaled by the mean edge cost).
+    pub step0: f64,
+    /// Geometric step decay per iteration.
+    pub decay: f64,
+}
+
+impl Default for LagrangianConfig {
+    fn default() -> Self {
+        LagrangianConfig { iterations: 300, step0: 0.5, decay: 0.985 }
+    }
+}
+
+/// Result of the subgradient run.
+#[derive(Clone, Debug)]
+pub struct LagrangianResult {
+    /// Best feasible tree found (meets every degree cap), if any.
+    pub best_tree: Option<AggregationTree>,
+    /// Its natural-log cost (`∞` when none was found).
+    pub best_cost: f64,
+    /// The best (largest) Lagrangian lower bound on `OPT(LC)`.
+    pub lower_bound: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+impl LagrangianResult {
+    /// Relative duality gap between incumbent and bound (`None` without an
+    /// incumbent).
+    pub fn gap(&self) -> Option<f64> {
+        self.best_tree.as_ref()?;
+        if self.lower_bound.abs() < 1e-12 {
+            return Some(0.0);
+        }
+        Some((self.best_cost - self.lower_bound) / self.lower_bound.abs())
+    }
+}
+
+/// Integer degree caps implied by `LC` (as in the exact solver); `None`
+/// when some node cannot even hold one edge.
+fn degree_caps(inst: &MrlcInstance) -> Option<Vec<usize>> {
+    let net = inst.network();
+    let model = inst.model();
+    let n = net.n();
+    let mut caps = Vec::with_capacity(n);
+    for i in 0..n {
+        let v = NodeId::new(i);
+        let cb = lifetime::children_bound(net.initial_energy(v), model, inst.lc());
+        if cb < -1e-9 {
+            return None;
+        }
+        let cap = (cb + 1e-9).floor() as usize + usize::from(v != NodeId::SINK);
+        if cap == 0 {
+            return None;
+        }
+        caps.push(cap.min(n - 1));
+    }
+    Some(caps)
+}
+
+/// Runs subgradient ascent on the dual.
+pub fn lagrangian_dbmst(inst: &MrlcInstance, config: &LagrangianConfig) -> LagrangianResult {
+    let net = inst.network();
+    let n = net.n();
+    let Some(caps) = degree_caps(inst) else {
+        return LagrangianResult {
+            best_tree: None,
+            best_cost: f64::INFINITY,
+            lower_bound: f64::NEG_INFINITY,
+            iterations: 0,
+        };
+    };
+
+    let base: Vec<WeightedEdge> = net
+        .edges()
+        .map(|(e, l)| WeightedEdge {
+            u: l.u().index(),
+            v: l.v().index(),
+            w: l.cost(),
+            id: e.index(),
+        })
+        .collect();
+    let mean_cost = if base.is_empty() {
+        0.0
+    } else {
+        base.iter().map(|e| e.w).sum::<f64>() / base.len() as f64
+    };
+
+    let mut lambda = vec![0.0f64; n];
+    let mut best_lb = f64::NEG_INFINITY;
+    let mut best_cost = f64::INFINITY;
+    let mut best_tree: Option<AggregationTree> = None;
+    let mut step = config.step0 * mean_cost.max(1e-6);
+
+    for _iter in 0..config.iterations {
+        // MST under reweighted costs.
+        let reweighted: Vec<WeightedEdge> = base
+            .iter()
+            .map(|e| WeightedEdge { w: e.w + lambda[e.u] + lambda[e.v], ..*e })
+            .collect();
+        let Some(chosen) = kruskal(n, &reweighted) else {
+            break; // disconnected network — cannot happen for valid instances
+        };
+
+        // Dual value and subgradient.
+        let mut deg = vec![0usize; n];
+        let mut reweighted_cost = 0.0;
+        for &id in &chosen {
+            let e = &base[id_to_index(&base, id)];
+            deg[e.u] += 1;
+            deg[e.v] += 1;
+            reweighted_cost += e.w + lambda[e.u] + lambda[e.v];
+        }
+        let dual: f64 = reweighted_cost
+            - lambda
+                .iter()
+                .zip(&caps)
+                .map(|(l, &b)| l * b as f64)
+                .sum::<f64>();
+        best_lb = best_lb.max(dual);
+
+        // Incumbent: the reweighted MST directly if feasible, else its
+        // greedy repair (move children off over-cap nodes at minimum added
+        // cost — standard Lagrangian-heuristic practice).
+        let edges: Vec<(NodeId, NodeId)> = chosen
+            .iter()
+            .map(|&id| net.links()[id].endpoints())
+            .collect();
+        if let Ok(t) = AggregationTree::from_edges(NodeId::SINK, n, &edges) {
+            if let Some((repaired, cost)) = repair_to_caps(inst, &caps, t) {
+                if cost < best_cost - 1e-12 {
+                    best_cost = cost;
+                    best_tree = Some(repaired);
+                }
+            }
+        }
+
+        // Subgradient step on violated/slack caps.
+        let norm_sq: f64 = deg
+            .iter()
+            .zip(&caps)
+            .map(|(&d, &b)| {
+                let g = d as f64 - b as f64;
+                g * g
+            })
+            .sum();
+        if norm_sq < 1e-18 {
+            break; // the unconstrained MST already satisfies all caps
+        }
+        for v in 0..n {
+            let g = deg[v] as f64 - caps[v] as f64;
+            lambda[v] = (lambda[v] + step * g / norm_sq.sqrt()).max(0.0);
+        }
+        step *= config.decay;
+    }
+
+    LagrangianResult {
+        best_tree,
+        best_cost,
+        lower_bound: best_lb,
+        iterations: config.iterations,
+    }
+}
+
+/// Edge ids equal indices into `base` by construction; this helper keeps
+/// that assumption in one checked place.
+fn id_to_index(base: &[WeightedEdge], id: usize) -> usize {
+    debug_assert_eq!(base[id].id, id);
+    id
+}
+
+/// Greedy cap repair: while any node exceeds its degree cap, re-home one of
+/// its children to the cheapest under-cap alternative parent. Returns the
+/// repaired tree and its cost, or `None` when some violation cannot be
+/// fixed.
+fn repair_to_caps(
+    inst: &MrlcInstance,
+    caps: &[usize],
+    mut tree: AggregationTree,
+) -> Option<(AggregationTree, f64)> {
+    let net = inst.network();
+    let n = net.n();
+    let tree_degree = |t: &AggregationTree, v: NodeId| t.degree(v);
+    for _ in 0..2 * n {
+        let over = (0..n)
+            .map(NodeId::new)
+            .find(|&v| tree_degree(&tree, v) > caps[v.index()]);
+        let Some(v) = over else {
+            let cost = inst.cost(&tree);
+            return Some((tree, cost));
+        };
+        // Cheapest re-homing of any child of v to an under-cap parent.
+        let mut best: Option<(f64, NodeId, NodeId)> = None;
+        for &c in tree.children(v) {
+            let old_cost = net
+                .find_edge(c, v)
+                .map(|e| net.link(e).cost())
+                .unwrap_or(f64::INFINITY);
+            for &(e, w) in net.neighbors(c) {
+                if w == v
+                    || tree_degree(&tree, w) + 1 > caps[w.index()]
+                    || tree.in_subtree(w, c)
+                {
+                    continue;
+                }
+                let delta = net.link(e).cost() - old_cost;
+                if best.is_none_or(|(d, _, _)| delta < d) {
+                    best = Some((delta, c, w));
+                }
+            }
+        }
+        let (_, c, w) = best?;
+        tree.reattach(c, w).expect("repair candidates were validated");
+    }
+    None // cycling between violations — give up on this iterate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::{solve_exact, ExactConfig, ExactOutcome};
+    use crate::ira::{solve_ira, IraConfig};
+    use wsn_model::{EnergyModel, NetworkBuilder};
+
+    fn starry(n: usize) -> wsn_model::Network {
+        let mut b = NetworkBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(0, v, 0.99).unwrap();
+        }
+        for u in 1..n {
+            for v in u + 1..n {
+                b.add_edge(u, v, 0.90).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unconstrained_case_returns_mst_immediately() {
+        let net = starry(6);
+        let inst = MrlcInstance::new(net.clone(), EnergyModel::PAPER, 10.0).unwrap();
+        let res = lagrangian_dbmst(&inst, &LagrangianConfig::default());
+        let mst = wsn_graph::mst_tree(&net).unwrap();
+        assert!((res.best_cost - inst.cost(&mst)).abs() < 1e-9);
+        // With zero multipliers the dual equals the MST cost: a tight bound.
+        assert!((res.lower_bound - res.best_cost).abs() < 1e-9);
+        assert_eq!(res.gap().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn bound_sandwiches_the_exact_optimum() {
+        let net = starry(7);
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 2) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let res = lagrangian_dbmst(&inst, &LagrangianConfig::default());
+        let ExactOutcome::Optimal { cost: opt, .. } =
+            solve_exact(&inst, &ExactConfig::default())
+        else {
+            panic!("feasible by construction")
+        };
+        assert!(
+            res.lower_bound <= opt + 1e-9,
+            "lower bound {} exceeds OPT {}",
+            res.lower_bound,
+            opt
+        );
+        if let Some(t) = &res.best_tree {
+            assert!(inst.meets_lifetime(t), "incumbent violates LC");
+            assert!(res.best_cost >= opt - 1e-9);
+        }
+        // The dual should come reasonably close on this small instance.
+        assert!(
+            res.lower_bound > 0.25 * opt,
+            "bound {} too loose vs OPT {}",
+            res.lower_bound,
+            opt
+        );
+    }
+
+    #[test]
+    fn finds_feasible_incumbents_on_constrained_instances() {
+        let net = starry(8);
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 3) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let res = lagrangian_dbmst(&inst, &LagrangianConfig::default());
+        let t = res.best_tree.as_ref().expect("incumbent expected on this instance");
+        assert!(inst.meets_lifetime(t));
+        // Comparable to IRA (neither dominates in theory; both near OPT).
+        let ira = solve_ira(&inst, &IraConfig::default()).unwrap();
+        assert!(
+            res.best_cost <= ira.cost * 1.5 + 1e-9,
+            "Lagrangian {} far above IRA {}",
+            res.best_cost,
+            ira.cost
+        );
+    }
+
+    #[test]
+    fn infeasible_caps_reported() {
+        let net = starry(5);
+        let model = EnergyModel::PAPER;
+        let lc = 3000.0 / model.tx * 2.0;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let res = lagrangian_dbmst(&inst, &LagrangianConfig::default());
+        assert!(res.best_tree.is_none());
+        assert!(res.lower_bound == f64::NEG_INFINITY);
+        assert!(res.gap().is_none());
+    }
+}

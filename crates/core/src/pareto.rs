@@ -1,0 +1,182 @@
+//! The lifetime–reliability Pareto frontier.
+//!
+//! The paper frames MRLC as "carefully balanc\[ing\] the trade-off between
+//! these two contradicting objectives" but only samples four `LC` values
+//! (Fig. 7). This module sweeps the whole frontier: every *achievable*
+//! lifetime value is one of finitely many candidates `L(v, k)` (a tree's
+//! lifetime is decided by integer children counts), so solving IRA just
+//! below each candidate traces the exact staircase of the trade-off.
+
+use crate::bounds::candidate_lifetimes;
+use crate::ira::{solve_ira, IraConfig, IraError};
+use crate::problem::MrlcInstance;
+use wsn_model::{EnergyModel, Network, PaperCost};
+
+/// One point of the frontier.
+#[derive(Clone, Copy, Debug)]
+pub struct ParetoPoint {
+    /// The lifetime bound requested.
+    pub lc: f64,
+    /// Lifetime actually achieved by the tree.
+    pub lifetime: f64,
+    /// Tree cost in paper units.
+    pub cost: f64,
+    /// Tree reliability.
+    pub reliability: f64,
+    /// Whether the strict `L'` guarantee held (false = LC fallback ran).
+    pub strict: bool,
+}
+
+/// Sweeps IRA across the candidate-lifetime staircase, keeping one point
+/// per requested bound. Infeasible bounds are skipped. `max_points` caps
+/// the sweep (candidates are thinned evenly when there are more).
+pub fn pareto_frontier(
+    net: &Network,
+    model: EnergyModel,
+    max_points: usize,
+) -> Result<Vec<ParetoPoint>, IraError> {
+    assert!(max_points >= 2, "a frontier needs at least two points");
+    let mut candidates = candidate_lifetimes(net, &model);
+    // Ascending LC sweep reads naturally (cheapest tree first).
+    candidates.reverse();
+    if candidates.len() > max_points {
+        let stride = candidates.len() as f64 / max_points as f64;
+        candidates = (0..max_points)
+            .map(|i| candidates[(i as f64 * stride) as usize])
+            .collect();
+    }
+    let mut out = Vec::with_capacity(candidates.len());
+    for lc in candidates {
+        // Shade down so a tree attaining the candidate value qualifies.
+        let lc = lc * (1.0 - 1e-9);
+        let inst = MrlcInstance::new(net.clone(), model, lc)
+            .expect("candidate lifetimes are positive and finite");
+        match solve_ira(&inst, &IraConfig::default()) {
+            Ok(sol) => out.push(ParetoPoint {
+                lc,
+                lifetime: sol.lifetime,
+                cost: PaperCost::from_nat(sol.cost).0,
+                reliability: sol.reliability,
+                strict: !sol.stats.relaxed_to_lc,
+            }),
+            Err(IraError::LifetimeUnachievable { .. }) => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+/// Filters a frontier down to its non-dominated points: keep a point iff no
+/// other point has both at-least lifetime and at-most cost (strict in one).
+pub fn dominant_points(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut kept: Vec<ParetoPoint> = Vec::new();
+    for &p in points {
+        let dominated = points.iter().any(|q| {
+            (q.lifetime > p.lifetime * (1.0 + 1e-12) && q.cost <= p.cost + 1e-9)
+                || (q.cost < p.cost - 1e-9 && q.lifetime >= p.lifetime * (1.0 - 1e-12))
+        });
+        if !dominated {
+            kept.push(p);
+        }
+    }
+    // Deduplicate identical (lifetime, cost) pairs.
+    kept.sort_by(|a, b| a.lifetime.partial_cmp(&b.lifetime).unwrap());
+    kept.dedup_by(|a, b| {
+        (a.lifetime - b.lifetime).abs() < 1e-6 && (a.cost - b.cost).abs() < 1e-9
+    });
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NetworkBuilder;
+
+    /// Cheap star at the sink plus an expensive clique: spreading load
+    /// costs reliability, so the frontier is non-trivial.
+    fn tradeoff_net(n: usize) -> Network {
+        let mut b = NetworkBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(0, v, 0.99).unwrap();
+        }
+        for u in 1..n {
+            for v in u + 1..n {
+                b.add_edge(u, v, 0.90).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn frontier_is_monotone_after_dominance_filter() {
+        let net = tradeoff_net(7);
+        let pts = pareto_frontier(&net, EnergyModel::PAPER, 16).unwrap();
+        assert!(pts.len() >= 3, "expected several feasible points, got {}", pts.len());
+        for w in pts.windows(2) {
+            assert!(w[0].lc < w[1].lc, "sweep must ascend in LC");
+        }
+        // IRA is approximate, so the raw sweep may wobble; the dominant
+        // subset must be a strictly monotone staircase: more lifetime costs
+        // strictly more.
+        let kept = dominant_points(&pts);
+        assert!(kept.len() >= 2, "frontier collapsed to {} points", kept.len());
+        for w in kept.windows(2) {
+            assert!(w[0].lifetime < w[1].lifetime);
+            assert!(
+                w[0].cost < w[1].cost + 1e-9,
+                "dominance filter left an inversion: {} -> {}",
+                w[0].cost,
+                w[1].cost
+            );
+        }
+        // The cheapest point has the highest reliability.
+        assert!(kept[0].reliability >= kept.last().unwrap().reliability);
+    }
+
+    #[test]
+    fn achieved_lifetime_meets_each_bound() {
+        let net = tradeoff_net(6);
+        let pts = pareto_frontier(&net, EnergyModel::PAPER, 12).unwrap();
+        for p in &pts {
+            if p.strict {
+                assert!(
+                    p.lifetime >= p.lc * (1.0 - 1e-9),
+                    "strict point missed its bound: {} < {}",
+                    p.lifetime,
+                    p.lc
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_filter_removes_dominated() {
+        let mk = |lifetime, cost| ParetoPoint {
+            lc: lifetime,
+            lifetime,
+            cost,
+            reliability: 0.9,
+            strict: true,
+        };
+        let pts = vec![mk(1.0, 10.0), mk(2.0, 10.0), mk(2.0, 20.0), mk(3.0, 30.0)];
+        let kept = dominant_points(&pts);
+        // (1.0, 10) is dominated by (2.0, 10); (2.0, 20) likewise.
+        assert_eq!(kept.len(), 2);
+        assert!((kept[0].lifetime - 2.0).abs() < 1e-12 && (kept[0].cost - 10.0).abs() < 1e-12);
+        assert!((kept[1].lifetime - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontier_points_are_self_consistent() {
+        let net = tradeoff_net(6);
+        let pts = pareto_frontier(&net, EnergyModel::PAPER, 10).unwrap();
+        for p in &pts {
+            // Lemma 3 on the reported pair.
+            let q = PaperCost(p.cost).reliability();
+            assert!((q - p.reliability).abs() < 1e-9);
+        }
+        let kept = dominant_points(&pts);
+        assert!(!kept.is_empty());
+        assert!(kept.len() <= pts.len());
+    }
+}

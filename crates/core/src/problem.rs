@@ -1,0 +1,134 @@
+//! The MRLC problem instance (Problem 1 / Problem 2 of the paper).
+
+use wsn_model::{
+    lifetime, reliability, AggregationTree, EnergyModel, ModelError, Network, NodeId,
+};
+
+/// An instance of the Maximizing-Reliability-of-Lifetime-Constrained
+/// aggregation tree problem.
+///
+/// By Lemma 3 the reliability-maximization form (Problem 1) and the
+/// cost-minimization form (Problem 2) coincide; this type exposes both
+/// views.
+#[derive(Clone, Debug)]
+pub struct MrlcInstance {
+    network: Network,
+    model: EnergyModel,
+    /// The lifetime bound `LC` in aggregation rounds.
+    lc: f64,
+}
+
+impl MrlcInstance {
+    /// Creates an instance; `lc` must be positive and finite.
+    pub fn new(network: Network, model: EnergyModel, lc: f64) -> Result<Self, ModelError> {
+        if !(lc.is_finite() && lc > 0.0) {
+            return Err(ModelError::InvalidEnergy(lc));
+        }
+        Ok(MrlcInstance { network, model, lc })
+    }
+
+    /// The underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The energy model.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// The lifetime bound `LC`.
+    pub fn lc(&self) -> f64 {
+        self.lc
+    }
+
+    /// Natural-log cost of a candidate tree (Eq. 10).
+    pub fn cost(&self, tree: &AggregationTree) -> f64 {
+        reliability::tree_cost(&self.network, tree)
+    }
+
+    /// Reliability `Q(T)` of a candidate tree.
+    pub fn reliability(&self, tree: &AggregationTree) -> f64 {
+        reliability::tree_reliability(&self.network, tree)
+    }
+
+    /// Lifetime `L(T)` of a candidate tree (Eq. 1, min over nodes).
+    pub fn lifetime(&self, tree: &AggregationTree) -> f64 {
+        lifetime::network_lifetime(&self.network, tree, &self.model)
+    }
+
+    /// True if the tree meets the lifetime bound (with a relative slack for
+    /// floating-point comparison).
+    pub fn meets_lifetime(&self, tree: &AggregationTree) -> bool {
+        self.lifetime(tree) >= self.lc * (1.0 - 1e-9)
+    }
+
+    /// Worst-case lifetime of node `v` if **every** edge of `support`
+    /// incident to `v` ended up adjacent to it in the final tree — the
+    /// quantity `E*(L(v))` of Algorithm 1 line 8. Non-root nodes keep one
+    /// incident edge as the parent link, so their worst-case children count
+    /// is `deg(v) − 1`; the sink's is `deg(v)`.
+    pub fn worst_case_lifetime(&self, v: NodeId, support_degree: usize) -> f64 {
+        let children = if v == NodeId::SINK {
+            support_degree
+        } else {
+            support_degree.saturating_sub(1)
+        };
+        lifetime::node_lifetime(self.network.initial_energy(v), &self.model, children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NetworkBuilder;
+
+    fn tiny() -> MrlcInstance {
+        let mut b = NetworkBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.8).unwrap();
+        b.add_edge(0, 2, 0.7).unwrap();
+        MrlcInstance::new(b.build().unwrap(), EnergyModel::PAPER, 1.0e6).unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = tiny();
+        assert_eq!(inst.network().n(), 3);
+        assert_eq!(inst.lc(), 1.0e6);
+    }
+
+    #[test]
+    fn rejects_bad_lc() {
+        let mut b = NetworkBuilder::new(2);
+        b.add_edge(0, 1, 0.9).unwrap();
+        let net = b.build().unwrap();
+        assert!(MrlcInstance::new(net.clone(), EnergyModel::PAPER, 0.0).is_err());
+        assert!(MrlcInstance::new(net, EnergyModel::PAPER, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn tree_metrics_are_consistent() {
+        let inst = tiny();
+        let edges = [(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))];
+        let t = AggregationTree::from_edges(NodeId::SINK, 3, &edges).unwrap();
+        let c = inst.cost(&t);
+        let q = inst.reliability(&t);
+        assert!((q - 0.9 * 0.8).abs() < 1e-12);
+        assert!((c + q.ln()).abs() < 1e-12);
+        assert!(inst.lifetime(&t) > 0.0);
+    }
+
+    #[test]
+    fn worst_case_lifetime_root_vs_nonroot() {
+        let inst = tiny();
+        // With support degree 2: non-root keeps a parent edge → 1 child;
+        // the sink gets 2 children.
+        let wc_root = inst.worst_case_lifetime(NodeId::SINK, 2);
+        let wc_other = inst.worst_case_lifetime(NodeId::new(1), 2);
+        assert!(wc_root < wc_other);
+        // Degree 0 saturates instead of underflowing.
+        let wc_leafish = inst.worst_case_lifetime(NodeId::new(1), 0);
+        assert!(wc_leafish.is_finite() && wc_leafish > 0.0);
+    }
+}

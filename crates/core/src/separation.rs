@@ -1,0 +1,234 @@
+//! Separation oracle for the subtour constraints (Eq. 13).
+//!
+//! Given a fractional point `x` with `x(E(V)) = |V| − 1`, we must find a set
+//! `S ⊆ V`, `|S| ≥ 2`, with `x(E(S)) > |S| − 1`, or certify none exists.
+//!
+//! Writing `w(v) = 1 − x(δ(v))/2` and using
+//! `x(E(S)) = ½(Σ_{v∈S} x(δ(v)) − x(δ(S)))`, the violation functional is
+//!
+//! `|S| − 1 − x(E(S)) = Σ_{v∈S} w(v) + x(δ(S))/2 − 1`,
+//!
+//! a modular term plus a cut — minimized, for each forced seed `s ∈ S`, by
+//! one s–t min-cut on an auxiliary network (the classical
+//! project-selection transformation handles negative `w`). `S = V` attains
+//! exactly 0 under the cardinality equality, so any value below `−tol`
+//! certifies a genuine violation (Theorem 1 / \[12\]).
+//!
+//! Two cheap pre-checks run first: disconnected support (some component
+//! must violate) and dense pairs/components (`x(E(S))` summed directly).
+
+use wsn_graph::{components, FlowNetwork};
+
+/// An edge of the current LP together with its fractional value.
+#[derive(Clone, Copy, Debug)]
+pub struct FracEdge {
+    /// Endpoint (dense index).
+    pub u: usize,
+    /// Endpoint (dense index).
+    pub v: usize,
+    /// LP value `x_e ∈ [0, 1]`.
+    pub x: f64,
+}
+
+/// Returns violated subtour sets (each as a sorted node list), or empty if
+/// `x` satisfies every subtour constraint within `tol`.
+///
+/// The list is deduplicated; each returned `S` is verified to violate
+/// `x(E(S)) ≤ |S| − 1` by at least `tol` before being reported.
+pub fn violated_sets(n: usize, edges: &[FracEdge], tol: f64) -> Vec<Vec<usize>> {
+    let mut found: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+
+    // --- Pre-check: components of the support graph. ---
+    let support: Vec<(usize, usize)> = edges
+        .iter()
+        .filter(|e| e.x > tol)
+        .map(|e| (e.u, e.v))
+        .collect();
+    let (labels, k) = components(n, support.iter().copied());
+    if k > 1 {
+        for comp in 0..k {
+            let set: Vec<usize> = (0..n).filter(|&v| labels[v] == comp).collect();
+            if set.len() >= 2 && violation(edges, &set) > tol {
+                found.insert(set);
+            }
+        }
+        if !found.is_empty() {
+            return found.into_iter().collect();
+        }
+    }
+
+    // --- Exact oracle: one min-cut per forced seed. ---
+    // Node weights w(v) = 1 − x(δ(v))/2.
+    let mut half_deg = vec![0.0f64; n];
+    for e in edges {
+        half_deg[e.u] += e.x / 2.0;
+        half_deg[e.v] += e.x / 2.0;
+    }
+    let w: Vec<f64> = (0..n).map(|v| 1.0 - half_deg[v]).collect();
+    let p_neg: f64 = w.iter().filter(|&&x| x < 0.0).sum();
+
+    let src = n;
+    let snk = n + 1;
+    for s in 0..n {
+        let mut net = FlowNetwork::new(n + 2);
+        for (v, &wv) in w.iter().enumerate() {
+            if wv < 0.0 {
+                net.add_edge(src, v, -wv);
+            } else if wv > 0.0 {
+                net.add_edge(v, snk, wv);
+            }
+        }
+        for e in edges {
+            if e.x > 0.0 {
+                net.add_undirected_edge(e.u, e.v, e.x / 2.0);
+            }
+        }
+        net.add_edge(src, s, f64::INFINITY);
+        let flow = net.max_flow(src, snk);
+        let min_f = p_neg + flow - 1.0;
+        if min_f < -tol {
+            let side = net.min_cut_source_side(src);
+            let set: Vec<usize> = (0..n).filter(|&v| side[v]).collect();
+            if set.len() >= 2 && set.len() < n && violation(edges, &set) > tol {
+                found.insert(set);
+            }
+        }
+    }
+    found.into_iter().collect()
+}
+
+/// `x(E(S)) − (|S| − 1)`: positive means `S` violates the subtour bound.
+pub fn violation(edges: &[FracEdge], set: &[usize]) -> f64 {
+    let in_set: std::collections::HashSet<usize> = set.iter().copied().collect();
+    let internal: f64 = edges
+        .iter()
+        .filter(|e| in_set.contains(&e.u) && in_set.contains(&e.v))
+        .map(|e| e.x)
+        .sum();
+    internal - (set.len() as f64 - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(u: usize, v: usize, x: f64) -> FracEdge {
+        FracEdge { u, v, x }
+    }
+
+    #[test]
+    fn spanning_tree_point_has_no_violation() {
+        // A path with x = 1 on each edge satisfies all subtour constraints.
+        let edges = vec![fe(0, 1, 1.0), fe(1, 2, 1.0), fe(2, 3, 1.0)];
+        assert!(violated_sets(4, &edges, 1e-7).is_empty());
+    }
+
+    #[test]
+    fn integral_cycle_detected() {
+        // Triangle with all ones plus isolated vertex covered by edge mass
+        // elsewhere: x(E({0,1,2})) = 3 > 2.
+        let edges = vec![fe(0, 1, 1.0), fe(1, 2, 1.0), fe(0, 2, 1.0), fe(2, 3, 0.0)];
+        let sets = violated_sets(4, &edges, 1e-7);
+        assert!(!sets.is_empty());
+        assert!(sets.iter().any(|s| s == &vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn fractional_violation_detected() {
+        // x = 2/3 on each triangle edge: x(E(S)) = 2 > |S| − 1 = 2? No —
+        // equals exactly 2... use 0.75: 2.25 > 2.
+        let edges = vec![
+            fe(0, 1, 0.75),
+            fe(1, 2, 0.75),
+            fe(0, 2, 0.75),
+            fe(0, 3, 0.75),
+        ];
+        let sets = violated_sets(4, &edges, 1e-7);
+        assert!(sets.iter().any(|s| s == &vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn fractional_tight_is_not_violated() {
+        // Exactly 2/3 each: x(E(S)) = 2 = |S| − 1; must NOT be reported.
+        let x = 2.0 / 3.0;
+        let edges = vec![fe(0, 1, x), fe(1, 2, x), fe(0, 2, x), fe(0, 3, 1.0)];
+        let sets = violated_sets(4, &edges, 1e-6);
+        assert!(sets.is_empty(), "tight sets are feasible: {sets:?}");
+    }
+
+    #[test]
+    fn disconnected_support_flagged_by_precheck() {
+        // Two cliques, each with too much internal mass; total = n−1 = 5.
+        let edges = vec![
+            fe(0, 1, 1.0),
+            fe(1, 2, 1.0),
+            fe(0, 2, 1.0), // component {0,1,2}: mass 3 > 2
+            fe(3, 4, 1.0),
+            fe(4, 5, 1.0), // component {3,4,5}: mass 2 = 2 (tight, fine)
+        ];
+        let sets = violated_sets(6, &edges, 1e-7);
+        assert!(sets.iter().any(|s| s == &vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn violation_helper() {
+        let edges = vec![fe(0, 1, 0.9), fe(1, 2, 0.9), fe(0, 2, 0.9)];
+        assert!((violation(&edges, &[0, 1, 2]) - 0.7).abs() < 1e-12);
+        assert!((violation(&edges, &[0, 1]) - (-0.1)).abs() < 1e-12);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Brute-force check over all subsets (n ≤ 7).
+        fn brute_violated(n: usize, edges: &[FracEdge], tol: f64) -> bool {
+            (0u32..(1 << n)).any(|mask| {
+                if mask.count_ones() < 2 {
+                    return false;
+                }
+                let set: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+                violation(edges, &set) > tol
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn oracle_agrees_with_brute_force(
+                raw in proptest::collection::vec((0usize..6, 0usize..6, 0u32..=100), 5..14)
+            ) {
+                let n = 6;
+                // Build an edge set and normalize total mass to n−1 so the
+                // cardinality equality holds (the oracle's S=V argument
+                // assumes it).
+                let mut edges: Vec<FracEdge> = raw
+                    .into_iter()
+                    .filter(|&(u, v, _)| u != v)
+                    .map(|(u, v, x)| fe(u.min(v), u.max(v), x as f64 / 100.0))
+                    .collect();
+                prop_assume!(!edges.is_empty());
+                let mass: f64 = edges.iter().map(|e| e.x).sum();
+                prop_assume!(mass > 1e-6);
+                let scale = (n as f64 - 1.0) / mass;
+                for e in &mut edges {
+                    e.x *= scale;
+                }
+                // Keep x_e within [0, 1] after scaling (else skip the case —
+                // the LP would never produce it).
+                prop_assume!(edges.iter().all(|e| e.x <= 1.0 + 1e-9));
+
+                let tol = 1e-6;
+                let sets = violated_sets(n, &edges, tol);
+                let brute = brute_violated(n, &edges, tol);
+                if brute {
+                    // The oracle must find at least one genuinely violated set.
+                    prop_assert!(!sets.is_empty(), "oracle missed a violation");
+                }
+                for s in &sets {
+                    prop_assert!(violation(&edges, s) > tol, "bogus set {s:?}");
+                }
+            }
+        }
+    }
+}

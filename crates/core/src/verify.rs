@@ -1,0 +1,122 @@
+//! Independent verification of candidate aggregation trees.
+
+use crate::problem::MrlcInstance;
+use wsn_model::{AggregationTree, NodeId, PaperCost};
+
+/// The result of checking a tree against an instance.
+#[derive(Clone, Debug)]
+pub struct Verification {
+    /// Every tree edge exists in the network and the tree spans all nodes.
+    pub is_valid_spanning_tree: bool,
+    /// `L(T)` in rounds.
+    pub lifetime: f64,
+    /// `L(T) ≥ LC` within floating-point slack.
+    pub meets_lc: bool,
+    /// Natural-log cost `C(T)`.
+    pub cost: f64,
+    /// Cost in the paper's reporting unit (`−1000·log₂ q`).
+    pub paper_cost: f64,
+    /// Reliability `Q(T)`.
+    pub reliability: f64,
+}
+
+/// Checks structure, lifetime, and cost/reliability of a candidate tree.
+pub fn verify_tree(inst: &MrlcInstance, tree: &AggregationTree) -> Verification {
+    let net = inst.network();
+    let structural = tree.n() == net.n()
+        && tree.root() == NodeId::SINK
+        && tree
+            .edges()
+            .all(|(c, p)| net.find_edge(c, p).is_some());
+    if !structural {
+        return Verification {
+            is_valid_spanning_tree: false,
+            lifetime: 0.0,
+            meets_lc: false,
+            cost: f64::INFINITY,
+            paper_cost: f64::INFINITY,
+            reliability: 0.0,
+        };
+    }
+    let lifetime = inst.lifetime(tree);
+    let cost = inst.cost(tree);
+    Verification {
+        is_valid_spanning_tree: true,
+        lifetime,
+        meets_lc: lifetime >= inst.lc() * (1.0 - 1e-9),
+        cost,
+        paper_cost: PaperCost::from_nat(cost).0,
+        reliability: inst.reliability(tree),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::{EnergyModel, NetworkBuilder};
+
+    fn setup() -> MrlcInstance {
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        b.add_edge(0, 3, 0.9).unwrap();
+        MrlcInstance::new(b.build().unwrap(), EnergyModel::PAPER, 1.0e6).unwrap()
+    }
+
+    #[test]
+    fn valid_tree_verifies() {
+        let inst = setup();
+        let edges = [
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(1), NodeId::new(2)),
+            (NodeId::new(2), NodeId::new(3)),
+        ];
+        let t = AggregationTree::from_edges(NodeId::SINK, 4, &edges).unwrap();
+        let v = verify_tree(&inst, &t);
+        assert!(v.is_valid_spanning_tree);
+        assert!(v.meets_lc);
+        assert!((v.reliability - 0.9f64.powi(3)).abs() < 1e-12);
+        assert!((v.paper_cost - (-1000.0 * 3.0 * 0.9f64.log2())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn foreign_edge_tree_fails_structurally() {
+        let inst = setup();
+        // Uses the nonexistent chord (0, 2).
+        let edges = [
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(0), NodeId::new(2)),
+            (NodeId::new(2), NodeId::new(3)),
+        ];
+        let t = AggregationTree::from_edges(NodeId::SINK, 4, &edges).unwrap();
+        let v = verify_tree(&inst, &t);
+        assert!(!v.is_valid_spanning_tree);
+        assert!(!v.meets_lc);
+    }
+
+    #[test]
+    fn lifetime_bound_enforced() {
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(2, 3, 0.9).unwrap();
+        b.add_edge(0, 3, 0.9).unwrap();
+        // Impossible LC: even leaves die earlier.
+        let inst = MrlcInstance::new(
+            b.build().unwrap(),
+            EnergyModel::PAPER,
+            3000.0 / EnergyModel::PAPER.tx * 2.0,
+        )
+        .unwrap();
+        let edges = [
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(1), NodeId::new(2)),
+            (NodeId::new(2), NodeId::new(3)),
+        ];
+        let t = AggregationTree::from_edges(NodeId::SINK, 4, &edges).unwrap();
+        let v = verify_tree(&inst, &t);
+        assert!(v.is_valid_spanning_tree);
+        assert!(!v.meets_lc);
+    }
+}

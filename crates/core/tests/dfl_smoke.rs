@@ -1,0 +1,57 @@
+//! End-to-end smoke test on the paper's DFL scenario: IRA vs AAML vs MST,
+//! checking the qualitative relationships of Fig. 7.
+
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use wsn_baselines::{aaml_tree, mst, AamlConfig};
+use wsn_model::{lifetime, reliability, EnergyModel, PaperCost};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, DflConfig};
+
+#[test]
+fn fig7_qualitative_relationships() {
+    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 2015).unwrap();
+    let model = EnergyModel::PAPER;
+
+    // AAML over the q ≥ 0.95 filtered graph (as in §VII-A).
+    let filtered = net.restrict_edges(|l| l.prr().value() >= 0.95).unwrap();
+    let aaml = aaml_tree(&filtered, &model, None, &AamlConfig::default()).unwrap();
+    let aaml_cost = PaperCost::of_tree(&net, &aaml.tree).0;
+    let aaml_rel = reliability::tree_reliability(&net, &aaml.tree);
+
+    // MST: the cost lower bound.
+    let mst_tree = mst(&net).unwrap();
+    let mst_cost = PaperCost::of_tree(&net, &mst_tree).0;
+    let mst_life = lifetime::network_lifetime(&net, &mst_tree, &model);
+
+    // IRA at LC1 = L_AAML.
+    let inst = MrlcInstance::new(net.clone(), model, aaml.lifetime).unwrap();
+    let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
+    let ira_cost = PaperCost::from_nat(sol.cost).0;
+
+    eprintln!(
+        "AAML: cost {aaml_cost:.1} rel {aaml_rel:.3} life {:.3e}",
+        aaml.lifetime
+    );
+    eprintln!("MST : cost {mst_cost:.1} life {mst_life:.3e}");
+    eprintln!(
+        "IRA : cost {ira_cost:.1} rel {:.3} life {:.3e} (relaxed={}, guards={})",
+        sol.reliability, sol.lifetime, sol.stats.relaxed_to_lc, sol.stats.guard_removals
+    );
+
+    // The paper's ordering: MST ≤ IRA(LC1) ≪ AAML in cost.
+    assert!(mst_cost <= ira_cost + 1e-6);
+    assert!(
+        ira_cost < aaml_cost,
+        "IRA ({ira_cost:.1}) must beat AAML ({aaml_cost:.1}) on cost at equal lifetime"
+    );
+    // Lifetime parity with AAML (the whole point of LC1 = L_AAML), allowing
+    // the documented 2-children fallback slack.
+    assert!(
+        sol.lifetime >= aaml.lifetime * 0.75,
+        "IRA lifetime {:.3e} far below L_AAML {:.3e}",
+        sol.lifetime,
+        aaml.lifetime
+    );
+    // Reliability improves on AAML.
+    assert!(sol.reliability > aaml_rel);
+}

@@ -1,0 +1,186 @@
+//! Ablations beyond the paper's evaluation (§5/6 of DESIGN.md):
+//!
+//! * **Batch vs. single constraint removal** in IRA: the paper removes one
+//!   vertex from `W` per iteration; removing every qualifying vertex is
+//!   output-equivalent but saves LP solves.
+//! * **ILU under improving links**: the paper only evaluates the
+//!   link-getting-worse path; here random non-tree links improve and the
+//!   ILU walk (Algorithm 4) recovers cost against an MST re-solve.
+
+use crate::table::{f, Table};
+use crate::workloads::{aaml_paper_protocol, ira_at};
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wsn_model::{EnergyModel, PaperCost, Prr};
+use wsn_proto::ProtocolState;
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, random_graph, DflConfig, RandomGraphConfig};
+
+/// Batch- vs single-removal comparison on random instances.
+#[derive(Clone, Copy, Debug)]
+pub struct RemovalRow {
+    /// Instance index.
+    pub instance: usize,
+    /// LP solves with batch removal.
+    pub batch_lp_solves: usize,
+    /// LP solves with single removal.
+    pub single_lp_solves: usize,
+    /// Cost difference (paper units; expected ≈ 0).
+    pub cost_delta: f64,
+}
+
+/// Runs the removal-policy ablation.
+pub fn removal_policy(instances: usize, base_seed: u64) -> Vec<RemovalRow> {
+    (0..instances)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(base_seed + i as u64);
+            let net = random_graph(&RandomGraphConfig::default(), &mut rng).expect("connected");
+            let model = EnergyModel::PAPER;
+            let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+            let inst = MrlcInstance::new(net, model, aaml.lifetime).unwrap();
+            let batch = solve_ira(&inst, &IraConfig::default()).expect("feasible at LC");
+            let single = solve_ira(
+                &inst,
+                &IraConfig { batch_removal: false, ..IraConfig::default() },
+            )
+            .expect("feasible at LC");
+            RemovalRow {
+                instance: i,
+                batch_lp_solves: batch.stats.lp_solves,
+                single_lp_solves: single.stats.lp_solves,
+                cost_delta: PaperCost::from_nat(batch.cost - single.cost).0,
+            }
+        })
+        .collect()
+}
+
+/// Renders the removal ablation.
+pub fn render_removal(rows: &[RemovalRow]) -> String {
+    let mut t = Table::new(["instance", "LP solves (batch)", "LP solves (single)", "cost delta"]);
+    for r in rows {
+        t.push([
+            r.instance.to_string(),
+            r.batch_lp_solves.to_string(),
+            r.single_lp_solves.to_string(),
+            f(r.cost_delta, 2),
+        ]);
+    }
+    format!("Ablation — IRA constraint-removal policy (batch vs. paper-literal single)\n{}", t.render())
+}
+
+/// One round of the improving-links experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct IluRow {
+    /// Round index.
+    pub round: usize,
+    /// Distributed (ILU) tree cost, paper units.
+    pub ilu_cost: f64,
+    /// Centralized IRA re-solve cost, paper units.
+    pub ira_cost: f64,
+    /// Parent changes the ILU walk performed this round.
+    pub changes: usize,
+}
+
+/// Runs the improving-links experiment on the DFL system: each round one
+/// random non-tree link's PRR improves toward 1, ILU reacts, and IRA
+/// re-solves centrally.
+pub fn ilu_improving_links(rounds: usize, seed: u64) -> Vec<IluRow> {
+    let mut net = dfl_network(&DflConfig::default(), &LinkModel::default(), seed)
+        .expect("DFL deployment");
+    let model = EnergyModel::PAPER;
+    let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+    // On the DFL ring AAML reaches the absolute lifetime optimum (a
+    // Hamiltonian path), which leaves zero child headroom anywhere; run the
+    // dynamics at 70% of it so nodes may hold up to two children and the
+    // protocol has room to act.
+    let lc = aaml.lifetime * 0.7;
+    let initial = ira_at(&net, model, lc).expect("initial IRA tree");
+    let mut state = ProtocolState::new(&initial.tree, lc, model).expect("codable");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD15C0);
+
+    let mut out = Vec::with_capacity(rounds);
+    for round in 1..=rounds {
+        // Improve a random non-tree link.
+        let tree = state.tree();
+        let non_tree: Vec<_> = net
+            .edges()
+            .filter(|(_, l)| !tree.contains_edge(l.u(), l.v()))
+            .map(|(e, l)| (e, l.u(), l.v(), l.prr().value()))
+            .collect();
+        let (e, u, v, q) = non_tree[rng.random_range(0..non_tree.len())];
+        // The link recovers to near-perfect quality (e.g. an obstacle
+        // moved away) — the regime where Alg. 4 is supposed to react.
+        let improved = q.max(0.9999);
+        net.set_prr(e, Prr::new(improved).expect("valid PRR"));
+
+        let outcome = state.handle_link_better(&net, u, v);
+        let central = ira_at(&net, model, lc)
+            .map(|s| PaperCost::of_tree(&net, &s.tree).0)
+            .unwrap_or(f64::NAN);
+        out.push(IluRow {
+            round,
+            ilu_cost: PaperCost::of_tree(&net, &state.tree()).0,
+            ira_cost: central,
+            changes: outcome.changes,
+        });
+    }
+    out
+}
+
+/// Renders the ILU experiment.
+pub fn render_ilu(rows: &[IluRow]) -> String {
+    let mut t = Table::new(["round", "ILU cost", "IRA cost", "changes"]);
+    for r in rows {
+        t.push([
+            r.round.to_string(),
+            f(r.ilu_cost, 1),
+            f(r.ira_cost, 1),
+            r.changes.to_string(),
+        ]);
+    }
+    format!("Ablation — ILU under improving links (extension; §VI-B.2 path)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removal_policies_agree_on_cost() {
+        let rows = removal_policy(4, 1234);
+        for r in &rows {
+            assert!(
+                r.cost_delta.abs() < 1e-6,
+                "instance {}: batch and single removal diverged by {}",
+                r.instance,
+                r.cost_delta
+            );
+            // Batch can only save solves.
+            assert!(r.batch_lp_solves <= r.single_lp_solves);
+        }
+    }
+
+    #[test]
+    fn ilu_recovers_cost_from_improving_links() {
+        let rows = ilu_improving_links(40, 77);
+        assert_eq!(rows.len(), 40);
+        // ILU must act at least once when links improve substantially.
+        let total_changes: usize = rows.iter().map(|r| r.changes).sum();
+        assert!(total_changes > 0, "ILU never reacted to improving links");
+        // It tracks the centralized optimum within a modest band.
+        for r in rows.iter().filter(|r| r.ira_cost.is_finite()) {
+            assert!(
+                r.ilu_cost >= r.ira_cost - 1e-6,
+                "distributed cannot beat the centralized optimum"
+            );
+            assert!(
+                r.ilu_cost <= r.ira_cost + 80.0,
+                "round {}: ILU {} drifted from IRA {}",
+                r.round,
+                r.ilu_cost,
+                r.ira_cost
+            );
+        }
+    }
+}

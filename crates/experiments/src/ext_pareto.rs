@@ -1,0 +1,117 @@
+//! Extension: the full lifetime–reliability Pareto frontier (the paper
+//! samples only four LC values in Fig. 7).
+
+use crate::table::{f, Table};
+use mrlc_core::{dominant_points, pareto_frontier, ParetoPoint};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_model::{EnergyModel, Network};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, random_graph, DflConfig, RandomGraphConfig};
+
+/// Which scenario to sweep.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// The 16-node DFL deployment.
+    Dfl,
+    /// A random `G(16, 0.7)` instance.
+    Random,
+}
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Scenario.
+    pub scenario: Scenario,
+    /// RNG/trace seed.
+    pub seed: u64,
+    /// Points budget for the sweep.
+    pub max_points: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { scenario: Scenario::Dfl, seed: 2015, max_points: 16 }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config { max_points: 6, ..Config::default() }
+    }
+}
+
+fn build_network(config: &Config) -> Network {
+    match config.scenario {
+        Scenario::Dfl => dfl_network(&DflConfig::default(), &LinkModel::default(), config.seed)
+            .expect("DFL deployment"),
+        Scenario::Random => {
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            random_graph(&RandomGraphConfig::default(), &mut rng).expect("connected sample")
+        }
+    }
+}
+
+/// Sweeps the frontier and returns `(all points, dominant subset)`.
+pub fn run(config: &Config) -> (Vec<ParetoPoint>, Vec<ParetoPoint>) {
+    let net = build_network(config);
+    let pts = pareto_frontier(&net, EnergyModel::PAPER, config.max_points)
+        .expect("sweep must not hit solver failures");
+    let kept = dominant_points(&pts);
+    (pts, kept)
+}
+
+/// Renders both the raw sweep and the dominant staircase.
+pub fn render(all: &[ParetoPoint], dominant: &[ParetoPoint]) -> String {
+    let mut t = Table::new(["LC (rounds)", "lifetime", "cost", "reliability", "strict", "dominant"]);
+    for p in all {
+        let is_dominant = dominant
+            .iter()
+            .any(|q| (q.lc - p.lc).abs() < 1e-6 && (q.cost - p.cost).abs() < 1e-9);
+        t.push([
+            format!("{:.3e}", p.lc),
+            format!("{:.3e}", p.lifetime),
+            f(p.cost, 1),
+            f(p.reliability, 4),
+            p.strict.to_string(),
+            if is_dominant { "*".to_string() } else { String::new() },
+        ]);
+    }
+    format!(
+        "Extension — lifetime/reliability Pareto frontier ({} points, {} dominant)\n{}",
+        all.len(),
+        dominant.len(),
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfl_frontier_has_a_real_tradeoff() {
+        let (all, dominant) = run(&Config::default());
+        assert!(all.len() >= 3, "{} points", all.len());
+        assert!(dominant.len() >= 2);
+        let cheapest = &dominant[0];
+        let longest = dominant.last().unwrap();
+        assert!(longest.lifetime > cheapest.lifetime);
+        assert!(longest.cost >= cheapest.cost);
+    }
+
+    #[test]
+    fn random_scenario_also_works() {
+        let (all, dominant) = run(&Config {
+            scenario: Scenario::Random,
+            seed: 4,
+            max_points: 8,
+        });
+        assert!(!all.is_empty());
+        assert!(!dominant.is_empty());
+        let text = render(&all, &dominant);
+        assert!(text.contains("Pareto"));
+        assert!(text.contains('*'));
+    }
+}

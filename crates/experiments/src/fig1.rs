@@ -1,0 +1,154 @@
+//! Fig. 1 — average packets per aggregation round vs. average link quality
+//! under retransmit-until-success, for several network sizes.
+//!
+//! The paper's anchor: at 16 nodes the per-round packet count grows from 15
+//! (q = 1.0) to 150 (q = 0.1) — "nodes spend 90% of energy in
+//! retransmission".
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_graph::random_spanning_tree;
+use wsn_model::EnergyModel;
+use wsn_sim::energy_accounting::retransmission_ledger;
+use wsn_sim::retransmission::{average_packets_per_round, expected_packets_per_round};
+use wsn_testbed::{random_graph, RandomGraphConfig};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Network sizes (paper shows 16 plus larger networks).
+    pub sizes: Vec<usize>,
+    /// Average link qualities swept from good to terrible.
+    pub qualities: Vec<f64>,
+    /// Simulated rounds per data point.
+    pub rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sizes: vec![16, 32, 64],
+            qualities: (1..=10).rev().map(|i| i as f64 / 10.0).collect(),
+            rounds: 2000,
+            seed: 1,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config {
+            sizes: vec![16, 32],
+            qualities: vec![1.0, 0.5, 0.1],
+            rounds: 300,
+            seed: 1,
+        }
+    }
+}
+
+/// One data point of the figure.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Network size.
+    pub n: usize,
+    /// Average link quality.
+    pub quality: f64,
+    /// Analytic expectation `Σ 1/q = (n−1)/q`.
+    pub expected_packets: f64,
+    /// Simulated average.
+    pub simulated_packets: f64,
+    /// Fraction of transmit energy spent on retransmissions (the paper's
+    /// "nodes spend 90% of energy in retransmission" at q = 0.1).
+    pub retx_energy_fraction: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<Point> {
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for &n in &config.sizes {
+        for &q in &config.qualities {
+            let gcfg = RandomGraphConfig {
+                n,
+                link_probability: 0.4,
+                prr_range: (q, q),
+                ..RandomGraphConfig::default()
+            };
+            let net = random_graph(&gcfg, &mut rng).expect("connected sample");
+            let tree = random_spanning_tree(&net, &mut rng).expect("spanning tree");
+            let expected = expected_packets_per_round(&net, &tree);
+            let simulated = average_packets_per_round(&net, &tree, config.rounds, &mut rng);
+            let ledger = retransmission_ledger(
+                &net,
+                &tree,
+                &EnergyModel::PAPER,
+                config.rounds.min(500),
+                10_000,
+                &mut rng,
+            );
+            out.push(Point {
+                n,
+                quality: q,
+                expected_packets: expected,
+                simulated_packets: simulated,
+                retx_energy_fraction: ledger.retx_fraction(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders the paper-style series.
+pub fn render(points: &[Point]) -> String {
+    let mut t = Table::new(["n", "avg quality", "expected pkts", "simulated pkts", "retx energy %"]);
+    for p in points {
+        t.push([
+            p.n.to_string(),
+            f(p.quality, 1),
+            f(p.expected_packets, 1),
+            f(p.simulated_packets, 1),
+            f(p.retx_energy_fraction * 100.0, 1),
+        ]);
+    }
+    format!("Fig. 1 — packets per aggregation round vs. link quality (retransmission mode)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_at_16_nodes() {
+        let pts = run(&Config { sizes: vec![16], qualities: vec![1.0, 0.1], rounds: 500, seed: 2 });
+        let perfect = &pts[0];
+        let terrible = &pts[1];
+        assert!((perfect.expected_packets - 15.0).abs() < 1e-9);
+        assert!((terrible.expected_packets - 150.0).abs() < 1e-9);
+        // Simulation tracks expectation within a few percent.
+        assert!((terrible.simulated_packets - 150.0).abs() < 10.0);
+        // "nodes spend 90% of energy in retransmission" at q = 0.1.
+        assert!((terrible.retx_energy_fraction - 0.9).abs() < 0.02);
+        assert_eq!(perfect.retx_energy_fraction, 0.0);
+    }
+
+    #[test]
+    fn larger_networks_cost_more() {
+        let pts = run(&Config::fast());
+        for q in [1.0, 0.5, 0.1] {
+            let p16 = pts.iter().find(|p| p.n == 16 && p.quality == q).unwrap();
+            let p32 = pts.iter().find(|p| p.n == 32 && p.quality == q).unwrap();
+            assert!(p32.expected_packets > p16.expected_packets);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let pts = run(&Config::fast());
+        let text = render(&pts);
+        assert_eq!(text.lines().count(), pts.len() + 3);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fig. 10 — average cost vs. link connection probability.
+//!
+//! The paper's observation: AAML's cost *grows* with density (more links ⇒
+//! more forwarding choices it exploits without regard for quality), while
+//! IRA and MST stay essentially flat (they only care about the cheap links,
+//! which exist at every density).
+
+use crate::fig8;
+use crate::table::{f, Table};
+use wsn_sim::mean;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Link probabilities to sweep.
+    pub probabilities: Vec<f64>,
+    /// Graphs per probability (paper: 100).
+    pub instances: usize,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            probabilities: vec![0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+            instances: 100,
+            base_seed: 1000,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config {
+            probabilities: vec![0.3, 0.6, 0.9],
+            instances: 6,
+            ..Config::default()
+        }
+    }
+}
+
+/// One density point (averages over the instances).
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Link probability.
+    pub probability: f64,
+    /// Mean AAML cost.
+    pub aaml: f64,
+    /// Mean IRA cost.
+    pub ira: f64,
+    /// Mean MST cost.
+    pub mst: f64,
+}
+
+/// Runs the density sweep.
+pub fn run(config: &Config) -> Vec<Point> {
+    config
+        .probabilities
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| {
+            let sub = fig8::Config {
+                instances: config.instances,
+                link_probability: p,
+                base_seed: config.base_seed + 10_000 * k as u64,
+                ..fig8::Config::default()
+            };
+            let rows = fig8::run(&sub);
+            Point {
+                probability: p,
+                aaml: mean(&rows.iter().map(|r| r.aaml_cost).collect::<Vec<_>>()),
+                ira: mean(&rows.iter().map(|r| r.ira_cost).collect::<Vec<_>>()),
+                mst: mean(&rows.iter().map(|r| r.mst_cost).collect::<Vec<_>>()),
+            }
+        })
+        .collect()
+}
+
+/// Renders the figure's series.
+pub fn render(points: &[Point]) -> String {
+    let mut t = Table::new(["link prob", "AAML", "IRA", "MST"]);
+    for p in points {
+        t.push([f(p.probability, 1), f(p.aaml, 1), f(p.ira, 1), f(p.mst, 1)]);
+    }
+    format!("Fig. 10 — average cost vs. link connection probability\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aaml_grows_with_density_while_ira_stays_flat() {
+        let pts = run(&Config {
+            probabilities: vec![0.3, 0.9],
+            instances: 10,
+            base_seed: 1000,
+        });
+        let sparse = &pts[0];
+        let dense = &pts[1];
+        // AAML is insensitive to density in the right way: it keeps paying
+        // full price (its level stays within ±30% while the others halve).
+        assert!(
+            (dense.aaml - sparse.aaml).abs() < 0.3 * sparse.aaml,
+            "AAML should stay level: {} -> {}",
+            sparse.aaml,
+            dense.aaml
+        );
+        // The AAML-vs-IRA gap widens with density — the paper's headline
+        // for this figure (more links help quality-aware trees only).
+        let gap_sparse = sparse.aaml - sparse.ira;
+        let gap_dense = dense.aaml - dense.ira;
+        assert!(
+            gap_dense > gap_sparse,
+            "gap must widen: {gap_sparse} -> {gap_dense}"
+        );
+        // Ordering at every density, and IRA hugging the MST bound.
+        for p in &pts {
+            assert!(p.mst <= p.ira + 1e-6);
+            assert!(p.ira < 0.7 * p.aaml);
+            assert!(p.ira - p.mst < 60.0, "IRA {} vs MST {}", p.ira, p.mst);
+        }
+    }
+
+    #[test]
+    fn render_has_one_row_per_probability() {
+        let cfg = Config::fast();
+        let pts = run(&cfg);
+        let text = render(&pts);
+        assert_eq!(text.lines().count(), cfg.probabilities.len() + 3);
+    }
+}

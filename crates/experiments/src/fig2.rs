@@ -1,0 +1,141 @@
+//! Fig. 2 — average PRR vs. distance at TelosB TX power levels 11/15/19.
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_radio::{estimate_prr, LinkModel, TxPowerLevel, FT};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Distances in feet (paper: 4–16 ft).
+    pub distances_ft: Vec<f64>,
+    /// TX power register levels (paper: 11, 15, 19).
+    pub levels: Vec<u8>,
+    /// Independent link placements averaged per point (shadowing draws).
+    pub placements: usize,
+    /// Beacon rounds per placement (Eq. 2).
+    pub beacon_rounds: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Shadowing sigma for the measurement, dB. The paper's Fig. 2 is a
+    /// controlled line-of-sight sweep, so the spread is smaller than a
+    /// deployed link's (default 1.0 dB vs. the deployment's 3 dB).
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            distances_ft: (1..=8).map(|i| 2.0 * i as f64).collect(),
+            levels: vec![11, 15, 19],
+            placements: 40,
+            beacon_rounds: 1000,
+            seed: 2,
+            shadowing_sigma_db: 1.0,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config {
+            distances_ft: vec![4.0, 10.0, 16.0],
+            placements: 10,
+            beacon_rounds: 200,
+            ..Config::default()
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Distance in feet.
+    pub distance_ft: f64,
+    /// TX power level.
+    pub level: u8,
+    /// Average estimated PRR over placements.
+    pub avg_prr: f64,
+}
+
+/// Runs the sweep.
+pub fn run(config: &Config) -> Vec<Point> {
+    let mut model = LinkModel::default();
+    model.pathloss.shadowing_sigma_db = config.shadowing_sigma_db;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    for &level in &config.levels {
+        let tx = TxPowerLevel::from_level(level)
+            .unwrap_or_else(|| panic!("unknown power level {level}"));
+        for &ft in &config.distances_ft {
+            let mut total = 0.0;
+            for _ in 0..config.placements {
+                let actual = model.sample_prr(ft * FT, tx, &mut rng);
+                total += estimate_prr(actual, config.beacon_rounds, &mut rng).value();
+            }
+            out.push(Point { distance_ft: ft, level, avg_prr: total / config.placements as f64 });
+        }
+    }
+    out
+}
+
+/// Renders the paper-style series.
+pub fn render(points: &[Point]) -> String {
+    let mut t = Table::new(["distance (ft)", "Tx level", "avg PRR"]);
+    for p in points {
+        t.push([f(p.distance_ft, 0), p.level.to_string(), f(p.avg_prr, 3)]);
+    }
+    format!("Fig. 2 — distance vs. average link quality\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(points: &[Point], level: u8, ft: f64) -> f64 {
+        points
+            .iter()
+            .find(|p| p.level == level && (p.distance_ft - ft).abs() < 1e-9)
+            .unwrap()
+            .avg_prr
+    }
+
+    #[test]
+    fn paper_shape_holds() {
+        let pts = run(&Config::default());
+        // Near-perfect at 4 ft for every level.
+        for level in [11, 15, 19] {
+            assert!(at(&pts, level, 4.0) > 0.9, "level {level} near");
+        }
+        // Levels 11 and 15 collapse below 10% by 16 ft.
+        assert!(at(&pts, 11, 16.0) < 0.10);
+        assert!(at(&pts, 15, 16.0) < 0.15);
+        // Level 19 stays clearly above them.
+        assert!(at(&pts, 19, 16.0) > 2.0 * at(&pts, 15, 16.0));
+    }
+
+    #[test]
+    fn prr_decreases_with_distance_on_average() {
+        let pts = run(&Config::default());
+        for level in [11, 15, 19] {
+            let series: Vec<f64> = pts
+                .iter()
+                .filter(|p| p.level == level)
+                .map(|p| p.avg_prr)
+                .collect();
+            assert!(
+                series.first().unwrap() >= series.last().unwrap(),
+                "level {level} should decay"
+            );
+        }
+    }
+
+    #[test]
+    fn render_mentions_levels() {
+        let text = render(&run(&Config::fast()));
+        assert!(text.contains("19"));
+        assert!(text.contains("distance"));
+    }
+}

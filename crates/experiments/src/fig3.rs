@@ -1,0 +1,90 @@
+//! Fig. 3 — per-state power draw of a TelosB node (send / receive / idle),
+//! from synthesized PowerMonitor traces.
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_radio::{PowerState, PowerTrace};
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Samples per trace.
+    pub samples: usize,
+    /// Sampling interval, seconds.
+    pub dt: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { samples: 20_000, dt: 1e-3, seed: 3 }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config { samples: 2000, ..Config::default() }
+    }
+}
+
+/// One synthesized trace summary.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// The radio state.
+    pub state: PowerState,
+    /// Average power, watts.
+    pub mean_power_w: f64,
+    /// Trace energy, joules.
+    pub energy_j: f64,
+}
+
+/// Synthesizes one trace per state and summarizes it.
+pub fn run(config: &Config) -> Vec<Row> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    [PowerState::Sending, PowerState::Receiving, PowerState::Idle]
+        .into_iter()
+        .map(|state| {
+            let trace = PowerTrace::synthesize(state, config.samples, config.dt, &mut rng);
+            Row { state, mean_power_w: trace.mean_power_w(), energy_j: trace.energy_j() }
+        })
+        .collect()
+}
+
+/// Renders the Fig. 3 summary (means in the paper's units).
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["state", "mean power", "trace energy (J)"]);
+    for r in rows {
+        let power = match r.state {
+            PowerState::Idle => format!("{} uW", f(r.mean_power_w * 1e6, 1)),
+            _ => format!("{} mW", f(r.mean_power_w * 1e3, 1)),
+        };
+        t.push([format!("{:?}", r.state), power, f(r.energy_j, 4)]);
+    }
+    format!("Fig. 3 — TelosB per-state power (synthesized PowerMonitor traces)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means_match_paper_constants() {
+        let rows = run(&Config::default());
+        let send = rows.iter().find(|r| r.state == PowerState::Sending).unwrap();
+        let recv = rows.iter().find(|r| r.state == PowerState::Receiving).unwrap();
+        let idle = rows.iter().find(|r| r.state == PowerState::Idle).unwrap();
+        assert!((send.mean_power_w - 0.080).abs() < 0.005, "{}", send.mean_power_w);
+        assert!((recv.mean_power_w - 0.060).abs() < 0.003, "{}", recv.mean_power_w);
+        assert!((idle.mean_power_w - 80e-6).abs() < 5e-6, "{}", idle.mean_power_w);
+    }
+
+    #[test]
+    fn render_uses_paper_units() {
+        let text = render(&run(&Config::fast()));
+        assert!(text.contains("mW"));
+        assert!(text.contains("uW"));
+    }
+}

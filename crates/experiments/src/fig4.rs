@@ -1,0 +1,94 @@
+//! Fig. 4 — the toy reliability example: two aggregation trees over the
+//! same 6-node network with reliabilities 0.36 and 0.648.
+
+use crate::table::{f, Table};
+use wsn_model::{reliability, AggregationTree, Network, NetworkBuilder, NodeId, PaperCost};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// The Fig. 4 network (sink 0, sensors 1–5).
+pub fn network() -> Network {
+    let mut b = NetworkBuilder::new(6);
+    b.add_edge(4, 0, 1.0).unwrap();
+    b.add_edge(5, 0, 1.0).unwrap();
+    b.add_edge(2, 4, 0.5).unwrap();
+    b.add_edge(3, 4, 0.9).unwrap();
+    b.add_edge(1, 5, 0.8).unwrap();
+    b.add_edge(2, 5, 0.9).unwrap();
+    b.build().expect("the toy network is connected")
+}
+
+/// Tree (a): node 2 under node 4 via the 0.5 link → Q = 0.36.
+pub fn tree_a() -> AggregationTree {
+    AggregationTree::from_edges(
+        n(0),
+        6,
+        &[(n(4), n(0)), (n(5), n(0)), (n(2), n(4)), (n(3), n(4)), (n(1), n(5))],
+    )
+    .unwrap()
+}
+
+/// Tree (b): node 2 under node 5 via the 0.9 link → Q = 0.648.
+pub fn tree_b() -> AggregationTree {
+    AggregationTree::from_edges(
+        n(0),
+        6,
+        &[(n(4), n(0)), (n(5), n(0)), (n(2), n(5)), (n(3), n(4)), (n(1), n(5))],
+    )
+    .unwrap()
+}
+
+/// One row of the comparison.
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// 'a' or 'b'.
+    pub label: char,
+    /// Reliability `Q(T)`.
+    pub reliability: f64,
+    /// Cost in paper units.
+    pub paper_cost: f64,
+}
+
+/// Computes both trees' metrics.
+pub fn run() -> Vec<Row> {
+    let net = network();
+    [('a', tree_a()), ('b', tree_b())]
+        .into_iter()
+        .map(|(label, t)| Row {
+            label,
+            reliability: reliability::tree_reliability(&net, &t),
+            paper_cost: PaperCost::of_tree(&net, &t).0,
+        })
+        .collect()
+}
+
+/// Renders the toy comparison.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["tree", "reliability Q(T)", "cost (paper units)"]);
+    for r in rows {
+        t.push([r.label.to_string(), f(r.reliability, 3), f(r.paper_cost, 1)]);
+    }
+    format!("Fig. 4 — toy reliability example\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_exact_values() {
+        let rows = run();
+        assert!((rows[0].reliability - 0.36).abs() < 1e-12);
+        assert!((rows[1].reliability - 0.648).abs() < 1e-12);
+        assert!(rows[1].paper_cost < rows[0].paper_cost);
+    }
+
+    #[test]
+    fn render_shows_both() {
+        let text = render(&run());
+        assert!(text.contains("0.360"));
+        assert!(text.contains("0.648"));
+    }
+}

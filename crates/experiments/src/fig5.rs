@@ -1,0 +1,90 @@
+//! Fig. 5 — the Prüfer code worked example: encoding the 9-node tree,
+//! decoding, and the parent-change splice.
+
+use wsn_model::{AggregationTree, NodeId};
+use wsn_prufer::{CodedTree, PruferCode};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+/// The Fig. 5(a) tree.
+pub fn fig5_tree() -> AggregationTree {
+    AggregationTree::from_edges(
+        n(0),
+        9,
+        &[
+            (n(0), n(7)),
+            (n(0), n(4)),
+            (n(0), n(8)),
+            (n(4), n(3)),
+            (n(4), n(2)),
+            (n(2), n(6)),
+            (n(8), n(5)),
+            (n(8), n(1)),
+        ],
+    )
+    .unwrap()
+}
+
+/// The three artifacts of the worked example.
+#[derive(Clone, Debug)]
+pub struct Artifacts {
+    /// `P = (0, 2, 8, 4, 4, 0, 8)`.
+    pub code: Vec<u32>,
+    /// `D = (7, 6, 5, 3, 2, 4, 1, 8, 0)`.
+    pub sequence: Vec<u32>,
+    /// After node 4 re-parents to 7: `P' = (2, 4, 4, 7, 0, 8, 8)`.
+    pub updated_code: Vec<u32>,
+    /// `D' = (6, 3, 2, 4, 7, 5, 1, 8, 0)`.
+    pub updated_sequence: Vec<u32>,
+}
+
+/// Reproduces the example end to end.
+pub fn run() -> Artifacts {
+    let tree = fig5_tree();
+    let code = PruferCode::encode(&tree).expect("9-node tree encodes");
+    let decoded = code.decode().expect("round trip");
+    let mut coded = CodedTree::from_tree(&tree).expect("codable");
+    coded.change_parent(n(4), n(7)).expect("Fig. 5(b) move is valid");
+    Artifacts {
+        code: code.labels().iter().map(|v| v.label()).collect(),
+        sequence: decoded.sequence.iter().map(|v| v.label()).collect(),
+        updated_code: coded.prufer_labels().iter().map(|v| v.label()).collect(),
+        updated_sequence: coded.sequence().iter().map(|v| v.label()).collect(),
+    }
+}
+
+/// Renders the worked example.
+pub fn render(a: &Artifacts) -> String {
+    format!(
+        "Fig. 5 — Prüfer code worked example\n\
+         P  = {:?}\n\
+         D  = {:?}\n\
+         after 4 re-parents from 0 to 7 (Fig. 5b):\n\
+         P' = {:?}\n\
+         D' = {:?}\n",
+        a.code, a.sequence, a.updated_code, a.updated_sequence
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_exactly() {
+        let a = run();
+        assert_eq!(a.code, vec![0, 2, 8, 4, 4, 0, 8]);
+        assert_eq!(a.sequence, vec![7, 6, 5, 3, 2, 4, 1, 8, 0]);
+        assert_eq!(a.updated_code, vec![2, 4, 4, 7, 0, 8, 8]);
+        assert_eq!(a.updated_sequence, vec![6, 3, 2, 4, 7, 5, 1, 8, 0]);
+    }
+
+    #[test]
+    fn render_shows_all_four_sequences() {
+        let text = render(&run());
+        assert!(text.contains("P  = [0, 2, 8, 4, 4, 0, 8]"));
+        assert!(text.contains("D' = [6, 3, 2, 4, 7, 5, 1, 8, 0]"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Fig. 6 — the DFL system. The paper shows a photograph; we render the
+//! deployment the simulator builds instead: an ASCII map of the 16 tripods
+//! on the square perimeter plus a link-quality census, so a reader can see
+//! the scenario every DFL experiment runs on.
+
+use crate::table::{f, Table};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, DflConfig};
+
+/// The rendered map plus link census.
+pub struct Artifacts {
+    /// ASCII map of node positions.
+    pub map: String,
+    /// (quality bucket label, link count).
+    pub census: Vec<(String, usize)>,
+    /// Total links after estimation/pruning.
+    pub total_links: usize,
+}
+
+/// Builds the map and census from the default DFL trace.
+pub fn run(seed: u64) -> Artifacts {
+    let cfg = DflConfig::default();
+    let net = dfl_network(&cfg, &LinkModel::default(), seed).expect("DFL is connected");
+    let pos = cfg.positions();
+
+    // Character grid: 0.3 m per column, 0.45 m per row.
+    let cols = (cfg.side_m / 0.3) as usize + 3;
+    let rows = (cfg.side_m / 0.45) as usize + 2;
+    let mut grid = vec![vec![' '; cols]; rows];
+    for (i, &(x, y)) in pos.iter().enumerate() {
+        let c = (x / 0.3).round() as usize;
+        let r = rows - 1 - (y / 0.45).round() as usize;
+        let label: Vec<char> = i.to_string().chars().collect();
+        for (k, &ch) in label.iter().enumerate() {
+            if c + k < cols {
+                grid[r][c + k] = ch;
+            }
+        }
+    }
+    let map = grid
+        .into_iter()
+        .map(|row| row.into_iter().collect::<String>().trim_end().to_string())
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let buckets = [
+        ("q >= 0.99", 0.99..=1.0),
+        ("0.95 <= q < 0.99", 0.95..=0.99),
+        ("0.50 <= q < 0.95", 0.50..=0.95),
+        ("q < 0.50", 0.0..=0.50),
+    ];
+    let census = buckets
+        .iter()
+        .map(|(label, range)| {
+            let count = net
+                .links()
+                .iter()
+                .filter(|l| {
+                    let q = l.prr().value();
+                    // Half-open buckets, closed at the top for the first.
+                    if *label == "q >= 0.99" {
+                        q >= 0.99
+                    } else {
+                        q >= *range.start() && q < *range.end()
+                    }
+                })
+                .count();
+            (label.to_string(), count)
+        })
+        .collect();
+    Artifacts { map, census, total_links: net.num_edges() }
+}
+
+/// Renders the figure.
+pub fn render(a: &Artifacts) -> String {
+    let mut t = Table::new(["link quality", "count", "share"]);
+    for (label, count) in &a.census {
+        t.push([
+            label.clone(),
+            count.to_string(),
+            f(*count as f64 / a.total_links as f64 * 100.0, 1) + "%",
+        ]);
+    }
+    format!(
+        "Fig. 6 — the DFL deployment (16 tripods, 3.6 m square, sink = node 0)\n\n{}\n\n\
+         estimated links: {}\n{}",
+        a.map, a.total_links, t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_places_all_sixteen_nodes() {
+        let a = run(2015);
+        for i in 0..16 {
+            assert!(
+                a.map.contains(&i.to_string()),
+                "node {i} missing from the map"
+            );
+        }
+    }
+
+    #[test]
+    fn census_covers_every_link() {
+        let a = run(2015);
+        let total: usize = a.census.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, a.total_links);
+        // The DFL regime: a solid majority of strong links, some weak ones.
+        let strong: usize = a
+            .census
+            .iter()
+            .filter(|(l, _)| l.starts_with("q >= 0.99") || l.starts_with("0.95"))
+            .map(|(_, c)| c)
+            .sum();
+        assert!(strong * 2 > a.total_links, "strong links should dominate");
+        let weak = a.census.last().unwrap().1;
+        assert!(weak > 0, "some weak diagonals expected");
+    }
+
+    #[test]
+    fn render_includes_map_and_table() {
+        let text = render(&run(2015));
+        assert!(text.contains("Fig. 6"));
+        assert!(text.contains("estimated links"));
+        assert!(text.contains('%'));
+    }
+}

@@ -1,0 +1,152 @@
+//! Fig. 8 — random graphs with equal initial energy: per-instance cost of
+//! AAML, IRA (at `LC = L_AAML`), and MST.
+
+use crate::parallel::parallel_map;
+use crate::table::{f, Table};
+use crate::workloads::{aaml_paper_protocol, ira_at, paper_cost};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_model::EnergyModel;
+use wsn_testbed::{random_graph, EnergyDistribution, RandomGraphConfig};
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Instances (paper: 100).
+    pub instances: usize,
+    /// Nodes per instance (paper: 16).
+    pub n: usize,
+    /// Link probability (paper: 0.7).
+    pub link_probability: f64,
+    /// Energy assignment.
+    pub energy: EnergyDistribution,
+    /// Base seed; instance `i` uses `base_seed + i`.
+    pub base_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            instances: 100,
+            n: 16,
+            link_probability: 0.7,
+            energy: EnergyDistribution::Uniform(3000.0),
+            base_seed: 800,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config { instances: 8, ..Config::default() }
+    }
+}
+
+/// Per-instance costs (paper units).
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Instance index.
+    pub instance: usize,
+    /// AAML tree cost.
+    pub aaml_cost: f64,
+    /// IRA tree cost at `LC = L_AAML`.
+    pub ira_cost: f64,
+    /// MST cost (the lower bound).
+    pub mst_cost: f64,
+    /// Whether IRA met `L_AAML` without the LC fallback.
+    pub ira_strict: bool,
+}
+
+/// Runs the sweep (instances in parallel).
+pub fn run(config: &Config) -> Vec<Row> {
+    let cfg = *config;
+    parallel_map(cfg.instances, move |i| {
+        let mut rng = StdRng::seed_from_u64(cfg.base_seed + i as u64);
+        let gcfg = RandomGraphConfig {
+            n: cfg.n,
+            link_probability: cfg.link_probability,
+            energy: cfg.energy,
+            ..RandomGraphConfig::default()
+        };
+        let net = random_graph(&gcfg, &mut rng).expect("connected instance");
+        let model = EnergyModel::PAPER;
+        let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+        let mst = wsn_baselines::mst(&net).expect("connected");
+        let ira = ira_at(&net, model, aaml.lifetime).expect("LC = L_AAML is feasible at LC");
+        Row {
+            instance: i,
+            aaml_cost: paper_cost(&net, &aaml.tree),
+            ira_cost: paper_cost(&net, &ira.tree),
+            mst_cost: paper_cost(&net, &mst),
+            ira_strict: !ira.stats.relaxed_to_lc,
+        }
+    })
+}
+
+/// Renders the per-instance series plus a summary block.
+pub fn render(rows: &[Row], title: &str) -> String {
+    let mut t = Table::new(["instance", "AAML", "IRA", "MST"]);
+    for r in rows {
+        t.push([
+            r.instance.to_string(),
+            f(r.aaml_cost, 1),
+            f(r.ira_cost, 1),
+            f(r.mst_cost, 1),
+        ]);
+    }
+    let mean = |sel: fn(&Row) -> f64| -> f64 {
+        rows.iter().map(sel).sum::<f64>() / rows.len().max(1) as f64
+    };
+    format!(
+        "{title}\n{}\nmeans: AAML {:.1}  IRA {:.1}  MST {:.1}  (IRA/AAML = {:.2})\n",
+        t.render(),
+        mean(|r| r.aaml_cost),
+        mean(|r| r.ira_cost),
+        mean(|r| r.mst_cost),
+        mean(|r| r.ira_cost) / mean(|r| r.aaml_cost),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_relationships_hold_on_sample() {
+        let rows = run(&Config { instances: 12, ..Config::default() });
+        assert_eq!(rows.len(), 12);
+        let mean_aaml: f64 = rows.iter().map(|r| r.aaml_cost).sum::<f64>() / 12.0;
+        let mean_ira: f64 = rows.iter().map(|r| r.ira_cost).sum::<f64>() / 12.0;
+        let mean_mst: f64 = rows.iter().map(|r| r.mst_cost).sum::<f64>() / 12.0;
+        // Per instance: MST ≤ IRA (cost floor).
+        for r in &rows {
+            assert!(r.mst_cost <= r.ira_cost + 1e-6, "instance {}", r.instance);
+        }
+        // On average: IRA well below AAML (paper: ≈30%), and close to MST.
+        assert!(
+            mean_ira < 0.6 * mean_aaml,
+            "IRA mean {mean_ira} vs AAML mean {mean_aaml}"
+        );
+        assert!(mean_ira < mean_mst * 2.0 + 20.0, "IRA should hug the MST bound");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = Config { instances: 4, ..Config::default() };
+        let a = run(&cfg);
+        let b = run(&cfg);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.aaml_cost, y.aaml_cost);
+            assert_eq!(x.ira_cost, y.ira_cost);
+        }
+    }
+
+    #[test]
+    fn render_summarizes() {
+        let rows = run(&Config::fast());
+        let text = render(&rows, "Fig. 8");
+        assert!(text.contains("means:"));
+        assert!(text.contains("IRA/AAML"));
+    }
+}

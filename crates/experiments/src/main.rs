@@ -1,0 +1,123 @@
+//! `mrlc-experiments` — regenerates every figure of the MRLC evaluation.
+//!
+//! ```text
+//! mrlc-experiments all [--fast]
+//! mrlc-experiments fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13 [--fast]
+//! mrlc-experiments ablation [--fast]
+//! ```
+
+use wsn_experiments::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let run_one = |name: &str| match name {
+        "fig1" => {
+            let cfg = if fast { fig1::Config::fast() } else { fig1::Config::default() };
+            print!("{}", fig1::render(&fig1::run(&cfg)));
+        }
+        "fig2" => {
+            let cfg = if fast { fig2::Config::fast() } else { fig2::Config::default() };
+            print!("{}", fig2::render(&fig2::run(&cfg)));
+        }
+        "fig3" => {
+            let cfg = if fast { fig3::Config::fast() } else { fig3::Config::default() };
+            print!("{}", fig3::render(&fig3::run(&cfg)));
+        }
+        "fig4" => print!("{}", fig4::render(&fig4::run())),
+        "fig6" => print!("{}", fig6::render(&fig6::run(2015))),
+        "fig5" => print!("{}", fig5::render(&fig5::run())),
+        "fig7" => {
+            let cfg = if fast { fig7::Config::fast() } else { fig7::Config::default() };
+            print!("{}", fig7::render(&fig7::run(&cfg)));
+        }
+        "fig8" => {
+            let cfg = if fast { fig8::Config::fast() } else { fig8::Config::default() };
+            print!(
+                "{}",
+                fig8::render(&fig8::run(&cfg), "Fig. 8 — random graphs, equal energy (3000 J)")
+            );
+        }
+        "fig9" => {
+            let cfg = if fast { fig9::fast_config() } else { fig9::paper_config() };
+            print!("{}", fig9::render(&fig9::run(&cfg)));
+        }
+        "fig10" => {
+            let cfg = if fast { fig10::Config::fast() } else { fig10::Config::default() };
+            print!("{}", fig10::render(&fig10::run(&cfg)));
+        }
+        "fig11" | "fig12" | "fig13" => {
+            let cfg = if fast { fig11_13::Config::fast() } else { fig11_13::Config::default() };
+            let records = fig11_13::run(&cfg);
+            match name {
+                "fig11" => print!("{}", fig11_13::render_fig11(&records)),
+                "fig12" => print!("{}", fig11_13::render_fig12(&records)),
+                _ => print!("{}", fig11_13::render_fig13(&records)),
+            }
+        }
+        "pareto" => {
+            let cfg = if fast { ext_pareto::Config::fast() } else { ext_pareto::Config::default() };
+            let (all, dominant) = ext_pareto::run(&cfg);
+            print!("{}", ext_pareto::render(&all, &dominant));
+        }
+        "optgap" => {
+            let cfg = if fast { ext_optgap::Config::fast() } else { ext_optgap::Config::default() };
+            print!("{}", ext_optgap::render(&ext_optgap::run(&cfg)));
+        }
+        "latency" => {
+            let cfg = if fast { ext_latency::Config::fast() } else { ext_latency::Config::default() };
+            print!("{}", ext_latency::render(&ext_latency::run(&cfg)));
+        }
+        "scalability" => {
+            let cfg = if fast { ext_scalability::Config::fast() } else { ext_scalability::Config::default() };
+            print!("{}", ext_scalability::render(&ext_scalability::run(&cfg)));
+        }
+        "stability" => {
+            let cfg = if fast { ext_stability::Config::fast() } else { ext_stability::Config::default() };
+            print!("{}", ext_stability::render(&ext_stability::run(&cfg)));
+        }
+        "solvers" => {
+            let cfg = if fast { ext_solvers::Config::fast() } else { ext_solvers::Config::default() };
+            print!("{}", ext_solvers::render(&ext_solvers::run(&cfg)));
+        }
+        "spatial" => {
+            let cfg = if fast { ext_spatial::Config::fast() } else { ext_spatial::Config::default() };
+            print!("{}", ext_spatial::render(&ext_spatial::run(&cfg)));
+        }
+        "drift" => {
+            let cfg = if fast { ext_drift::Config::fast() } else { ext_drift::Config::default() };
+            print!("{}", ext_drift::render(&ext_drift::run(&cfg)));
+        }
+        "ablation" => {
+            let (instances, rounds) = if fast { (4, 15) } else { (20, 60) };
+            print!("{}", ablation::render_removal(&ablation::removal_policy(instances, 1234)));
+            println!();
+            print!("{}", ablation::render_ilu(&ablation::ilu_improving_links(rounds, 77)));
+        }
+        other => {
+            eprintln!("unknown figure `{other}`");
+            eprintln!(
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability] [--fast]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "ablation", "pareto", "optgap", "latency", "drift", "spatial", "solvers", "stability", "scalability",
+        ] {
+            run_one(name);
+            println!();
+        }
+    } else {
+        run_one(&which);
+    }
+}

@@ -1,0 +1,70 @@
+//! Shared workload builders for the §VII experiments.
+
+use mrlc_core::{solve_ira, IraConfig, IraSolution, MrlcInstance};
+use wsn_baselines::{aaml_tree, AamlConfig, AamlResult};
+use wsn_model::{EnergyModel, ModelError, Network, PaperCost};
+
+/// The paper's AAML evaluation protocol: filter out links with `q < 0.95`
+/// ("As AAML does not take link quality under consideration, we ignore
+/// unreliable links with the packet reception ratio lower than 0.95"),
+/// then run AAML from the BFS tree. Falls back to the unfiltered network if
+/// the filter disconnects it.
+pub fn aaml_paper_protocol(net: &Network, model: &EnergyModel) -> Result<AamlResult, ModelError> {
+    let working = net
+        .restrict_edges(|l| l.prr().value() >= 0.95)
+        .unwrap_or_else(|_| net.clone());
+    aaml_tree(&working, model, None, &AamlConfig::default())
+}
+
+/// IRA at a given lifetime bound with default configuration.
+pub fn ira_at(net: &Network, model: EnergyModel, lc: f64) -> Result<IraSolution, String> {
+    let inst = MrlcInstance::new(net.clone(), model, lc).map_err(|e| e.to_string())?;
+    solve_ira(&inst, &IraConfig::default()).map_err(|e| e.to_string())
+}
+
+/// Paper-unit cost of a tree in `net`.
+pub fn paper_cost(net: &Network, tree: &wsn_model::AggregationTree) -> f64 {
+    PaperCost::of_tree(net, tree).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NetworkBuilder;
+
+    #[test]
+    fn aaml_protocol_filters_weak_links() {
+        // A network where a weak shortcut would tempt AAML's tree shapes.
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(1, 2, 0.99).unwrap();
+        b.add_edge(2, 3, 0.99).unwrap();
+        b.add_edge(0, 3, 0.50).unwrap(); // filtered out
+        let net = b.build().unwrap();
+        let res = aaml_paper_protocol(&net, &EnergyModel::PAPER).unwrap();
+        // The weak link cannot appear in the tree.
+        assert!(!res.tree.contains_edge(wsn_model::NodeId::new(0), wsn_model::NodeId::new(3)));
+    }
+
+    #[test]
+    fn aaml_protocol_survives_disconnecting_filter() {
+        // Filtering q ≥ 0.95 would cut node 3 off entirely; the fallback
+        // must keep the run alive.
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(1, 2, 0.99).unwrap();
+        b.add_edge(2, 3, 0.80).unwrap();
+        let net = b.build().unwrap();
+        let res = aaml_paper_protocol(&net, &EnergyModel::PAPER).unwrap();
+        assert_eq!(res.tree.n(), 4);
+    }
+
+    #[test]
+    fn ira_at_reports_errors_as_strings() {
+        let mut b = NetworkBuilder::new(2);
+        b.add_edge(0, 1, 0.9).unwrap();
+        let net = b.build().unwrap();
+        let err = ira_at(&net, EnergyModel::PAPER, f64::INFINITY).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

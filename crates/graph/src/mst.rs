@@ -1,0 +1,293 @@
+//! Minimum spanning trees: Kruskal and Prim.
+//!
+//! Both operate on plain weighted edge lists so the cutting-plane driver can
+//! run them on arbitrary support subsets; [`mst_tree`] is the convenience
+//! wrapper producing a rooted [`AggregationTree`] from a [`Network`] using
+//! the paper's `c_e = −log q_e` edge costs (i.e. the MST baseline \[18\]).
+
+use crate::unionfind::UnionFind;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wsn_model::{AggregationTree, ModelError, Network, NodeId};
+
+/// A weighted undirected edge tagged with a caller-chosen id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WeightedEdge {
+    /// One endpoint (dense index).
+    pub u: usize,
+    /// Other endpoint (dense index).
+    pub v: usize,
+    /// Edge weight; must be finite.
+    pub w: f64,
+    /// Caller-chosen tag, reported back for chosen edges.
+    pub id: usize,
+}
+
+/// Kruskal's algorithm. Returns the ids of the `n − 1` chosen edges, or
+/// `None` if the edges do not connect all `n` nodes.
+///
+/// Ties are broken by input order (stable sort), which makes results
+/// deterministic.
+pub fn kruskal(n: usize, edges: &[WeightedEdge]) -> Option<Vec<usize>> {
+    if n == 0 {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_by(|&a, &b| edges[a].w.partial_cmp(&edges[b].w).unwrap_or(Ordering::Equal));
+    let mut uf = UnionFind::new(n);
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+    for i in order {
+        let e = &edges[i];
+        if uf.union(e.u, e.v) {
+            chosen.push(e.id);
+            if chosen.len() == n - 1 {
+                return Some(chosen);
+            }
+        }
+    }
+    if n == 1 {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    w: f64,
+    edge_index: usize,
+    to: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap on weight; tie-break on edge index for
+        // determinism.
+        other
+            .w
+            .partial_cmp(&self.w)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.edge_index.cmp(&self.edge_index))
+    }
+}
+
+/// Prim's algorithm starting from node 0 (the paper's Section VII baseline:
+/// "initializes a tree with the root node" and repeatedly adds the cheapest
+/// crossing edge). Returns chosen edge ids or `None` if disconnected.
+pub fn prim(n: usize, edges: &[WeightedEdge]) -> Option<Vec<usize>> {
+    if n == 0 {
+        return None;
+    }
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, e) in edges.iter().enumerate() {
+        if e.u >= n || e.v >= n {
+            return None;
+        }
+        adj[e.u].push(i);
+        adj[e.v].push(i);
+    }
+    let mut in_tree = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    let mut chosen = Vec::with_capacity(n.saturating_sub(1));
+
+    let add_node = |node: usize, in_tree: &mut Vec<bool>, heap: &mut BinaryHeap<HeapEntry>| {
+        in_tree[node] = true;
+        for &ei in &adj[node] {
+            let e = &edges[ei];
+            let other = if e.u == node { e.v } else { e.u };
+            if !in_tree[other] {
+                heap.push(HeapEntry { w: e.w, edge_index: ei, to: other });
+            }
+        }
+    };
+
+    add_node(0, &mut in_tree, &mut heap);
+    while let Some(HeapEntry { edge_index, to, .. }) = heap.pop() {
+        if in_tree[to] {
+            continue;
+        }
+        chosen.push(edges[edge_index].id);
+        add_node(to, &mut in_tree, &mut heap);
+        if chosen.len() == n - 1 {
+            return Some(chosen);
+        }
+    }
+    if n == 1 {
+        Some(chosen)
+    } else {
+        None
+    }
+}
+
+/// Builds the minimum-cost spanning tree of a network under the paper's
+/// `c_e = −log q_e` costs, rooted at the sink. This is the MST baseline.
+pub fn mst_tree(net: &Network) -> Result<AggregationTree, ModelError> {
+    let edges: Vec<WeightedEdge> = net
+        .edges()
+        .map(|(e, l)| WeightedEdge {
+            u: l.u().index(),
+            v: l.v().index(),
+            w: l.cost(),
+            id: e.index(),
+        })
+        .collect();
+    let chosen = prim(net.n(), &edges).ok_or(ModelError::Disconnected {
+        component_of_root: 0,
+        n: net.n(),
+    })?;
+    let tree_edges: Vec<(NodeId, NodeId)> = chosen
+        .iter()
+        .map(|&id| net.links()[id].endpoints())
+        .collect();
+    AggregationTree::from_edges(NodeId::SINK, net.n(), &tree_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn we(u: usize, v: usize, w: f64, id: usize) -> WeightedEdge {
+        WeightedEdge { u, v, w, id }
+    }
+
+    fn total(edges: &[WeightedEdge], ids: &[usize]) -> f64 {
+        ids.iter()
+            .map(|&id| edges.iter().find(|e| e.id == id).unwrap().w)
+            .sum()
+    }
+
+    fn square_with_diagonal() -> Vec<WeightedEdge> {
+        vec![
+            we(0, 1, 1.0, 0),
+            we(1, 2, 2.0, 1),
+            we(2, 3, 1.0, 2),
+            we(3, 0, 3.0, 3),
+            we(0, 2, 2.5, 4),
+        ]
+    }
+
+    #[test]
+    fn kruskal_picks_minimum() {
+        let edges = square_with_diagonal();
+        let ids = kruskal(4, &edges).unwrap();
+        assert_eq!(ids.len(), 3);
+        assert!((total(&edges, &ids) - 4.0).abs() < 1e-12); // 1 + 1 + 2
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        let edges = square_with_diagonal();
+        let k = kruskal(4, &edges).unwrap();
+        let p = prim(4, &edges).unwrap();
+        assert!((total(&edges, &k) - total(&edges, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_returns_none() {
+        let edges = vec![we(0, 1, 1.0, 0), we(2, 3, 1.0, 1)];
+        assert!(kruskal(4, &edges).is_none());
+        assert!(prim(4, &edges).is_none());
+    }
+
+    #[test]
+    fn single_node() {
+        assert_eq!(kruskal(1, &[]).unwrap(), Vec::<usize>::new());
+        assert_eq!(prim(1, &[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert!(kruskal(0, &[]).is_none());
+        assert!(prim(0, &[]).is_none());
+    }
+
+    #[test]
+    fn mst_tree_on_network() {
+        use wsn_model::NetworkBuilder;
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(1, 2, 0.50).unwrap(); // expensive
+        b.add_edge(0, 2, 0.98).unwrap();
+        b.add_edge(2, 3, 0.97).unwrap();
+        b.add_edge(1, 3, 0.60).unwrap(); // expensive
+        let net = b.build().unwrap();
+        let t = mst_tree(&net).unwrap();
+        assert_eq!(t.root(), NodeId::SINK);
+        // Cheap edges (0,1), (0,2), (2,3) must be chosen.
+        assert!(t.contains_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(t.contains_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(t.contains_edge(NodeId::new(2), NodeId::new(3)));
+    }
+
+    #[test]
+    fn prim_handles_parallel_weights_deterministically() {
+        // All weights equal: result must still be a spanning tree and the
+        // same one on repeated runs.
+        let edges: Vec<WeightedEdge> = (0..6)
+            .flat_map(|u| (u + 1..6).map(move |v| we(u, v, 1.0, u * 10 + v)))
+            .collect();
+        let a = prim(6, &edges).unwrap();
+        let b = prim(6, &edges).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_connected_graph() -> impl Strategy<Value = (usize, Vec<WeightedEdge>)> {
+            (2usize..9).prop_flat_map(|n| {
+                // A random path guarantees connectivity; extra random edges on
+                // top.
+                let extra = proptest::collection::vec(
+                    (0..n, 0..n, 1u32..1000),
+                    0..12,
+                );
+                let spine = proptest::collection::vec(1u32..1000, n - 1);
+                (Just(n), spine, extra).prop_map(|(n, spine, extra)| {
+                    let mut edges = Vec::new();
+                    for (i, w) in spine.into_iter().enumerate() {
+                        edges.push(we(i, i + 1, w as f64, edges.len()));
+                    }
+                    for (u, v, w) in extra {
+                        if u != v {
+                            edges.push(we(u, v, w as f64, edges.len()));
+                        }
+                    }
+                    (n, edges)
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn prim_and_kruskal_agree_on_weight((n, edges) in arb_connected_graph()) {
+                let k = kruskal(n, &edges).unwrap();
+                let p = prim(n, &edges).unwrap();
+                prop_assert_eq!(k.len(), n - 1);
+                prop_assert_eq!(p.len(), n - 1);
+                prop_assert!((total(&edges, &k) - total(&edges, &p)).abs() < 1e-9);
+            }
+
+            #[test]
+            fn mst_is_spanning((n, edges) in arb_connected_graph()) {
+                let k = kruskal(n, &edges).unwrap();
+                let mut uf = UnionFind::new(n);
+                for id in k {
+                    let e = edges.iter().find(|e| e.id == id).unwrap();
+                    prop_assert!(uf.union(e.u, e.v), "MST must be acyclic");
+                }
+                prop_assert_eq!(uf.num_components(), 1);
+            }
+        }
+    }
+}

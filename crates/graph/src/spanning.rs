@@ -1,0 +1,187 @@
+//! Reference spanning-tree builders: random, BFS, and shortest-path trees.
+//!
+//! These produce the "arbitrary initial tree" AAML starts from, the random
+//! aggregation trees of the Fig. 1 retransmission study, and an SPT
+//! reference comparable to CTP-style collection trees \[7\].
+
+use rand::{Rng, RngExt};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wsn_model::{AggregationTree, ModelError, Network, NodeId};
+
+/// Builds a uniformly shuffled spanning tree: edges are visited in random
+/// order and inserted greedily (randomized Kruskal). Not uniform over all
+/// spanning trees, but unbiased enough for workload generation, and cheap.
+pub fn random_spanning_tree<R: Rng + ?Sized>(
+    net: &Network,
+    rng: &mut R,
+) -> Result<AggregationTree, ModelError> {
+    let mut order: Vec<usize> = (0..net.num_edges()).collect();
+    // Fisher–Yates keeps us independent of rand's slice-trait churn.
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut uf = crate::unionfind::UnionFind::new(net.n());
+    let mut edges = Vec::with_capacity(net.n().saturating_sub(1));
+    for idx in order {
+        let l = &net.links()[idx];
+        if uf.union(l.u().index(), l.v().index()) {
+            edges.push(l.endpoints());
+            if edges.len() == net.n() - 1 {
+                break;
+            }
+        }
+    }
+    AggregationTree::from_edges(NodeId::SINK, net.n(), &edges)
+}
+
+/// Builds the BFS tree from the sink (minimum hop count).
+pub fn bfs_tree(net: &Network) -> Result<AggregationTree, ModelError> {
+    let n = net.n();
+    let mut parents: Vec<Option<NodeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    visited[0] = true;
+    queue.push_back(NodeId::SINK);
+    while let Some(u) = queue.pop_front() {
+        for &(_, v) in net.neighbors(u) {
+            if !visited[v.index()] {
+                visited[v.index()] = true;
+                parents[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    AggregationTree::from_parents(NodeId::SINK, parents)
+}
+
+#[derive(PartialEq)]
+struct DijkstraEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for DijkstraEntry {}
+impl PartialOrd for DijkstraEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DijkstraEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Builds the shortest-path tree from the sink where the length of a link is
+/// its cost `−log q_e` — i.e. each node routes along its most reliable path.
+pub fn shortest_path_tree(net: &Network) -> Result<AggregationTree, ModelError> {
+    let n = net.n();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parents: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[0] = 0.0;
+    heap.push(DijkstraEntry { dist: 0.0, node: 0 });
+    while let Some(DijkstraEntry { node, .. }) = heap.pop() {
+        if done[node] {
+            continue;
+        }
+        done[node] = true;
+        for &(e, v) in net.neighbors(NodeId::new(node)) {
+            let w = net.link(e).cost();
+            let nd = dist[node] + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parents[v.index()] = Some(NodeId::new(node));
+                heap.push(DijkstraEntry { dist: nd, node: v.index() });
+            }
+        }
+    }
+    AggregationTree::from_parents(NodeId::SINK, parents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_model::NetworkBuilder;
+
+    fn grid() -> Network {
+        // 2x3 grid: 0-1-2 / 3-4-5 with vertical links.
+        let mut b = NetworkBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)] {
+            b.add_edge(u, v, 0.9).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_tree_is_spanning() {
+        let net = grid();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let t = random_spanning_tree(&net, &mut rng).unwrap();
+            assert_eq!(t.n(), 6);
+            assert_eq!(t.edges().count(), 5);
+            // every tree edge must exist in the network
+            for (c, p) in t.edges() {
+                assert!(net.find_edge(c, p).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn random_trees_vary() {
+        let net = grid();
+        let mut rng = StdRng::seed_from_u64(42);
+        let t1 = random_spanning_tree(&net, &mut rng).unwrap();
+        let mut saw_different = false;
+        for _ in 0..10 {
+            let t2 = random_spanning_tree(&net, &mut rng).unwrap();
+            let e1: std::collections::BTreeSet<_> = t1.edges().collect();
+            let e2: std::collections::BTreeSet<_> = t2.edges().collect();
+            if e1 != e2 {
+                saw_different = true;
+                break;
+            }
+        }
+        assert!(saw_different, "random trees should not all coincide");
+    }
+
+    #[test]
+    fn bfs_tree_minimizes_depth() {
+        let net = grid();
+        let t = bfs_tree(&net).unwrap();
+        // node 5 is 2 hops away (0-1-2 / 0-3 then +1...): grid distances:
+        // 5 is reachable via 2-5 or 4-5: depth 3 via (0,1),(1,2),(2,5) or
+        // (0,1),(1,4),(4,5); BFS depth must be 3.
+        assert_eq!(t.depth(NodeId::new(5)), 3);
+        assert_eq!(t.depth(NodeId::new(1)), 1);
+        assert_eq!(t.depth(NodeId::new(3)), 1);
+    }
+
+    #[test]
+    fn spt_prefers_reliable_paths() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_edge(0, 2, 0.5).unwrap(); // direct but weak
+        b.add_edge(0, 1, 0.95).unwrap();
+        b.add_edge(1, 2, 0.95).unwrap();
+        let net = b.build().unwrap();
+        let t = shortest_path_tree(&net).unwrap();
+        // 0.95 * 0.95 = 0.9025 > 0.5, so node 2 routes through node 1.
+        assert_eq!(t.parent(NodeId::new(2)), Some(NodeId::new(1)));
+    }
+
+    #[test]
+    fn spt_on_grid_is_spanning() {
+        let t = shortest_path_tree(&grid()).unwrap();
+        assert_eq!(t.edges().count(), 5);
+    }
+}

@@ -1,0 +1,62 @@
+//! Connected components over edge subsets.
+
+/// Labels each node `0..n` with a dense component id, given an undirected
+/// edge list. Returns `(labels, num_components)`.
+pub fn components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> (Vec<usize>, usize) {
+    let mut uf = crate::unionfind::UnionFind::new(n);
+    for (u, v) in edges {
+        uf.union(u, v);
+    }
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut out = vec![0usize; n];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let r = uf.find(i);
+        if label[r] == usize::MAX {
+            label[r] = next;
+            next += 1;
+        }
+        *slot = label[r];
+    }
+    (out, next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_isolated() {
+        let (labels, k) = components(4, std::iter::empty());
+        assert_eq!(k, 4);
+        // labels are dense and distinct
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_components() {
+        let (labels, k) = components(5, [(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(k, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+    }
+
+    #[test]
+    fn fully_connected() {
+        let (_, k) = components(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn labels_are_dense_from_zero() {
+        let (labels, k) = components(3, [(1, 2)]);
+        assert_eq!(k, 2);
+        assert!(labels.iter().all(|&l| l < k));
+        assert!(labels.contains(&0));
+        assert!(labels.contains(&1));
+    }
+}

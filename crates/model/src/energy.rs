@@ -1,0 +1,104 @@
+//! The send/receive/idle energy model measured in §III-B (Fig. 3).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// Paper default: two AA batteries per node, 3000 J.
+pub const DEFAULT_INITIAL_ENERGY_J: f64 = 3000.0;
+
+/// Paper default: energy to send one 34-byte packet, `1.6e-4` J (§VII).
+pub const DEFAULT_TX_J: f64 = 1.6e-4;
+
+/// Paper default: energy to receive one packet, `1.2e-4` J (§VII).
+pub const DEFAULT_RX_J: f64 = 1.2e-4;
+
+/// Average radio power while sending, ≈ 80 mW (Fig. 3a).
+pub const SEND_POWER_W: f64 = 0.080;
+
+/// Average radio power while listening/receiving, ≈ 60 mW (Fig. 3b).
+pub const RECEIVE_POWER_W: f64 = 0.060;
+
+/// Average power with the radio off (LEDs + MCU), ≈ 80 µW (Fig. 3c).
+pub const IDLE_POWER_W: f64 = 80e-6;
+
+/// Per-packet energy model.
+///
+/// Following the paper, network lifetime only accounts for the sending and
+/// receiving states: idle power is four orders of magnitude smaller
+/// (80 µW vs. 60–80 mW) and is ignored by Eq. 1. The idle draw is still kept
+/// here because the power-trace synthesis (Fig. 3) reproduces it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy to transmit one packet, joules (`Tx`).
+    pub tx: f64,
+    /// Energy to receive one packet, joules (`Rx`).
+    pub rx: f64,
+    /// Idle power draw, watts (not used in Eq. 1).
+    pub idle_power: f64,
+}
+
+impl EnergyModel {
+    /// The TelosB model measured in the paper.
+    pub const PAPER: EnergyModel = EnergyModel {
+        tx: DEFAULT_TX_J,
+        rx: DEFAULT_RX_J,
+        idle_power: IDLE_POWER_W,
+    };
+
+    /// Creates a validated energy model.
+    pub fn new(tx: f64, rx: f64) -> Result<Self, ModelError> {
+        if !(tx.is_finite() && tx > 0.0) {
+            return Err(ModelError::InvalidEnergy(tx));
+        }
+        if !(rx.is_finite() && rx > 0.0) {
+            return Err(ModelError::InvalidEnergy(rx));
+        }
+        Ok(EnergyModel { tx, rx, idle_power: IDLE_POWER_W })
+    }
+
+    /// Energy one node spends per aggregation round when it has `children`
+    /// children: one transmission plus one reception per child.
+    #[inline]
+    pub fn round_energy(&self, children: usize) -> f64 {
+        self.tx + self.rx * children as f64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let m = EnergyModel::PAPER;
+        assert_eq!(m.tx, 1.6e-4);
+        assert_eq!(m.rx, 1.2e-4);
+        assert_eq!(m.idle_power, 80e-6);
+    }
+
+    #[test]
+    fn round_energy_scales_with_children() {
+        let m = EnergyModel::PAPER;
+        assert!((m.round_energy(0) - 1.6e-4).abs() < 1e-15);
+        assert!((m.round_energy(3) - (1.6e-4 + 3.0 * 1.2e-4)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(EnergyModel::new(0.0, 1.0).is_err());
+        assert!(EnergyModel::new(1.0, -1.0).is_err());
+        assert!(EnergyModel::new(f64::NAN, 1.0).is_err());
+        assert!(EnergyModel::new(1e-4, 1e-4).is_ok());
+    }
+
+    #[test]
+    fn default_is_paper() {
+        assert_eq!(EnergyModel::default(), EnergyModel::PAPER);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared by the model layer.
+
+use crate::id::NodeId;
+use std::fmt;
+
+/// Errors raised while constructing or validating model objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelError {
+    /// A PRR value was outside `[0, 1]` or not finite.
+    InvalidPrr(f64),
+    /// An energy quantity was non-positive or not finite.
+    InvalidEnergy(f64),
+    /// An edge referenced a node outside `0..n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// An edge connected a node to itself.
+    SelfLoop(NodeId),
+    /// The same undirected edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The network is not connected, so no spanning tree exists.
+    Disconnected { component_of_root: usize, n: usize },
+    /// A parent assignment did not describe a tree rooted at the stated root.
+    NotATree(String),
+    /// The network has no nodes.
+    Empty,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidPrr(v) => {
+                write!(f, "packet reception ratio {v} is not a finite value in [0, 1]")
+            }
+            ModelError::InvalidEnergy(v) => {
+                write!(f, "energy value {v} is not a positive finite quantity")
+            }
+            ModelError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} is out of range for a network of {n} nodes")
+            }
+            ModelError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            ModelError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            ModelError::Disconnected { component_of_root, n } => write!(
+                f,
+                "network is disconnected: the root's component has {component_of_root} of {n} nodes"
+            ),
+            ModelError::NotATree(msg) => write!(f, "parent assignment is not a tree: {msg}"),
+            ModelError::Empty => write!(f, "network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::InvalidPrr(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = ModelError::Disconnected { component_of_root: 3, n: 16 };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("16"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ModelError::SelfLoop(NodeId::new(2)), ModelError::SelfLoop(NodeId::new(2)));
+        assert_ne!(ModelError::SelfLoop(NodeId::new(2)), ModelError::SelfLoop(NodeId::new(3)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Strongly-typed node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a sensor node.
+///
+/// Node identifiers are the labels used by the paper's algorithms: they are
+/// dense (`0..n`) and ordered, and the Prüfer encoding/decoding algorithms
+/// rely on that total order ("the leaf with the largest label"). Node `0`
+/// conventionally denotes the sink.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The conventional sink label used by every paper scenario.
+    pub const SINK: NodeId = NodeId(0);
+
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds `u32::MAX` (far beyond any WSN scale).
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw label.
+    #[inline]
+    pub fn label(self) -> u32 {
+        self.0
+    }
+
+    /// True if this node is the conventional sink (label 0).
+    #[inline]
+    pub fn is_sink(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Iterator over the dense node ids `0..n`.
+pub fn node_range(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n).map(NodeId::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        for i in [0usize, 1, 7, 1000] {
+            assert_eq!(NodeId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn sink_is_zero() {
+        assert!(NodeId::SINK.is_sink());
+        assert!(!NodeId::new(3).is_sink());
+        assert_eq!(NodeId::SINK, NodeId::new(0));
+    }
+
+    #[test]
+    fn ordering_follows_labels() {
+        assert!(NodeId::new(2) < NodeId::new(10));
+        let mut v = vec![NodeId::new(5), NodeId::new(1), NodeId::new(3)];
+        v.sort();
+        assert_eq!(v, vec![NodeId::new(1), NodeId::new(3), NodeId::new(5)]);
+    }
+
+    #[test]
+    fn node_range_is_dense() {
+        let ids: Vec<_> = node_range(4).collect();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], NodeId::SINK);
+        assert_eq!(ids[3], NodeId::new(3));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(12)), "12");
+        assert_eq!(format!("{:?}", NodeId::new(12)), "v12");
+    }
+}

@@ -1,0 +1,60 @@
+//! Network model for the MRLC reproduction.
+//!
+//! This crate defines the vocabulary shared by every other crate in the
+//! workspace: sensor nodes and their identifiers, unreliable wireless links
+//! with packet-reception ratios (PRR), the undirected network graph, rooted
+//! data-aggregation trees, the send/receive energy model, node and network
+//! lifetime (Eq. 1 of the paper), and tree reliability/cost (Lemma 3).
+//!
+//! The paper's conventions are kept throughout:
+//!
+//! * node `0` is the sink by default (trees may be rooted anywhere, but all
+//!   paper scenarios root at node 0);
+//! * the reliability of a tree is the product of its edge PRRs,
+//!   `Q(T) = Π q_e`;
+//! * the cost of an edge is `c_e = −log q_e`, so minimizing tree cost
+//!   maximizes reliability; we store natural-log costs and expose the
+//!   paper's reporting unit (`−1000·log₂ q`) via [`reliability::PaperCost`];
+//! * a node's lifetime is `L(v) = I(v) / (Tx + Rx · Ch_T(v))` and the
+//!   network lifetime is the minimum over nodes.
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_model::{AggregationTree, EnergyModel, NetworkBuilder, NodeId};
+//! use wsn_model::{lifetime, reliability};
+//!
+//! let mut b = NetworkBuilder::new(3);
+//! b.add_edge(0, 1, 0.9).unwrap();
+//! b.add_edge(1, 2, 0.8).unwrap();
+//! let net = b.build().unwrap();
+//!
+//! let tree = AggregationTree::from_edges(
+//!     NodeId::SINK, 3,
+//!     &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))],
+//! ).unwrap();
+//!
+//! // Q(T) = 0.9 · 0.8.
+//! assert!((reliability::tree_reliability(&net, &tree) - 0.72).abs() < 1e-12);
+//! // The relay (one child) dies first.
+//! let l = lifetime::network_lifetime(&net, &tree, &EnergyModel::PAPER);
+//! assert!((l - 3000.0 / 2.8e-4).abs() < 1.0);
+//! ```
+
+pub mod energy;
+pub mod error;
+pub mod graph;
+pub mod id;
+pub mod lifetime;
+pub mod link;
+pub mod reliability;
+pub mod tree;
+
+pub use energy::EnergyModel;
+pub use error::ModelError;
+pub use graph::{EdgeId, Network, NetworkBuilder};
+pub use id::NodeId;
+pub use lifetime::{children_bound, network_lifetime, node_lifetime, tightened_bound, LifetimeBound};
+pub use link::{Link, Prr};
+pub use reliability::{edge_cost, tree_cost, tree_reliability, PaperCost};
+pub use tree::AggregationTree;

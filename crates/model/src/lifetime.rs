@@ -1,0 +1,188 @@
+//! Node and network lifetime (Eq. 1) and the lifetime↔degree-bound
+//! conversions used by the LP formulation.
+
+use crate::energy::EnergyModel;
+use crate::graph::Network;
+use crate::id::NodeId;
+use crate::tree::AggregationTree;
+
+/// Lifetime of a node with initial energy `initial` joules and `children`
+/// children in the aggregation tree (Eq. 1):
+///
+/// `L(v) = I(v) / (Tx + Rx · Ch_T(v))`,
+///
+/// expressed in aggregation rounds.
+#[inline]
+pub fn node_lifetime(initial: f64, model: &EnergyModel, children: usize) -> f64 {
+    initial / model.round_energy(children)
+}
+
+/// Network lifetime: rounds until the first node depletes its energy,
+/// `L = min_v L(v)` over **all** nodes including the sink (the paper's DFL
+/// sink is battery-powered like every other node).
+pub fn network_lifetime(net: &Network, tree: &AggregationTree, model: &EnergyModel) -> f64 {
+    (0..net.n())
+        .map(|i| {
+            let v = NodeId::new(i);
+            node_lifetime(net.initial_energy(v), model, tree.num_children(v))
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The node that limits the network lifetime (the bottleneck), together
+/// with its lifetime.
+pub fn bottleneck(net: &Network, tree: &AggregationTree, model: &EnergyModel) -> (NodeId, f64) {
+    let mut best = (NodeId::SINK, f64::INFINITY);
+    for i in 0..net.n() {
+        let v = NodeId::new(i);
+        let l = node_lifetime(net.initial_energy(v), model, tree.num_children(v));
+        if l < best.1 {
+            best = (v, l);
+        }
+    }
+    best
+}
+
+/// Maximum number of children node `v` may have while keeping
+/// `L(v) ≥ bound`: `Ch ≤ (I(v)/bound − Tx) / Rx`.
+///
+/// May be negative, meaning `v` cannot even afford its own transmission at
+/// that lifetime — the instance is infeasible for `v`.
+#[inline]
+pub fn children_bound(initial: f64, model: &EnergyModel, bound: f64) -> f64 {
+    (initial / bound - model.tx) / model.rx
+}
+
+/// Fractional degree cap used in the LP constraint (Eq. 15): for a non-root
+/// node one tree edge goes to the parent, so `x(δ(v)) ≤ 1 + children_bound`;
+/// the root has no parent edge.
+#[inline]
+pub fn degree_cap(initial: f64, model: &EnergyModel, bound: f64, is_root: bool) -> f64 {
+    children_bound(initial, model, bound) + if is_root { 0.0 } else { 1.0 }
+}
+
+/// The lifetime bound pair `(LC, L')` of Algorithm 1.
+///
+/// `L'` (line 3) tightens `LC` so that the iterative relaxation's additive
+/// slack of two children (Theorem 2's token argument grants
+/// `2·I(v)/I_min ≥ 2`) still lands the final tree at `L(T) ≥ LC`:
+/// `L' = I_min·LC / (I_min − 2·Rx·LC)`, i.e. `1/L' = 1/LC − 2·Rx/I_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LifetimeBound {
+    /// The user-requested bound `LC` (rounds).
+    pub lc: f64,
+    /// The tightened bound `L'` used inside the LP.
+    pub l_prime: f64,
+}
+
+/// Computes the tightened bound of Algorithm 1 line 3.
+///
+/// Returns `None` when `I_min ≤ 2·Rx·LC`: the requested lifetime is so large
+/// that the tightening denominator is non-positive, and the instance must be
+/// reported infeasible under the algorithm's guarantee.
+pub fn tightened_bound(i_min: f64, model: &EnergyModel, lc: f64) -> Option<LifetimeBound> {
+    let denom = i_min - 2.0 * model.rx * lc;
+    if !(lc.is_finite() && lc > 0.0) || denom <= 0.0 {
+        return None;
+    }
+    Some(LifetimeBound { lc, l_prime: i_min * lc / denom })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+
+    fn star3() -> (Network, AggregationTree) {
+        // 0 is the hub of a 4-node star.
+        let mut b = NetworkBuilder::new(4);
+        for i in 1..4 {
+            b.add_edge(0, i, 1.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let edges: Vec<_> = (1..4).map(|i| (NodeId::new(0), NodeId::new(i))).collect();
+        let tree = AggregationTree::from_edges(NodeId::new(0), 4, &edges).unwrap();
+        (net, tree)
+    }
+
+    #[test]
+    fn eq1_matches_hand_computation() {
+        let m = EnergyModel::PAPER;
+        // 3000 / (1.6e-4 + 2 * 1.2e-4) = 3000 / 4.0e-4 = 7.5e6
+        let l = node_lifetime(3000.0, &m, 2);
+        assert!((l - 7.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn network_lifetime_is_min_over_nodes() {
+        let (net, tree) = star3();
+        let m = EnergyModel::PAPER;
+        let l = network_lifetime(&net, &tree, &m);
+        // hub has 3 children: 3000 / (1.6e-4 + 3*1.2e-4) = 3000/5.2e-4
+        assert!((l - 3000.0 / 5.2e-4).abs() < 1.0);
+        let (b, lb) = bottleneck(&net, &tree, &m);
+        assert_eq!(b, NodeId::new(0));
+        assert!((lb - l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn children_bound_inverts_lifetime() {
+        let m = EnergyModel::PAPER;
+        for ch in 0..6 {
+            let l = node_lifetime(3000.0, &m, ch);
+            let cb = children_bound(3000.0, &m, l);
+            assert!((cb - ch as f64).abs() < 1e-6, "children {ch}: bound {cb}");
+        }
+    }
+
+    #[test]
+    fn children_bound_negative_when_infeasible() {
+        let m = EnergyModel::PAPER;
+        // Lifetime larger than I/Tx is impossible even as a leaf.
+        let too_long = 3000.0 / m.tx * 2.0;
+        assert!(children_bound(3000.0, &m, too_long) < 0.0);
+    }
+
+    #[test]
+    fn degree_cap_accounts_for_parent_edge() {
+        let m = EnergyModel::PAPER;
+        let l = node_lifetime(3000.0, &m, 2);
+        assert!((degree_cap(3000.0, &m, l, false) - 3.0).abs() < 1e-6);
+        assert!((degree_cap(3000.0, &m, l, true) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tightened_bound_formula() {
+        let m = EnergyModel::PAPER;
+        let lc = 1.0e6;
+        let b = tightened_bound(3000.0, &m, lc).unwrap();
+        let expect = 3000.0 * lc / (3000.0 - 2.0 * m.rx * lc);
+        assert!((b.l_prime - expect).abs() < 1e-3);
+        assert!(b.l_prime > lc, "L' must tighten (exceed) LC");
+        // 1/L' = 1/LC − 2Rx/I_min
+        assert!((1.0 / b.l_prime - (1.0 / lc - 2.0 * m.rx / 3000.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tightened_bound_rejects_impossible_lc() {
+        let m = EnergyModel::PAPER;
+        // Denominator zero or negative.
+        let lc = 3000.0 / (2.0 * m.rx);
+        assert!(tightened_bound(3000.0, &m, lc).is_none());
+        assert!(tightened_bound(3000.0, &m, lc * 2.0).is_none());
+        assert!(tightened_bound(3000.0, &m, -5.0).is_none());
+        assert!(tightened_bound(3000.0, &m, f64::NAN).is_none());
+    }
+
+    #[test]
+    fn l_prime_slack_is_two_children_at_imin() {
+        // For the node with I(v) = I_min, the LC children bound minus the
+        // L' children bound is exactly 2 (the token-argument slack).
+        let m = EnergyModel::PAPER;
+        let lc = 2.0e6;
+        let b = tightened_bound(3000.0, &m, lc).unwrap();
+        let at_lc = children_bound(3000.0, &m, lc);
+        let at_lp = children_bound(3000.0, &m, b.l_prime);
+        assert!((at_lc - at_lp - 2.0).abs() < 1e-6);
+    }
+}

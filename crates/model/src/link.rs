@@ -1,0 +1,255 @@
+//! Wireless links and packet reception ratios.
+
+use crate::error::ModelError;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A validated packet reception ratio (PRR) in `[0, 1]`.
+///
+/// The PRR is the paper's link-quality metric (Eq. 2): the fraction of
+/// transmitted packets that are received correctly, `q_e = N_r / N_s`.
+/// Values are guaranteed finite and within `[0, 1]` by construction.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[serde(try_from = "f64", into = "f64")]
+pub struct Prr(f64);
+
+impl Prr {
+    /// A perfectly reliable link.
+    pub const PERFECT: Prr = Prr(1.0);
+
+    /// Creates a PRR, validating the range.
+    pub fn new(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() && (0.0..=1.0).contains(&value) {
+            Ok(Prr(value))
+        } else {
+            Err(ModelError::InvalidPrr(value))
+        }
+    }
+
+    /// Creates a PRR, clamping out-of-range finite values into `[0, 1]`.
+    ///
+    /// Useful for empirical estimates perturbed by noise. Non-finite input
+    /// still fails.
+    pub fn clamped(value: f64) -> Result<Self, ModelError> {
+        if value.is_finite() {
+            Ok(Prr(value.clamp(0.0, 1.0)))
+        } else {
+            Err(ModelError::InvalidPrr(value))
+        }
+    }
+
+    /// The ratio as a plain `f64` in `[0, 1]`.
+    #[inline]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Natural-log link cost `c_e = −ln q_e` (Eq. 9, `log ETX`).
+    ///
+    /// A zero PRR yields `+∞`, which correctly makes the link unusable for
+    /// any finite-cost tree.
+    #[inline]
+    pub fn cost(self) -> f64 {
+        -self.0.ln()
+    }
+
+    /// Expected number of transmissions until success without ACKs
+    /// (`ETX = 1/q`, Eq. 9). Zero PRR yields `+∞`.
+    #[inline]
+    pub fn etx(self) -> f64 {
+        1.0 / self.0
+    }
+
+    /// Multiplies this PRR by a degradation factor, saturating at 0.
+    #[must_use]
+    pub fn degraded(self, factor: f64) -> Prr {
+        debug_assert!(factor.is_finite() && factor >= 0.0);
+        Prr((self.0 * factor).clamp(0.0, 1.0))
+    }
+}
+
+impl TryFrom<f64> for Prr {
+    type Error = ModelError;
+    fn try_from(v: f64) -> Result<Self, Self::Error> {
+        Prr::new(v)
+    }
+}
+
+impl From<Prr> for f64 {
+    fn from(p: Prr) -> f64 {
+        p.0
+    }
+}
+
+impl fmt::Debug for Prr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Prr({:.4})", self.0)
+    }
+}
+
+impl fmt::Display for Prr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+/// An undirected wireless link between two distinct nodes with its PRR.
+///
+/// Links are stored with `u < v` (normalized) so that an undirected edge has
+/// a single canonical representation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    u: NodeId,
+    v: NodeId,
+    prr: Prr,
+}
+
+impl Link {
+    /// Creates a link, normalizing the endpoint order and rejecting loops.
+    pub fn new(a: NodeId, b: NodeId, prr: Prr) -> Result<Self, ModelError> {
+        if a == b {
+            return Err(ModelError::SelfLoop(a));
+        }
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        Ok(Link { u, v, prr })
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> NodeId {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(&self) -> NodeId {
+        self.v
+    }
+
+    /// Both endpoints `(u, v)` with `u < v`.
+    #[inline]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.u, self.v)
+    }
+
+    /// This link's packet reception ratio.
+    #[inline]
+    pub fn prr(&self) -> Prr {
+        self.prr
+    }
+
+    /// Natural-log cost of the link.
+    #[inline]
+    pub fn cost(&self) -> f64 {
+        self.prr.cost()
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `node` is not an endpoint of this link.
+    #[inline]
+    pub fn other(&self, node: NodeId) -> NodeId {
+        if node == self.u {
+            self.v
+        } else if node == self.v {
+            self.u
+        } else {
+            panic!("node {node} is not an endpoint of link ({}, {})", self.u, self.v)
+        }
+    }
+
+    /// True if `node` is one of the endpoints.
+    #[inline]
+    pub fn touches(&self, node: NodeId) -> bool {
+        node == self.u || node == self.v
+    }
+
+    /// Returns a copy of the link with a different PRR.
+    #[must_use]
+    pub fn with_prr(&self, prr: Prr) -> Link {
+        Link { prr, ..*self }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn prr_validation() {
+        assert!(Prr::new(0.0).is_ok());
+        assert!(Prr::new(1.0).is_ok());
+        assert!(Prr::new(0.5).is_ok());
+        assert!(Prr::new(-0.1).is_err());
+        assert!(Prr::new(1.1).is_err());
+        assert!(Prr::new(f64::NAN).is_err());
+        assert!(Prr::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn prr_clamping() {
+        assert_eq!(Prr::clamped(1.3).unwrap().value(), 1.0);
+        assert_eq!(Prr::clamped(-0.2).unwrap().value(), 0.0);
+        assert!(Prr::clamped(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn cost_is_negative_log() {
+        let p = Prr::new(0.5).unwrap();
+        assert!((p.cost() - 0.5f64.ln().abs()).abs() < 1e-12);
+        assert_eq!(Prr::PERFECT.cost(), 0.0);
+        assert!(Prr::new(0.0).unwrap().cost().is_infinite());
+    }
+
+    #[test]
+    fn etx_is_reciprocal() {
+        assert!((Prr::new(0.25).unwrap().etx() - 4.0).abs() < 1e-12);
+        assert!(Prr::new(0.0).unwrap().etx().is_infinite());
+    }
+
+    #[test]
+    fn degradation_saturates() {
+        let p = Prr::new(0.9).unwrap();
+        assert!((p.degraded(0.5).value() - 0.45).abs() < 1e-12);
+        assert_eq!(p.degraded(0.0).value(), 0.0);
+        assert_eq!(p.degraded(2.0).value(), 1.0);
+    }
+
+    #[test]
+    fn link_normalizes_endpoints() {
+        let l = Link::new(n(5), n(2), Prr::PERFECT).unwrap();
+        assert_eq!(l.endpoints(), (n(2), n(5)));
+        assert_eq!(l.other(n(2)), n(5));
+        assert_eq!(l.other(n(5)), n(2));
+        assert!(l.touches(n(2)) && l.touches(n(5)) && !l.touches(n(3)));
+    }
+
+    #[test]
+    fn link_rejects_self_loop() {
+        assert_eq!(
+            Link::new(n(3), n(3), Prr::PERFECT).unwrap_err(),
+            ModelError::SelfLoop(n(3))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn other_panics_for_foreign_node() {
+        let l = Link::new(n(0), n(1), Prr::PERFECT).unwrap();
+        l.other(n(2));
+    }
+
+    #[test]
+    fn with_prr_replaces_quality_only() {
+        let l = Link::new(n(0), n(1), Prr::new(0.9).unwrap()).unwrap();
+        let l2 = l.with_prr(Prr::new(0.4).unwrap());
+        assert_eq!(l2.endpoints(), l.endpoints());
+        assert!((l2.prr().value() - 0.4).abs() < 1e-12);
+    }
+}

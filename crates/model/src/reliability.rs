@@ -1,0 +1,179 @@
+//! Tree reliability `Q(T)` and the cost equivalence of Lemma 3.
+
+use crate::graph::Network;
+use crate::link::Prr;
+use crate::tree::AggregationTree;
+
+/// Natural-log edge cost `c_e = −ln q_e` (Eq. 9 up to the log base, which
+/// does not affect minimizers).
+#[inline]
+pub fn edge_cost(prr: Prr) -> f64 {
+    prr.cost()
+}
+
+/// Total natural-log cost of a tree, `C(T) = Σ_{e∈T} c_e` (Eq. 10).
+///
+/// # Panics
+/// Panics if the tree uses an edge absent from the network.
+pub fn tree_cost(net: &Network, tree: &AggregationTree) -> f64 {
+    tree.edges()
+        .map(|(c, p)| {
+            let e = net
+                .find_edge(c, p)
+                .unwrap_or_else(|| panic!("tree edge ({c}, {p}) not present in the network"));
+            net.link(e).cost()
+        })
+        .sum()
+}
+
+/// Reliability of a tree: the probability that one aggregation round
+/// delivers every node's reading, `Q(T) = Π_{e∈T} q_e`.
+pub fn tree_reliability(net: &Network, tree: &AggregationTree) -> f64 {
+    (-tree_cost(net, tree)).exp()
+}
+
+/// The paper's reporting unit for costs.
+///
+/// Fitting the published (cost, reliability) pairs — MST (55, 0.963),
+/// IRA@LC1 (68, 0.954), AAML (378, 0.77) — shows the evaluation section
+/// reports `−1000·log₂ q` summed over tree edges. This type converts between
+/// the internal natural-log costs and that unit.
+#[derive(Clone, Copy, Debug, PartialEq, PartialOrd)]
+pub struct PaperCost(pub f64);
+
+impl PaperCost {
+    const SCALE: f64 = 1000.0 / std::f64::consts::LN_2;
+
+    /// Converts a natural-log cost into the paper unit.
+    #[inline]
+    pub fn from_nat(nat_cost: f64) -> Self {
+        PaperCost(nat_cost * Self::SCALE)
+    }
+
+    /// Converts back into a natural-log cost.
+    #[inline]
+    pub fn to_nat(self) -> f64 {
+        self.0 / Self::SCALE
+    }
+
+    /// Reliability implied by this cost: `Q = 2^(−cost/1000)`.
+    #[inline]
+    pub fn reliability(self) -> f64 {
+        (-self.to_nat()).exp()
+    }
+
+    /// Paper-unit cost of a whole tree.
+    pub fn of_tree(net: &Network, tree: &AggregationTree) -> Self {
+        Self::from_nat(tree_cost(net, tree))
+    }
+}
+
+impl std::fmt::Display for PaperCost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+    use crate::id::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The toy network of Fig. 4: 6 nodes (sink 0 plus 1..5).
+    ///
+    /// Tree (a) uses links with PRRs {0.8, 0.5, 0.9, 1.0, 1.0} → Q = 0.36;
+    /// tree (b) swaps the 0.5 link for a 0.9 one → Q = 0.648.
+    fn fig4_network() -> Network {
+        let mut b = NetworkBuilder::new(6);
+        b.add_edge(4, 0, 1.0).unwrap(); // 4 → sink
+        b.add_edge(5, 0, 1.0).unwrap(); // 5 → sink
+        b.add_edge(2, 4, 0.5).unwrap(); // tree (a) edge
+        b.add_edge(3, 4, 0.9).unwrap();
+        b.add_edge(1, 5, 0.8).unwrap();
+        b.add_edge(2, 5, 0.9).unwrap(); // tree (b) alternative for node 2
+        b.build().unwrap()
+    }
+
+    fn tree_a(net: &Network) -> AggregationTree {
+        let edges = [(n(4), n(0)), (n(5), n(0)), (n(2), n(4)), (n(3), n(4)), (n(1), n(5))];
+        let t = AggregationTree::from_edges(n(0), 6, &edges).unwrap();
+        assert_eq!(net.n(), 6);
+        t
+    }
+
+    fn tree_b(net: &Network) -> AggregationTree {
+        let edges = [(n(4), n(0)), (n(5), n(0)), (n(2), n(5)), (n(3), n(4)), (n(1), n(5))];
+        let t = AggregationTree::from_edges(n(0), 6, &edges).unwrap();
+        assert_eq!(net.n(), 6);
+        t
+    }
+
+    #[test]
+    fn fig4_tree_a_reliability() {
+        let net = fig4_network();
+        let q = tree_reliability(&net, &tree_a(&net));
+        assert!((q - 0.36).abs() < 1e-12, "Q(a) = {q}");
+    }
+
+    #[test]
+    fn fig4_tree_b_reliability() {
+        let net = fig4_network();
+        let q = tree_reliability(&net, &tree_b(&net));
+        assert!((q - 0.648).abs() < 1e-12, "Q(b) = {q}");
+    }
+
+    #[test]
+    fn lemma3_cost_equals_neg_log_reliability() {
+        let net = fig4_network();
+        for t in [tree_a(&net), tree_b(&net)] {
+            let c = tree_cost(&net, &t);
+            let q = tree_reliability(&net, &t);
+            assert!((c + q.ln()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lower_cost_means_higher_reliability() {
+        let net = fig4_network();
+        let (ca, cb) = (tree_cost(&net, &tree_a(&net)), tree_cost(&net, &tree_b(&net)));
+        assert!(cb < ca);
+        assert!(tree_reliability(&net, &tree_b(&net)) > tree_reliability(&net, &tree_a(&net)));
+    }
+
+    #[test]
+    fn paper_cost_roundtrip_and_calibration() {
+        // The paper's MST point: cost 55 ↔ reliability 0.963.
+        let pc = PaperCost(55.0);
+        assert!((pc.reliability() - 0.963).abs() < 5e-4, "rel = {}", pc.reliability());
+        // IRA@LC1: cost 68 ↔ 0.954.
+        assert!((PaperCost(68.0).reliability() - 0.954).abs() < 1e-3);
+        // AAML: cost 378 ↔ 0.77.
+        assert!((PaperCost(378.0).reliability() - 0.77).abs() < 2e-3);
+        // Roundtrip.
+        let nat = 0.1234;
+        assert!((PaperCost::from_nat(nat).to_nat() - nat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_cost_of_tree_matches_manual() {
+        let net = fig4_network();
+        let t = tree_b(&net);
+        let pc = PaperCost::of_tree(&net, &t);
+        assert!((pc.to_nat() - tree_cost(&net, &t)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not present in the network")]
+    fn tree_cost_panics_on_foreign_edge() {
+        let net = fig4_network();
+        // Tree uses edge (1,4) which is not in the network.
+        let edges = [(n(4), n(0)), (n(5), n(0)), (n(2), n(4)), (n(3), n(4)), (n(1), n(4))];
+        let t = AggregationTree::from_edges(n(0), 6, &edges).unwrap();
+        tree_cost(&net, &t);
+    }
+}

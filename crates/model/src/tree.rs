@@ -1,0 +1,505 @@
+//! Rooted data-aggregation trees.
+
+use crate::error::ModelError;
+use crate::id::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A spanning tree of the network rooted at the sink.
+///
+/// Every non-root node knows its parent (the next hop toward the sink); the
+/// children lists are kept in sync so that both directions of traversal are
+/// cheap. `Ch_T(v)` — the number of children, which drives Eq. 1's lifetime —
+/// is `children(v).len()`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AggregationTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+}
+
+impl AggregationTree {
+    /// Builds a tree from a parent assignment.
+    ///
+    /// `parents[v]` must be `None` exactly for `v == root`, and following
+    /// parents from any node must reach the root (no cycles, no forests).
+    pub fn from_parents(root: NodeId, parents: Vec<Option<NodeId>>) -> Result<Self, ModelError> {
+        let n = parents.len();
+        if n == 0 {
+            return Err(ModelError::Empty);
+        }
+        if root.index() >= n {
+            return Err(ModelError::NodeOutOfRange { node: root, n });
+        }
+        if parents[root.index()].is_some() {
+            return Err(ModelError::NotATree(format!("root {root} has a parent")));
+        }
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, p) in parents.iter().enumerate() {
+            match p {
+                None if i != root.index() => {
+                    return Err(ModelError::NotATree(format!(
+                        "non-root node {i} has no parent"
+                    )));
+                }
+                None => {}
+                Some(p) => {
+                    if p.index() >= n {
+                        return Err(ModelError::NodeOutOfRange { node: *p, n });
+                    }
+                    if p.index() == i {
+                        return Err(ModelError::SelfLoop(NodeId::new(i)));
+                    }
+                    children[p.index()].push(NodeId::new(i));
+                }
+            }
+        }
+        let tree = AggregationTree { root, parent: parents, children };
+        // Reachability check: every node must reach the root.
+        let mut visited = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        visited[root.index()] = true;
+        order.push(root);
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            for &c in &tree.children[u.index()] {
+                if visited[c.index()] {
+                    return Err(ModelError::NotATree(format!("node {c} visited twice")));
+                }
+                visited[c.index()] = true;
+                order.push(c);
+            }
+        }
+        if order.len() != n {
+            return Err(ModelError::NotATree(format!(
+                "only {} of {} nodes reachable from root",
+                order.len(),
+                n
+            )));
+        }
+        Ok(tree)
+    }
+
+    /// Builds a tree from an undirected edge list by orienting edges away
+    /// from `root` (BFS). The edge list must contain exactly `n − 1` edges
+    /// that connect all `n` nodes.
+    pub fn from_edges(
+        root: NodeId,
+        n: usize,
+        edges: &[(NodeId, NodeId)],
+    ) -> Result<Self, ModelError> {
+        if n == 0 {
+            return Err(ModelError::Empty);
+        }
+        if edges.len() != n - 1 {
+            return Err(ModelError::NotATree(format!(
+                "{} edges given, a spanning tree of {n} nodes has {}",
+                edges.len(),
+                n - 1
+            )));
+        }
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            if a.index() >= n {
+                return Err(ModelError::NodeOutOfRange { node: a, n });
+            }
+            if b.index() >= n {
+                return Err(ModelError::NodeOutOfRange { node: b, n });
+            }
+            if a == b {
+                return Err(ModelError::SelfLoop(a));
+            }
+            adj[a.index()].push(b);
+            adj[b.index()].push(a);
+        }
+        let mut parents: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        visited[root.index()] = true;
+        queue.push_back(root);
+        let mut reached = 1usize;
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u.index()] {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    parents[v.index()] = Some(u);
+                    reached += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if reached != n {
+            return Err(ModelError::NotATree(format!(
+                "edge list connects only {reached} of {n} nodes (cycle elsewhere)"
+            )));
+        }
+        Self::from_parents(root, parents)
+    }
+
+    /// The root (sink).
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent of `v`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Children of `v` (aggregation sources for `v`).
+    #[inline]
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        &self.children[v.index()]
+    }
+
+    /// `Ch_T(v)`: the number of children of `v` (Eq. 1).
+    #[inline]
+    pub fn num_children(&self, v: NodeId) -> usize {
+        self.children[v.index()].len()
+    }
+
+    /// Tree degree of `v` (children plus the parent edge, if any).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.num_children(v) + usize::from(self.parent[v.index()].is_some())
+    }
+
+    /// True if `v` is a leaf (no children). The root of a 1-node tree is a
+    /// leaf too.
+    #[inline]
+    pub fn is_leaf(&self, v: NodeId) -> bool {
+        self.children[v.index()].is_empty()
+    }
+
+    /// Iterator over the `n − 1` tree edges as `(child, parent)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (NodeId::new(i), p)))
+    }
+
+    /// True if `{a, b}` is a tree edge (in either orientation).
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.parent[a.index()] == Some(b) || self.parent[b.index()] == Some(a)
+    }
+
+    /// Nodes in BFS order from the root (parents before children).
+    pub fn bfs_order(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.n());
+        order.push(self.root);
+        let mut head = 0;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            order.extend_from_slice(&self.children[u.index()]);
+        }
+        order
+    }
+
+    /// Nodes in post-order (children before parents) — the order in which a
+    /// data-aggregation round proceeds.
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut order = self.bfs_order();
+        order.reverse();
+        order
+    }
+
+    /// Depth of `v` (root has depth 0).
+    pub fn depth(&self, v: NodeId) -> usize {
+        let mut d = 0;
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// All nodes in the subtree rooted at `v`, including `v`.
+    pub fn subtree(&self, v: NodeId) -> Vec<NodeId> {
+        let mut out = vec![v];
+        let mut head = 0;
+        while head < out.len() {
+            let u = out[head];
+            head += 1;
+            out.extend_from_slice(&self.children[u.index()]);
+        }
+        out
+    }
+
+    /// True if `node` lies in the subtree rooted at `ancestor`.
+    pub fn in_subtree(&self, node: NodeId, ancestor: NodeId) -> bool {
+        let mut cur = node;
+        loop {
+            if cur == ancestor {
+                return true;
+            }
+            match self.parent[cur.index()] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Moves `child` under `new_parent`, preserving the tree property.
+    ///
+    /// This is the primitive behind both AAML's bottleneck relief and the
+    /// distributed protocol's parent change. Fails if `child` is the root or
+    /// if `new_parent` lies inside `child`'s subtree (which would create a
+    /// cycle).
+    pub fn reattach(&mut self, child: NodeId, new_parent: NodeId) -> Result<(), ModelError> {
+        let Some(old_parent) = self.parent[child.index()] else {
+            return Err(ModelError::NotATree(format!("cannot reattach the root {child}")));
+        };
+        if new_parent == child {
+            return Err(ModelError::SelfLoop(child));
+        }
+        if self.in_subtree(new_parent, child) {
+            return Err(ModelError::NotATree(format!(
+                "new parent {new_parent} is inside the subtree of {child}"
+            )));
+        }
+        if old_parent == new_parent {
+            return Ok(());
+        }
+        let siblings = &mut self.children[old_parent.index()];
+        let pos = siblings
+            .iter()
+            .position(|&c| c == child)
+            .expect("child missing from its parent's list");
+        siblings.swap_remove(pos);
+        self.children[new_parent.index()].push(child);
+        self.parent[child.index()] = Some(new_parent);
+        Ok(())
+    }
+
+    /// Total number of packet transmissions in one fully successful
+    /// aggregation round: each non-root node sends exactly once.
+    #[inline]
+    pub fn transmissions_per_round(&self) -> usize {
+        self.n() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The paper's Fig. 5(a) tree:
+    /// 0—7, 0—4, 0—8, 4—3, 4—2, 2—6, 8—5, 8—1.
+    pub(crate) fn fig5_tree() -> AggregationTree {
+        let edges = [
+            (n(0), n(7)),
+            (n(0), n(4)),
+            (n(0), n(8)),
+            (n(4), n(3)),
+            (n(4), n(2)),
+            (n(2), n(6)),
+            (n(8), n(5)),
+            (n(8), n(1)),
+        ];
+        AggregationTree::from_edges(n(0), 9, &edges).unwrap()
+    }
+
+    #[test]
+    fn fig5_structure() {
+        let t = fig5_tree();
+        assert_eq!(t.num_children(n(0)), 3);
+        assert_eq!(t.num_children(n(4)), 2);
+        assert_eq!(t.num_children(n(8)), 2);
+        assert_eq!(t.num_children(n(2)), 1);
+        for leaf in [1, 3, 5, 6, 7] {
+            assert!(t.is_leaf(n(leaf)), "node {leaf} should be a leaf");
+        }
+        assert_eq!(t.parent(n(6)), Some(n(2)));
+        assert_eq!(t.parent(n(0)), None);
+    }
+
+    #[test]
+    fn from_parents_rejects_cycles() {
+        // 0 <- 1 <- 2 <- 1 is impossible via parents, but 1 <-> 2 cycle with
+        // root 0 unreached by them:
+        let parents = vec![None, Some(n(2)), Some(n(1))];
+        assert!(matches!(
+            AggregationTree::from_parents(n(0), parents),
+            Err(ModelError::NotATree(_))
+        ));
+    }
+
+    #[test]
+    fn from_parents_rejects_parented_root() {
+        let parents = vec![Some(n(1)), None];
+        assert!(AggregationTree::from_parents(n(0), parents).is_err());
+    }
+
+    #[test]
+    fn from_parents_rejects_orphans() {
+        let parents = vec![None, None];
+        assert!(AggregationTree::from_parents(n(0), parents).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_wrong_count() {
+        assert!(AggregationTree::from_edges(n(0), 3, &[(n(0), n(1))]).is_err());
+    }
+
+    #[test]
+    fn from_edges_rejects_cycle_plus_isolated() {
+        // Triangle on {0,1,2} plus isolated 3: 3 edges for n=4 but cyclic.
+        let edges = [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))];
+        assert!(AggregationTree::from_edges(n(0), 4, &edges).is_err());
+    }
+
+    #[test]
+    fn traversal_orders() {
+        let t = fig5_tree();
+        let bfs = t.bfs_order();
+        assert_eq!(bfs[0], n(0));
+        assert_eq!(bfs.len(), 9);
+        let post = t.post_order();
+        assert_eq!(*post.last().unwrap(), n(0));
+        // children appear before parents in post-order
+        let pos = |v: NodeId| post.iter().position(|&x| x == v).unwrap();
+        assert!(pos(n(6)) < pos(n(2)));
+        assert!(pos(n(2)) < pos(n(4)));
+        assert!(pos(n(4)) < pos(n(0)));
+    }
+
+    #[test]
+    fn depth_and_subtree() {
+        let t = fig5_tree();
+        assert_eq!(t.depth(n(0)), 0);
+        assert_eq!(t.depth(n(6)), 3);
+        let mut sub = t.subtree(n(4));
+        sub.sort();
+        assert_eq!(sub, vec![n(2), n(3), n(4), n(6)]);
+        assert!(t.in_subtree(n(6), n(4)));
+        assert!(!t.in_subtree(n(5), n(4)));
+    }
+
+    #[test]
+    fn reattach_moves_child() {
+        let mut t = fig5_tree();
+        t.reattach(n(6), n(8)).unwrap();
+        assert_eq!(t.parent(n(6)), Some(n(8)));
+        assert_eq!(t.num_children(n(2)), 0);
+        assert_eq!(t.num_children(n(8)), 3);
+        // Still a valid tree: rebuild from parents must succeed.
+        let parents = (0..9).map(|i| t.parent(n(i))).collect();
+        AggregationTree::from_parents(n(0), parents).unwrap();
+    }
+
+    #[test]
+    fn reattach_rejects_cycle() {
+        let mut t = fig5_tree();
+        // 4's subtree contains 6; moving 4 under 6 would loop.
+        assert!(t.reattach(n(4), n(6)).is_err());
+        // Root can't be reattached.
+        assert!(t.reattach(n(0), n(4)).is_err());
+        // Self-parenting rejected.
+        assert!(t.reattach(n(4), n(4)).is_err());
+    }
+
+    #[test]
+    fn reattach_same_parent_is_noop() {
+        let mut t = fig5_tree();
+        t.reattach(n(6), n(2)).unwrap();
+        assert_eq!(t.parent(n(6)), Some(n(2)));
+        assert_eq!(t.num_children(n(2)), 1);
+    }
+
+    #[test]
+    fn edges_and_contains() {
+        let t = fig5_tree();
+        assert_eq!(t.edges().count(), 8);
+        assert!(t.contains_edge(n(2), n(6)));
+        assert!(t.contains_edge(n(6), n(2)));
+        assert!(!t.contains_edge(n(6), n(8)));
+        assert_eq!(t.transmissions_per_round(), 8);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_tree() -> impl Strategy<Value = AggregationTree> {
+            (2usize..24).prop_flat_map(|nn| {
+                let parents: Vec<BoxedStrategy<usize>> =
+                    (1..nn).map(|i| (0..i).boxed()).collect();
+                parents.prop_map(move |ps| {
+                    let mut parents: Vec<Option<NodeId>> = vec![None];
+                    parents.extend(ps.into_iter().map(|p| Some(NodeId::new(p))));
+                    AggregationTree::from_parents(NodeId::SINK, parents).unwrap()
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn random_reattach_sequences_preserve_the_tree(
+                tree in arb_tree(),
+                moves in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..20),
+            ) {
+                let mut t = tree;
+                let nn = t.n();
+                for (a, b) in moves {
+                    let child = NodeId::new(1 + (a as usize) % (nn - 1));
+                    let parent = NodeId::new((b as usize) % nn);
+                    let _ = t.reattach(child, parent); // invalid moves must be rejected…
+                    // …and after every attempt the structure stays a tree.
+                    let parents: Vec<Option<NodeId>> =
+                        (0..nn).map(|i| t.parent(NodeId::new(i))).collect();
+                    let rebuilt = AggregationTree::from_parents(NodeId::SINK, parents);
+                    prop_assert!(rebuilt.is_ok(), "tree invariant broken");
+                    prop_assert_eq!(t.edges().count(), nn - 1);
+                }
+            }
+
+            #[test]
+            fn traversals_cover_every_node_exactly_once(tree in arb_tree()) {
+                let nn = tree.n();
+                for order in [tree.bfs_order(), tree.post_order()] {
+                    let mut seen = vec![false; nn];
+                    for v in &order {
+                        prop_assert!(!seen[v.index()], "duplicate in traversal");
+                        seen[v.index()] = true;
+                    }
+                    prop_assert!(seen.iter().all(|&s| s));
+                }
+            }
+
+            #[test]
+            fn subtree_sizes_sum_like_a_tree(tree in arb_tree()) {
+                // Σ_v |subtree(v)| = Σ_v (depth(v) + 1).
+                let nn = tree.n();
+                let total_sub: usize =
+                    (0..nn).map(|i| tree.subtree(NodeId::new(i)).len()).sum();
+                let total_depth: usize =
+                    (0..nn).map(|i| tree.depth(NodeId::new(i)) + 1).sum();
+                prop_assert_eq!(total_sub, total_depth);
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = AggregationTree::from_parents(n(0), vec![None]).unwrap();
+        assert!(t.is_leaf(n(0)));
+        assert_eq!(t.edges().count(), 0);
+        assert_eq!(t.transmissions_per_round(), 0);
+    }
+}

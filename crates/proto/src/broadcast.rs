@@ -1,0 +1,50 @@
+//! Message accounting for update dissemination.
+
+use wsn_model::AggregationTree;
+
+/// Messages needed to flood one Parent-Changing record to every sensor:
+/// each **non-leaf** node forwards the record once (leaves only receive).
+/// This is the quantity Fig. 13 tracks, "less than 10 messages" per update
+/// at n = 16.
+pub fn broadcast_message_count(tree: &AggregationTree) -> usize {
+    (0..tree.n())
+        .filter(|&i| !tree.is_leaf(wsn_model::NodeId::new(i)))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NodeId;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn path_has_all_but_one_forwarder() {
+        // 0-1-2-3: non-leaves are 0, 1, 2.
+        let edges = [(n(0), n(1)), (n(1), n(2)), (n(2), n(3))];
+        let t = AggregationTree::from_edges(n(0), 4, &edges).unwrap();
+        assert_eq!(broadcast_message_count(&t), 3);
+    }
+
+    #[test]
+    fn star_has_single_forwarder() {
+        let edges = [(n(0), n(1)), (n(0), n(2)), (n(0), n(3))];
+        let t = AggregationTree::from_edges(n(0), 4, &edges).unwrap();
+        assert_eq!(broadcast_message_count(&t), 1);
+    }
+
+    #[test]
+    fn sixteen_node_trees_stay_under_ten_for_bushy_shapes() {
+        // A 2-ary tree over 16 nodes: 7 internal nodes < 10 (the Fig. 13
+        // claim holds for the bushy trees IRA produces).
+        let mut parents: Vec<Option<NodeId>> = vec![None];
+        for i in 1..16 {
+            parents.push(Some(n((i - 1) / 2)));
+        }
+        let t = AggregationTree::from_parents(n(0), parents).unwrap();
+        assert!(broadcast_message_count(&t) < 10);
+    }
+}

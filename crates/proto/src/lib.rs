@@ -1,0 +1,38 @@
+//! The Prüfer-code based distributed updating protocol (§VI).
+//!
+//! Every sensor holds the same `(P, D)` coded-tree state
+//! ([`wsn_prufer::CodedTree`]); updates are decided from information a node
+//! actually has in a deployment — its own neighbourhood's link qualities,
+//! its energy, and the child counts readable off the Prüfer code (Eq. 23) —
+//! then broadcast as a single *Parent-Changing* record that every receiver
+//! splices identically.
+//!
+//! Two triggers (§VI-B):
+//!
+//! * **Link getting worse** ([`ProtocolState::handle_link_worse`]): the
+//!   child of the degraded tree edge re-homes to the neighbour outside its
+//!   own component with the best link quality that can still accept a child
+//!   under the lifetime constraint.
+//! * **Link getting better** ([`ProtocolState::handle_link_better`], the
+//!   ILU of Algorithm 4): an improved non-tree link may replace the
+//!   costlier of its endpoints' parent links; the displaced parent link is
+//!   then re-examined as a fresh "link getting better", walking the cycle
+//!   iteratively with only two-neighbour information. Each accepted swap
+//!   strictly lowers the tree cost, so the walk terminates.
+//!
+//! [`broadcast`] accounts messages the way the paper's Fig. 13 does: one
+//! forward per non-leaf node per update. [`runner`] drives the Fig. 11–13
+//! experiment (random tree-edge degradations, distributed repair vs.
+//! centralized re-runs of IRA).
+
+pub mod broadcast;
+pub mod messages;
+pub mod network_sim;
+pub mod runner;
+pub mod update;
+
+pub use broadcast::broadcast_message_count;
+pub use messages::{Message, WireError};
+pub use network_sim::{DistributedNetwork, SensorNode};
+pub use runner::{run_link_dynamics, DynamicsConfig, DynamicsRecord};
+pub use update::{ProtocolState, UpdateOutcome};

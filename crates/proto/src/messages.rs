@@ -1,0 +1,288 @@
+//! Wire format for the protocol's over-the-air messages.
+//!
+//! Two message kinds exist in §VI-B:
+//!
+//! * **TreeAnnounce** — the sink's initial broadcast of the full Prüfer
+//!   code after centralized construction ("Once an aggregation tree is
+//!   constructed, the sink calculates the Prüfer code and broadcasts to all
+//!   sensors").
+//! * **ParentChange** — the incremental update: `(child, new_parent)` plus
+//!   a sequence number so replicas apply updates exactly once and in
+//!   order.
+//!
+//! Frames are tiny by design — the paper's radio payload is 34 bytes, and
+//! the ParentChange frame is 12 bytes, so a single packet carries it. Each
+//! frame ends with a 16-bit one's-complement checksum (IP-style) so
+//! corrupted frames are rejected rather than decoded into bogus splices.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use wsn_model::NodeId;
+
+/// Message kinds on the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// Full-code broadcast from the sink.
+    TreeAnnounce {
+        /// Monotone epoch (bumped on every centralized rebuild).
+        epoch: u16,
+        /// Number of nodes (the code has `n − 2` labels).
+        n: u16,
+        /// The Prüfer code `P`.
+        code: Vec<NodeId>,
+    },
+    /// Incremental parent change.
+    ParentChange {
+        /// Epoch this update belongs to.
+        epoch: u16,
+        /// Per-epoch sequence number (replicas apply in order).
+        seq: u16,
+        /// The node changing its parent.
+        child: NodeId,
+        /// Its new parent.
+        new_parent: NodeId,
+    },
+}
+
+/// Errors raised while decoding a frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame is shorter than its header claims.
+    Truncated,
+    /// Unknown message tag.
+    UnknownTag(u8),
+    /// Checksum mismatch — the frame was corrupted in flight.
+    Checksum {
+        /// Checksum carried by the frame.
+        expected: u16,
+        /// Checksum computed over the received bytes.
+        actual: u16,
+    },
+    /// A label exceeded the node-count bound.
+    LabelOutOfRange,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
+            WireError::Checksum { expected, actual } => {
+                write!(f, "checksum mismatch: frame says {expected:#06x}, computed {actual:#06x}")
+            }
+            WireError::LabelOutOfRange => write!(f, "node label out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const TAG_ANNOUNCE: u8 = 0xA1;
+const TAG_PARENT_CHANGE: u8 = 0xA2;
+
+/// IP-style 16-bit one's-complement checksum.
+fn checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+impl Message {
+    /// Encodes the message into a checksummed frame.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(16);
+        match self {
+            Message::TreeAnnounce { epoch, n, code } => {
+                b.put_u8(TAG_ANNOUNCE);
+                b.put_u16(*epoch);
+                b.put_u16(*n);
+                debug_assert_eq!(code.len(), (*n as usize).saturating_sub(2));
+                for label in code {
+                    b.put_u16(label.label() as u16);
+                }
+            }
+            Message::ParentChange { epoch, seq, child, new_parent } => {
+                b.put_u8(TAG_PARENT_CHANGE);
+                b.put_u16(*epoch);
+                b.put_u16(*seq);
+                b.put_u16(child.label() as u16);
+                b.put_u16(new_parent.label() as u16);
+            }
+        }
+        let cs = checksum(&b);
+        b.put_u16(cs);
+        b.freeze()
+    }
+
+    /// Decodes and validates one frame.
+    pub fn decode(frame: &[u8]) -> Result<Message, WireError> {
+        if frame.len() < 3 {
+            return Err(WireError::Truncated);
+        }
+        let (body, trailer) = frame.split_at(frame.len() - 2);
+        let expected = u16::from_be_bytes([trailer[0], trailer[1]]);
+        let actual = checksum(body);
+        if expected != actual {
+            return Err(WireError::Checksum { expected, actual });
+        }
+        let mut buf = body;
+        let tag = buf.get_u8();
+        match tag {
+            TAG_ANNOUNCE => {
+                if buf.remaining() < 4 {
+                    return Err(WireError::Truncated);
+                }
+                let epoch = buf.get_u16();
+                let n = buf.get_u16();
+                let want = (n as usize).saturating_sub(2);
+                if buf.remaining() != 2 * want {
+                    return Err(WireError::Truncated);
+                }
+                let mut code = Vec::with_capacity(want);
+                for _ in 0..want {
+                    let label = buf.get_u16();
+                    if u32::from(label) >= u32::from(n) {
+                        return Err(WireError::LabelOutOfRange);
+                    }
+                    code.push(NodeId::from(u32::from(label)));
+                }
+                Ok(Message::TreeAnnounce { epoch, n, code })
+            }
+            TAG_PARENT_CHANGE => {
+                if buf.remaining() != 8 {
+                    return Err(WireError::Truncated);
+                }
+                let epoch = buf.get_u16();
+                let seq = buf.get_u16();
+                let child = NodeId::from(u32::from(buf.get_u16()));
+                let new_parent = NodeId::from(u32::from(buf.get_u16()));
+                Ok(Message::ParentChange { epoch, seq, child, new_parent })
+            }
+            other => Err(WireError::UnknownTag(other)),
+        }
+    }
+
+    /// Frame size in bytes (useful for packet-budget checks).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::TreeAnnounce { code, .. } => 1 + 2 + 2 + 2 * code.len() + 2,
+            Message::ParentChange { .. } => 1 + 2 + 2 + 2 + 2 + 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn parent_change_roundtrip() {
+        let m = Message::ParentChange { epoch: 3, seq: 17, child: n(4), new_parent: n(7) };
+        let frame = m.encode();
+        assert_eq!(frame.len(), m.encoded_len());
+        assert_eq!(Message::decode(&frame).unwrap(), m);
+    }
+
+    #[test]
+    fn announce_roundtrip() {
+        let code: Vec<NodeId> = [0usize, 2, 8, 4, 4, 0, 8].iter().map(|&i| n(i)).collect();
+        let m = Message::TreeAnnounce { epoch: 1, n: 9, code };
+        let frame = m.encode();
+        assert_eq!(frame.len(), m.encoded_len());
+        assert_eq!(Message::decode(&frame).unwrap(), m);
+    }
+
+    #[test]
+    fn parent_change_fits_one_radio_packet() {
+        // The paper's packets are 34 bytes; the incremental update must fit
+        // with room for MAC headers.
+        let m = Message::ParentChange { epoch: 1, seq: 1, child: n(15), new_parent: n(3) };
+        assert!(m.encoded_len() <= 12, "frame is {} bytes", m.encoded_len());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let m = Message::ParentChange { epoch: 9, seq: 1, child: n(2), new_parent: n(5) };
+        let mut bytes = m.encode().to_vec();
+        for i in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            let res = Message::decode(&corrupted);
+            assert!(
+                res != Ok(m.clone()),
+                "flipping byte {i} went unnoticed"
+            );
+        }
+        // Untouched frame still decodes.
+        bytes.rotate_left(0);
+        assert_eq!(Message::decode(&bytes).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let m = Message::TreeAnnounce { epoch: 1, n: 9, code: vec![n(0); 7] };
+        let frame = m.encode();
+        for cut in 0..frame.len() {
+            assert!(Message::decode(&frame[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        // Build a validly checksummed frame with a bogus tag.
+        let mut b = vec![0x77u8, 0, 1];
+        let cs = super::checksum(&b);
+        b.extend_from_slice(&cs.to_be_bytes());
+        assert_eq!(Message::decode(&b), Err(WireError::UnknownTag(0x77)));
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        // Announce for n=4 with a label 9.
+        let mut b = vec![TAG_ANNOUNCE];
+        b.extend_from_slice(&1u16.to_be_bytes()); // epoch
+        b.extend_from_slice(&4u16.to_be_bytes()); // n
+        b.extend_from_slice(&9u16.to_be_bytes()); // label 9 (invalid)
+        b.extend_from_slice(&0u16.to_be_bytes()); // label 0
+        let cs = super::checksum(&b);
+        b.extend_from_slice(&cs.to_be_bytes());
+        assert_eq!(Message::decode(&b), Err(WireError::LabelOutOfRange));
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_any_parent_change(
+                epoch in any::<u16>(), seq in any::<u16>(),
+                child in 0u16..1000, parent in 0u16..1000,
+            ) {
+                let m = Message::ParentChange {
+                    epoch, seq,
+                    child: NodeId::from(u32::from(child)),
+                    new_parent: NodeId::from(u32::from(parent)),
+                };
+                prop_assert_eq!(Message::decode(&m.encode()).unwrap(), m);
+            }
+
+            #[test]
+            fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let _ = Message::decode(&bytes); // must not panic
+            }
+        }
+    }
+}

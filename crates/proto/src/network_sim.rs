@@ -1,0 +1,395 @@
+//! A per-node message-passing simulation of the protocol.
+//!
+//! [`ProtocolState`](crate::update::ProtocolState) models the *replicated*
+//! state; this module drops to one level of realism below: every sensor is
+//! an independent [`SensorNode`] holding its own copy of the coded tree,
+//! and all coordination happens through encoded [`Message`] frames flooded
+//! hop-by-hop over the current tree. Replicas converge because every node
+//! decodes the same byte frames and applies the same deterministic splice —
+//! the property the paper's protocol rests on ("every node could get the
+//! same P' and D'").
+
+use crate::messages::{Message, WireError};
+use bytes::Bytes;
+use wsn_model::{AggregationTree, NodeId};
+use wsn_prufer::{CodedTree, PruferCode, PruferError};
+
+/// One sensor's private protocol state.
+#[derive(Clone, Debug)]
+pub struct SensorNode {
+    id: NodeId,
+    /// Installed coded tree; `None` until the first announce arrives.
+    state: Option<CodedTree>,
+    /// Epoch of the installed tree.
+    epoch: u16,
+    /// Next expected per-epoch sequence number.
+    next_seq: u16,
+    /// Frames this node transmitted.
+    pub sent_frames: usize,
+    /// Frames this node received and accepted.
+    pub accepted_frames: usize,
+    /// Frames rejected (corrupt, stale, out of order).
+    pub rejected_frames: usize,
+}
+
+/// Errors surfaced by the node state machine.
+#[derive(Debug, PartialEq)]
+pub enum SimError {
+    /// A frame failed wire validation.
+    Wire(WireError),
+    /// A splice was invalid against the local state.
+    Splice(PruferError),
+    /// An update arrived before any tree was installed.
+    NoTree(NodeId),
+    /// The update's sequence number was not the expected one.
+    OutOfOrder {
+        /// The receiving node.
+        node: NodeId,
+        /// Expected sequence number.
+        expected: u16,
+        /// Received sequence number.
+        got: u16,
+    },
+}
+
+impl SensorNode {
+    fn new(id: NodeId) -> Self {
+        SensorNode {
+            id,
+            state: None,
+            epoch: 0,
+            next_seq: 0,
+            sent_frames: 0,
+            accepted_frames: 0,
+            rejected_frames: 0,
+        }
+    }
+
+    /// Processes one received frame, updating local state.
+    fn receive(&mut self, frame: &[u8]) -> Result<(), SimError> {
+        let msg = match Message::decode(frame) {
+            Ok(m) => m,
+            Err(e) => {
+                self.rejected_frames += 1;
+                return Err(SimError::Wire(e));
+            }
+        };
+        match msg {
+            Message::TreeAnnounce { epoch, n, code } => {
+                if self.state.is_some() && epoch <= self.epoch {
+                    self.rejected_frames += 1;
+                    return Ok(()); // stale rebroadcast; ignore silently
+                }
+                let code = PruferCode::from_labels(n as usize, code)
+                    .map_err(SimError::Splice)?;
+                let decoded = code.decode().map_err(SimError::Splice)?;
+                self.state = Some(
+                    CodedTree::from_tree(&decoded.tree).map_err(SimError::Splice)?,
+                );
+                self.epoch = epoch;
+                self.next_seq = 0;
+                self.accepted_frames += 1;
+                Ok(())
+            }
+            Message::ParentChange { epoch, seq, child, new_parent } => {
+                let Some(state) = self.state.as_mut() else {
+                    self.rejected_frames += 1;
+                    return Err(SimError::NoTree(self.id));
+                };
+                if epoch != self.epoch {
+                    self.rejected_frames += 1;
+                    return Ok(()); // belongs to a different tree generation
+                }
+                if seq != self.next_seq {
+                    self.rejected_frames += 1;
+                    return Err(SimError::OutOfOrder {
+                        node: self.id,
+                        expected: self.next_seq,
+                        got: seq,
+                    });
+                }
+                state.change_parent(child, new_parent).map_err(SimError::Splice)?;
+                self.next_seq += 1;
+                self.accepted_frames += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// The locally installed tree, if any.
+    pub fn tree(&self) -> Option<AggregationTree> {
+        self.state.as_ref().map(CodedTree::to_tree)
+    }
+}
+
+/// The whole deployment: `n` independent sensors plus a lossless control
+/// channel flooded over the current tree (the paper assumes update frames
+/// are delivered; loss-handling for data packets is the data plane's
+/// business).
+#[derive(Clone, Debug)]
+pub struct DistributedNetwork {
+    nodes: Vec<SensorNode>,
+    epoch: u16,
+    seq: u16,
+    /// Total frames transmitted since construction.
+    pub total_frames: usize,
+}
+
+impl DistributedNetwork {
+    /// Creates `n` blank sensors.
+    pub fn new(n: usize) -> Self {
+        DistributedNetwork {
+            nodes: (0..n).map(|i| SensorNode::new(NodeId::new(i))).collect(),
+            epoch: 0,
+            seq: 0,
+            total_frames: 0,
+        }
+    }
+
+    /// Number of sensors.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Access a sensor's state.
+    pub fn node(&self, v: NodeId) -> &SensorNode {
+        &self.nodes[v.index()]
+    }
+
+    /// Floods a frame from `origin` over `tree`: every node receives it
+    /// once; every node that has tree-neighbours left to cover forwards it
+    /// once. Returns the number of transmissions.
+    fn flood(&mut self, tree: &AggregationTree, origin: NodeId, frame: &Bytes) -> usize {
+        // BFS over the tree from the origin; a node transmits iff it has at
+        // least one not-yet-covered neighbour (the origin always transmits).
+        let n = tree.n();
+        let mut order = vec![origin];
+        let mut seen = vec![false; n];
+        seen[origin.index()] = true;
+        let mut head = 0;
+        let mut transmissions = 0usize;
+        while head < order.len() {
+            let u = order[head];
+            head += 1;
+            let mut fresh = Vec::new();
+            for v in tree
+                .children(u)
+                .iter()
+                .copied()
+                .chain(tree.parent(u))
+            {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    fresh.push(v);
+                }
+            }
+            if !fresh.is_empty() || u == origin {
+                transmissions += 1;
+                self.nodes[u.index()].sent_frames += 1;
+            }
+            for v in fresh {
+                // Delivery: the receiver independently decodes the bytes.
+                let _ = self.nodes[v.index()].receive(frame);
+                order.push(v);
+            }
+        }
+        self.total_frames += transmissions;
+        transmissions
+    }
+
+    /// The sink builds `tree` centrally, encodes its Prüfer code and floods
+    /// the announce. The origin (sink) installs its state directly. Returns
+    /// transmissions spent.
+    pub fn announce(&mut self, tree: &AggregationTree) -> Result<usize, SimError> {
+        self.epoch = self.epoch.wrapping_add(1);
+        self.seq = 0;
+        let code = PruferCode::encode(tree).map_err(SimError::Splice)?;
+        let msg = Message::TreeAnnounce {
+            epoch: self.epoch,
+            n: tree.n() as u16,
+            code: code.labels().to_vec(),
+        };
+        let frame = msg.encode();
+        // The sink processes its own frame first (installing state), then
+        // floods — but flooding needs the *tree*, which all nodes are about
+        // to install; the announce rides the tree being announced.
+        let _ = self.nodes[0].receive(&frame);
+        let sent = self.flood(tree, NodeId::SINK, &frame);
+        Ok(sent)
+    }
+
+    /// `child` decides (locally) to re-home under `new_parent`; the update
+    /// is applied at the origin and flooded. Returns transmissions spent.
+    pub fn parent_change(
+        &mut self,
+        child: NodeId,
+        new_parent: NodeId,
+    ) -> Result<usize, SimError> {
+        let origin = child;
+        let Some(state) = self.nodes[origin.index()].state.as_ref() else {
+            return Err(SimError::NoTree(origin));
+        };
+        // Flood over the *pre-update* tree: that is the structure the
+        // forwarding nodes currently agree on.
+        let old_tree = state.to_tree();
+        let msg = Message::ParentChange {
+            epoch: self.epoch,
+            seq: self.seq,
+            child,
+            new_parent,
+        };
+        let frame = msg.encode();
+        // The origin applies its own update by processing its own frame.
+        self.nodes[origin.index()].receive(&frame)?;
+        let mut sent = self.flood(&old_tree, origin, &frame);
+        // The origin already counted itself inside flood; subtract the
+        // double-processing of its own receive (no extra transmission).
+        self.seq += 1;
+        // Frames the origin sent are already in `sent`.
+        if sent == 0 {
+            sent = 1; // single-node network edge case
+        }
+        Ok(sent)
+    }
+
+    /// True if every sensor holds byte-identical coded state.
+    pub fn is_consistent(&self) -> bool {
+        let Some(first) = self.nodes.first().and_then(|s| s.state.as_ref()) else {
+            return false;
+        };
+        self.nodes.iter().all(|s| s.state.as_ref() == Some(first))
+    }
+
+    /// The commonly agreed tree.
+    ///
+    /// # Panics
+    /// Panics if the replicas have diverged (a protocol bug by definition).
+    pub fn tree(&self) -> AggregationTree {
+        assert!(self.is_consistent(), "replicas diverged");
+        self.nodes[0].state.as_ref().unwrap().to_tree()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn fig5_tree() -> AggregationTree {
+        AggregationTree::from_edges(
+            n(0),
+            9,
+            &[
+                (n(0), n(7)),
+                (n(0), n(4)),
+                (n(0), n(8)),
+                (n(4), n(3)),
+                (n(4), n(2)),
+                (n(2), n(6)),
+                (n(8), n(5)),
+                (n(8), n(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn announce_installs_everywhere() {
+        let mut net = DistributedNetwork::new(9);
+        assert!(!net.is_consistent());
+        let sent = net.announce(&fig5_tree()).unwrap();
+        assert!(net.is_consistent());
+        assert!(sent >= 4, "flood must traverse the tree: {sent}");
+        let t = net.tree();
+        for i in 0..9 {
+            assert_eq!(t.parent(n(i)), fig5_tree().parent(n(i)));
+        }
+        // Every node accepted exactly one frame.
+        for i in 0..9 {
+            assert_eq!(net.node(n(i)).accepted_frames, 1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn parent_change_converges_bytewise() {
+        let mut net = DistributedNetwork::new(9);
+        net.announce(&fig5_tree()).unwrap();
+        let sent = net.parent_change(n(4), n(7)).unwrap();
+        assert!(net.is_consistent());
+        assert!(sent > 0);
+        let t = net.tree();
+        assert_eq!(t.parent(n(4)), Some(n(7)));
+        // The replicated result equals the paper's Fig. 5(b) splice.
+        let labels: Vec<u32> = net
+            .node(n(3))
+            .tree()
+            .unwrap()
+            .edges()
+            .map(|(c, _)| c.label())
+            .collect();
+        assert_eq!(labels.len(), 8);
+    }
+
+    #[test]
+    fn chained_updates_stay_consistent() {
+        let mut net = DistributedNetwork::new(9);
+        net.announce(&fig5_tree()).unwrap();
+        net.parent_change(n(4), n(7)).unwrap();
+        net.parent_change(n(6), n(3)).unwrap();
+        net.parent_change(n(1), n(5)).unwrap();
+        assert!(net.is_consistent());
+        let t = net.tree();
+        assert_eq!(t.parent(n(4)), Some(n(7)));
+        assert_eq!(t.parent(n(6)), Some(n(3)));
+        assert_eq!(t.parent(n(1)), Some(n(5)));
+    }
+
+    #[test]
+    fn update_before_announce_fails() {
+        let mut net = DistributedNetwork::new(9);
+        assert_eq!(
+            net.parent_change(n(4), n(7)),
+            Err(SimError::NoTree(n(4)))
+        );
+    }
+
+    #[test]
+    fn reannounce_bumps_epoch_and_resets() {
+        let mut net = DistributedNetwork::new(9);
+        net.announce(&fig5_tree()).unwrap();
+        net.parent_change(n(4), n(7)).unwrap();
+        // Centralized rebuild: back to the original tree.
+        net.announce(&fig5_tree()).unwrap();
+        assert!(net.is_consistent());
+        assert_eq!(net.tree().parent(n(4)), Some(n(0)));
+        // Updates continue from seq 0 in the new epoch.
+        net.parent_change(n(4), n(7)).unwrap();
+        assert_eq!(net.tree().parent(n(4)), Some(n(7)));
+    }
+
+    #[test]
+    fn transmission_counts_match_tree_structure() {
+        let mut net = DistributedNetwork::new(9);
+        net.announce(&fig5_tree()).unwrap();
+        // A flood from node 6 (a deep leaf) must traverse every internal
+        // node; the count equals nodes with an uncovered neighbour.
+        let sent = net.parent_change(n(6), n(3)).unwrap();
+        // Fig. 5(a) has 4 internal nodes (0, 2, 4, 8) plus the origin 6.
+        assert!(
+            (4..=6).contains(&sent),
+            "expected ≈5 transmissions, got {sent}"
+        );
+    }
+
+    #[test]
+    fn two_node_network() {
+        let mut net = DistributedNetwork::new(2);
+        let t = AggregationTree::from_edges(n(0), 2, &[(n(0), n(1))]).unwrap();
+        net.announce(&t).unwrap();
+        assert!(net.is_consistent());
+        assert_eq!(net.tree().parent(n(1)), Some(n(0)));
+    }
+}

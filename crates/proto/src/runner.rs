@@ -1,0 +1,187 @@
+//! The link-dynamics experiment driver behind Figs. 11–13.
+//!
+//! Starting from an initial aggregation tree (IRA's output in the paper),
+//! each round degrades one random tree link — its `−log₂ q` cost grows by
+//! `10⁻³`, i.e. the PRR is multiplied by `2^(−10⁻³)` — and lets the
+//! distributed protocol repair locally, while a caller-supplied centralized
+//! solver (IRA in the paper; injected as a closure so this crate stays
+//! independent of the solver) recomputes from scratch on the same degraded
+//! network. Costs, reliabilities and message counts are recorded per round.
+
+use crate::update::ProtocolState;
+use rand::{RngExt, SeedableRng};
+use wsn_model::{reliability, AggregationTree, EnergyModel, Network, PaperCost};
+
+/// Experiment parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicsConfig {
+    /// Degradation rounds (paper: 100).
+    pub rounds: usize,
+    /// Per-event cost increase in raw `−log₂ q` units (paper: `10⁻³`,
+    /// i.e. one unit of the reported ×1000 cost scale).
+    pub cost_step: f64,
+    /// RNG seed for the edge selection.
+    pub seed: u64,
+    /// Lifetime bound the distributed protocol enforces when accepting
+    /// children.
+    pub lc: f64,
+}
+
+/// One row of the Figs. 11–13 data.
+#[derive(Clone, Copy, Debug)]
+pub struct DynamicsRecord {
+    /// Round index (1-based; round 0 is the initial state).
+    pub round: usize,
+    /// Distributed tree cost, paper units.
+    pub distributed_cost: f64,
+    /// Centralized (re-solved) tree cost, paper units.
+    pub centralized_cost: f64,
+    /// Distributed tree reliability.
+    pub distributed_reliability: f64,
+    /// Centralized tree reliability.
+    pub centralized_reliability: f64,
+    /// Messages spent by the distributed update this round.
+    pub messages: usize,
+    /// Running message total.
+    pub total_messages: usize,
+}
+
+/// Runs the experiment. `centralized` recomputes a tree from scratch on the
+/// current (degraded) network each round — pass IRA for the paper's
+/// comparison, or any other builder for ablations. If it returns `None`
+/// (solver infeasible), the previous centralized tree is carried forward.
+pub fn run_link_dynamics(
+    initial_net: &Network,
+    initial_tree: &AggregationTree,
+    model: EnergyModel,
+    config: &DynamicsConfig,
+    mut centralized: impl FnMut(&Network) -> Option<AggregationTree>,
+) -> Vec<DynamicsRecord> {
+    let mut net = initial_net.clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut state = ProtocolState::new(initial_tree, config.lc, model)
+        .expect("initial tree must be codable");
+    let mut central_tree = initial_tree.clone();
+    let degrade_factor = 2f64.powf(-config.cost_step);
+
+    let mut records = Vec::with_capacity(config.rounds + 1);
+    let mut total_messages = 0usize;
+    let record = |round: usize,
+                      net: &Network,
+                      dist: &AggregationTree,
+                      cent: &AggregationTree,
+                      messages: usize,
+                      total: usize| DynamicsRecord {
+        round,
+        distributed_cost: PaperCost::of_tree(net, dist).0,
+        centralized_cost: PaperCost::of_tree(net, cent).0,
+        distributed_reliability: reliability::tree_reliability(net, dist),
+        centralized_reliability: reliability::tree_reliability(net, cent),
+        messages,
+        total_messages: total,
+    };
+    records.push(record(0, &net, &state.tree(), &central_tree, 0, 0));
+
+    for round in 1..=config.rounds {
+        // Pick a random link of the *distributed* tree and degrade it.
+        let tree = state.tree();
+        let tree_edges: Vec<(wsn_model::NodeId, wsn_model::NodeId)> = tree.edges().collect();
+        let (child, parent) = tree_edges[rng.random_range(0..tree_edges.len())];
+        let e = net.find_edge(child, parent).expect("tree edge exists");
+        let new_prr = net.link(e).prr().degraded(degrade_factor);
+        net.set_prr(e, new_prr);
+
+        // Distributed repair: the child of the degraded link reacts.
+        let outcome = state.handle_link_worse(&net, child);
+        total_messages += outcome.messages;
+
+        // Centralized re-solve on the same degraded network.
+        if let Some(t) = centralized(&net) {
+            central_tree = t;
+        }
+
+        records.push(record(
+            round,
+            &net,
+            &state.tree(),
+            &central_tree,
+            outcome.messages,
+            total_messages,
+        ));
+    }
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_baselines::mst;
+    use wsn_model::lifetime;
+    use wsn_radio::LinkModel;
+    use wsn_testbed::{dfl_network, DflConfig};
+
+    fn dfl_setup() -> (Network, AggregationTree, f64) {
+        let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 99).unwrap();
+        let tree = mst(&net).unwrap();
+        let lc = lifetime::network_lifetime(&net, &tree, &EnergyModel::PAPER) * 0.8;
+        (net, tree, lc)
+    }
+
+    #[test]
+    fn costs_are_monotone_in_expectation_and_protocol_tracks() {
+        let (net, tree, lc) = dfl_setup();
+        let cfg = DynamicsConfig { rounds: 60, cost_step: 1e-3, seed: 4, lc };
+        let records =
+            run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |n| mst(n).ok());
+        assert_eq!(records.len(), 61);
+        let first = &records[0];
+        let last = &records[60];
+        // Initial state: both sides start from the same tree.
+        assert!((first.distributed_cost - first.centralized_cost).abs() < 1e-9);
+        // Degradation raises costs overall.
+        assert!(last.distributed_cost > first.distributed_cost);
+        // The centralized re-solver is at least as good as the local repair.
+        for r in &records {
+            assert!(
+                r.centralized_cost <= r.distributed_cost + 1e-6,
+                "round {}: centralized {} > distributed {}",
+                r.round,
+                r.centralized_cost,
+                r.distributed_cost
+            );
+        }
+        // Reliability mirrors cost (Lemma 3).
+        assert!(last.distributed_reliability < first.distributed_reliability);
+    }
+
+    #[test]
+    fn message_totals_accumulate() {
+        let (net, tree, lc) = dfl_setup();
+        let cfg = DynamicsConfig { rounds: 40, cost_step: 5e-2, seed: 5, lc };
+        let records =
+            run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |_| None);
+        let mut running = 0usize;
+        for r in &records {
+            running += r.messages;
+            assert_eq!(r.total_messages, running);
+        }
+        // With an aggressive cost step some repairs must fire, and each
+        // update costs fewer than 10 messages at n = 16 (Fig. 13).
+        assert!(records.iter().any(|r| r.messages > 0), "no update ever fired");
+        for r in &records {
+            assert!(r.messages < 12, "update cost {} messages", r.messages);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (net, tree, lc) = dfl_setup();
+        let cfg = DynamicsConfig { rounds: 20, cost_step: 1e-3, seed: 6, lc };
+        let a = run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |_| None);
+        let b = run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |_| None);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.distributed_cost, y.distributed_cost);
+            assert_eq!(x.messages, y.messages);
+        }
+    }
+}

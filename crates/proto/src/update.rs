@@ -1,0 +1,350 @@
+//! Distributed update handlers over the shared coded-tree state.
+
+use crate::broadcast::broadcast_message_count;
+use wsn_model::{lifetime, AggregationTree, EnergyModel, Network, NodeId};
+use wsn_prufer::{CodedTree, PruferError};
+
+/// Result of processing one trigger.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Parent changes performed (ILU may chain several).
+    pub changes: usize,
+    /// Broadcast messages spent disseminating them.
+    pub messages: usize,
+    /// Cycle-walk steps examined by ILU.
+    pub steps: usize,
+}
+
+/// The network-wide protocol state: the coded tree every sensor replicates,
+/// plus the lifetime bound each node enforces before accepting children.
+#[derive(Clone, Debug)]
+pub struct ProtocolState {
+    coded: CodedTree,
+    lc: f64,
+    model: EnergyModel,
+    /// Hysteresis: a candidate parent must beat the current link's PRR by
+    /// this absolute margin before a switch fires. Zero reproduces the
+    /// paper's eager behaviour; a small positive margin suppresses
+    /// flip-flopping under noisy link estimates at a bounded cost penalty
+    /// (the stability study quantifies the trade-off).
+    switch_margin: f64,
+}
+
+impl ProtocolState {
+    /// Initializes from a freshly constructed tree (the sink computes the
+    /// Prüfer code and broadcasts it, §VI-B).
+    pub fn new(tree: &AggregationTree, lc: f64, model: EnergyModel) -> Result<Self, PruferError> {
+        Ok(ProtocolState { coded: CodedTree::from_tree(tree)?, lc, model, switch_margin: 0.0 })
+    }
+
+    /// Sets the hysteresis margin (see the field docs). Returns `self` for
+    /// builder-style use.
+    pub fn with_switch_margin(mut self, margin: f64) -> Self {
+        assert!((0.0..1.0).contains(&margin), "margin must be in [0, 1)");
+        self.switch_margin = margin;
+        self
+    }
+
+    /// The current tree, materialized.
+    pub fn tree(&self) -> AggregationTree {
+        self.coded.to_tree()
+    }
+
+    /// The replicated coded state (for inspection).
+    pub fn coded(&self) -> &CodedTree {
+        &self.coded
+    }
+
+    /// Can `v` accept one more child while keeping `L(v) ≥ LC`? Decided
+    /// from the Prüfer child count (Eq. 23) and `v`'s own energy — exactly
+    /// the information a deployed `v` has.
+    pub fn can_accept_child(&self, net: &Network, v: NodeId) -> bool {
+        let ch = self.coded.child_count(v) + 1;
+        lifetime::node_lifetime(net.initial_energy(v), &self.model, ch) >= self.lc * (1.0 - 1e-12)
+    }
+
+    /// §VI-B.1 — a tree link `(child, parent(child))` degraded. The child
+    /// picks the best-quality neighbour outside its own component that can
+    /// accept it; if that neighbour beats the current (degraded) parent
+    /// link, it re-homes and broadcasts one Parent-Changing record.
+    pub fn handle_link_worse(&mut self, net: &Network, child: NodeId) -> UpdateOutcome {
+        let mut out = UpdateOutcome::default();
+        let Some(current_parent) = self.coded.parent(child) else {
+            return out; // the sink has no parent link
+        };
+        let current_q = net
+            .find_edge(child, current_parent)
+            .map(|e| net.link(e).prr().value())
+            .unwrap_or(0.0);
+
+        let component = self.coded.component_of(child);
+        let mut best: Option<(f64, NodeId)> = None;
+        for &(e, w) in net.neighbors(child) {
+            if w == current_parent || component.contains(&w) {
+                continue;
+            }
+            if !self.can_accept_child(net, w) {
+                continue;
+            }
+            let q = net.link(e).prr().value();
+            if best.is_none_or(|(bq, _)| q > bq) {
+                best = Some((q, w));
+            }
+        }
+        if let Some((q, w)) = best {
+            if q > current_q + self.switch_margin {
+                self.coded
+                    .change_parent(child, w)
+                    .expect("candidate was validated against the component");
+                out.changes = 1;
+                out.messages = broadcast_message_count(&self.tree());
+            }
+        }
+        out
+    }
+
+    /// §VI-B.2 — ILU (Algorithm 4): the non-tree link `(a, b)` improved.
+    /// If it is cheaper than the costlier of the endpoints' parent links
+    /// (and the gaining parent can accept a child), that endpoint re-homes;
+    /// the displaced parent link is then re-examined as a fresh improved
+    /// link, walking the cycle with local information only.
+    pub fn handle_link_better(&mut self, net: &Network, a: NodeId, b: NodeId) -> UpdateOutcome {
+        let mut out = UpdateOutcome::default();
+        let n = self.coded.n();
+        let mut queue: Vec<(NodeId, NodeId)> = vec![(a, b)];
+        while let Some((x, y)) = queue.pop() {
+            out.steps += 1;
+            if out.steps > 2 * n {
+                break; // safety valve; cost-decrease already bounds this
+            }
+            let Some(e) = net.find_edge(x, y) else { continue };
+            let tree = self.tree();
+            if tree.contains_edge(x, y) {
+                continue;
+            }
+            let new_cost = net.link(e).cost();
+
+            // Both orientations: move `child` under `parent`; prefer the
+            // one that displaces the costlier parent link (Alg. 4's
+            // without-loss-of-generality ordering).
+            let mut candidates: Vec<(f64, NodeId, NodeId, NodeId)> = Vec::new();
+            for (child, parent) in [(x, y), (y, x)] {
+                if child == NodeId::SINK {
+                    continue;
+                }
+                let Some(p_old) = self.coded.parent(child) else { continue };
+                let old_cost = net
+                    .find_edge(child, p_old)
+                    .map(|pe| net.link(pe).cost())
+                    .unwrap_or(f64::INFINITY);
+                // The hysteresis margin applies in PRR space; translate it
+                // conservatively into cost space via the smaller PRR.
+                let margin_cost = if self.switch_margin > 0.0 {
+                    -((1.0 - self.switch_margin) as f64).ln()
+                } else {
+                    0.0
+                };
+                if new_cost < old_cost - margin_cost - 1e-12
+                    && self.can_accept_child(net, parent)
+                    && !tree.in_subtree(parent, child)
+                {
+                    candidates.push((old_cost, child, parent, p_old));
+                }
+            }
+            candidates.sort_by(|p, q| q.0.partial_cmp(&p.0).unwrap());
+            if let Some(&(_, child, parent, p_old)) = candidates.first() {
+                self.coded
+                    .change_parent(child, parent)
+                    .expect("candidate was validated against the subtree");
+                out.changes += 1;
+                out.messages += broadcast_message_count(&self.tree());
+                // The displaced link is now a non-tree link; re-examine it.
+                queue.push((child, p_old));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::{NetworkBuilder, Prr};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// A 6-node network with a clear hierarchy and spare links.
+    fn setup() -> (Network, ProtocolState) {
+        let mut b = NetworkBuilder::new(6);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(0, 2, 0.99).unwrap();
+        b.add_edge(1, 3, 0.98).unwrap();
+        b.add_edge(2, 4, 0.98).unwrap();
+        b.add_edge(2, 5, 0.98).unwrap();
+        b.add_edge(1, 4, 0.90).unwrap(); // spare
+        b.add_edge(3, 5, 0.85).unwrap(); // spare
+        b.add_edge(0, 4, 0.70).unwrap(); // weak spare
+        let net = b.build().unwrap();
+        let tree = AggregationTree::from_edges(
+            n(0),
+            6,
+            &[(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(4)), (n(2), n(5))],
+        )
+        .unwrap();
+        let state = ProtocolState::new(&tree, 1.0e6, EnergyModel::PAPER).unwrap();
+        (net, state)
+    }
+
+    #[test]
+    fn link_worse_rehomes_to_best_alternative() {
+        let (mut net, mut state) = setup();
+        // Degrade (2, 4) heavily.
+        let e = net.find_edge(n(2), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.30).unwrap());
+        let out = state.handle_link_worse(&net, n(4));
+        assert_eq!(out.changes, 1);
+        assert!(out.messages > 0);
+        // Best alternative for node 4 is node 1 (0.90) over node 0 (0.70).
+        assert_eq!(state.coded().parent(n(4)), Some(n(1)));
+    }
+
+    #[test]
+    fn link_worse_stays_if_still_best() {
+        let (mut net, mut state) = setup();
+        // Mild degradation: 0.98 → 0.95 still beats the 0.90 / 0.70 spares.
+        let e = net.find_edge(n(2), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.95).unwrap());
+        let out = state.handle_link_worse(&net, n(4));
+        assert_eq!(out.changes, 0);
+        assert_eq!(out.messages, 0);
+        assert_eq!(state.coded().parent(n(4)), Some(n(2)));
+    }
+
+    #[test]
+    fn link_worse_respects_lifetime_constraint() {
+        let (mut net, _) = setup();
+        // Rebuild the state with an LC so tight nobody can take a second
+        // child: L(v) with 2 children < LC < L(v) with 1 child.
+        let model = EnergyModel::PAPER;
+        let lc = (lifetime::node_lifetime(3000.0, &model, 1)
+            + lifetime::node_lifetime(3000.0, &model, 2))
+            / 2.0;
+        let tree = AggregationTree::from_edges(
+            n(0),
+            6,
+            &[(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(4)), (n(2), n(5))],
+        )
+        .unwrap();
+        let mut state = ProtocolState::new(&tree, lc, model).unwrap();
+        // Node 1 already has one child (3); it cannot accept node 4.
+        assert!(!state.can_accept_child(&net, n(1)));
+        let e = net.find_edge(n(2), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.30).unwrap());
+        let out = state.handle_link_worse(&net, n(4));
+        // Node 0 has two children already — also full. No candidate.
+        assert_eq!(out.changes, 0);
+        assert_eq!(state.coded().parent(n(4)), Some(n(2)));
+    }
+
+    #[test]
+    fn link_worse_on_sink_is_noop() {
+        let (net, mut state) = setup();
+        assert_eq!(state.handle_link_worse(&net, n(0)), UpdateOutcome::default());
+    }
+
+    #[test]
+    fn link_better_adopts_cheaper_edge() {
+        let (mut net, mut state) = setup();
+        // The spare (1, 4) improves beyond node 4's parent link (2, 4).
+        let e = net.find_edge(n(1), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.999).unwrap());
+        let out = state.handle_link_better(&net, n(1), n(4));
+        assert!(out.changes >= 1);
+        assert_eq!(state.coded().parent(n(4)), Some(n(1)));
+        // Cost must have strictly decreased.
+        let before = AggregationTree::from_edges(
+            n(0),
+            6,
+            &[(n(0), n(1)), (n(0), n(2)), (n(1), n(3)), (n(2), n(4)), (n(2), n(5))],
+        )
+        .unwrap();
+        let c_before = wsn_model::tree_cost(&net, &before);
+        let c_after = wsn_model::tree_cost(&net, &state.tree());
+        assert!(c_after < c_before);
+    }
+
+    #[test]
+    fn link_better_ignores_worse_links() {
+        let (net, mut state) = setup();
+        // (0, 4) at 0.70 is far worse than (2, 4) at 0.98: no change.
+        let out = state.handle_link_better(&net, n(0), n(4));
+        assert_eq!(out.changes, 0);
+        assert_eq!(state.coded().parent(n(4)), Some(n(2)));
+    }
+
+    #[test]
+    fn link_better_tree_edge_is_noop() {
+        let (net, mut state) = setup();
+        let out = state.handle_link_better(&net, n(0), n(1));
+        assert_eq!(out.changes, 0);
+    }
+
+    #[test]
+    fn ilu_chains_and_terminates() {
+        // A cycle where one improvement displaces a link that then finds a
+        // better home itself.
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(1, 2, 0.80).unwrap();
+        b.add_edge(2, 3, 0.99).unwrap();
+        b.add_edge(0, 3, 0.70).unwrap();
+        let mut net = b.build().unwrap();
+        let tree = AggregationTree::from_edges(
+            n(0),
+            4,
+            &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))],
+        )
+        .unwrap();
+        let mut state = ProtocolState::new(&tree, 1.0, EnergyModel::PAPER).unwrap();
+        // (0, 3) improves to 0.999: node 3 should switch from 2 to 0…
+        let e = net.find_edge(n(0), n(3)).unwrap();
+        net.set_prr(e, Prr::new(0.999).unwrap());
+        let out = state.handle_link_better(&net, n(0), n(3));
+        assert!(out.changes >= 1);
+        assert_eq!(state.coded().parent(n(3)), Some(n(0)));
+        assert!(out.steps <= 8, "cycle walk must stay local: {} steps", out.steps);
+        // The resulting structure is still a spanning tree.
+        assert_eq!(state.tree().edges().count(), 3);
+    }
+
+    #[test]
+    fn hysteresis_suppresses_marginal_switches() {
+        let (mut net, state) = setup();
+        let mut eager = state.clone();
+        let mut damped = state.with_switch_margin(0.10);
+        // Degrade (2, 4) to 0.88: the 0.90 spare is only marginally better.
+        let e = net.find_edge(n(2), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.88).unwrap());
+        assert_eq!(eager.handle_link_worse(&net, n(4)).changes, 1);
+        assert_eq!(damped.handle_link_worse(&net, n(4)).changes, 0);
+        // A collapse beats any margin.
+        net.set_prr(e, Prr::new(0.30).unwrap());
+        assert_eq!(damped.handle_link_worse(&net, n(4)).changes, 1);
+    }
+
+    #[test]
+    fn all_sensors_decode_identically() {
+        // The broadcast invariant: applying the same Parent-Changing record
+        // to two replicas yields byte-identical coded state.
+        let (mut net, state) = setup();
+        let mut replica_a = state.clone();
+        let mut replica_b = state;
+        let e = net.find_edge(n(2), n(4)).unwrap();
+        net.set_prr(e, Prr::new(0.2).unwrap());
+        replica_a.handle_link_worse(&net, n(4));
+        replica_b.handle_link_worse(&net, n(4));
+        assert_eq!(replica_a.coded(), replica_b.coded());
+    }
+}

@@ -1,0 +1,677 @@
+//! Prüfer codes for rooted labelled aggregation trees (§VI-A of the paper).
+//!
+//! The paper extends the classical Prüfer sequence to sink-rooted data
+//! aggregation trees: node labels are `0..n` with the sink labelled `0`
+//! (the smallest label, so it is never removed by the encoder), encoding
+//! removes the **largest**-labelled leaf each round (Algorithm 2), and the
+//! decoder (Algorithm 3) reconstructs both the *decode sequence* `D` and the
+//! tree edges `{(dᵢ, pᵢ)} ∪ {(d_{n−1}, d_n)}`.
+//!
+//! Two properties make the code useful for the distributed protocol:
+//!
+//! * **child counts are readable off the code** (Eq. 23):
+//!   `Ch_T(v) = N_P(v)` for `v ≠ 0`, and the sink has one extra child —
+//!   so every node can evaluate any node's lifetime from `P` alone;
+//! * **parent changes are local splices** of the `(P, D)` pair
+//!   ([`CodedTree::change_parent`]), so an update broadcast carries only the
+//!   changed `(child, new_parent)` pair and every receiver deterministically
+//!   derives the same new `(P', D')`.
+//!
+//! One fidelity note: Algorithm 3 line 8 appends `p_{n−2}` as `d_{n−1}`.
+//! That matches the paper's example but is incorrect for trees where the
+//! last surviving non-sink node is not `p_{n−2}` (e.g. the path `2–0–1`);
+//! the generic rule used by the loop — *largest node not yet placed* — is
+//! what makes encode/decode a bijection, so [`PruferCode::decode`] applies
+//! the generic rule. A regression test pins both behaviours.
+//!
+//! # Example
+//!
+//! ```
+//! use wsn_model::{AggregationTree, NodeId};
+//! use wsn_prufer::PruferCode;
+//!
+//! let n = |i: usize| NodeId::new(i);
+//! // A 4-node star at the sink.
+//! let tree = AggregationTree::from_edges(
+//!     NodeId::SINK, 4, &[(n(0), n(1)), (n(0), n(2)), (n(0), n(3))],
+//! ).unwrap();
+//!
+//! let code = PruferCode::encode(&tree).unwrap();
+//! assert_eq!(code.labels(), &[n(0), n(0)]); // the hub appears n−2 times
+//! assert_eq!(code.child_count(n(0)), 3);    // Eq. 23 (+1 for the sink)
+//!
+//! let decoded = code.decode().unwrap();
+//! assert_eq!(decoded.tree.parent(n(2)), Some(n(0)));
+//! ```
+
+use std::collections::BinaryHeap;
+use wsn_model::{AggregationTree, NodeId};
+
+/// Errors raised by encoding, decoding, or splicing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PruferError {
+    /// Codes are defined for trees with at least two nodes.
+    TooSmall(usize),
+    /// A code entry referenced a label outside `0..n`.
+    LabelOutOfRange { label: NodeId, n: usize },
+    /// The root of the tree is not node 0 (the paper's extension requires
+    /// the sink to carry the smallest label).
+    RootNotSink(NodeId),
+    /// A splice operation was invalid (would detach the root or create a
+    /// cycle).
+    InvalidSplice(String),
+}
+
+impl std::fmt::Display for PruferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PruferError::TooSmall(n) => {
+                write!(f, "Prüfer codes need at least 2 nodes, got {n}")
+            }
+            PruferError::LabelOutOfRange { label, n } => {
+                write!(f, "label {label} out of range for {n} nodes")
+            }
+            PruferError::RootNotSink(r) => {
+                write!(f, "tree rooted at {r}, but the Prüfer extension requires root 0")
+            }
+            PruferError::InvalidSplice(msg) => write!(f, "invalid splice: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PruferError {}
+
+/// The Prüfer code `P = (p₁, …, p_{n−2})` of an `n`-node sink-rooted tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PruferCode {
+    code: Vec<NodeId>,
+    n: usize,
+}
+
+/// Output of [`PruferCode::decode`]: the decode sequence `D` and the
+/// reconstructed tree.
+#[derive(Clone, Debug)]
+pub struct Decoded {
+    /// The decode sequence `D = (d₁, …, d_n)`; a permutation of all labels
+    /// ending with the sink `0`.
+    pub sequence: Vec<NodeId>,
+    /// The reconstructed aggregation tree rooted at the sink.
+    pub tree: AggregationTree,
+}
+
+impl PruferCode {
+    /// Encodes a tree (Algorithm 2): repeatedly remove the leaf with the
+    /// largest label and append its remaining neighbour. `O(n log n)`.
+    pub fn encode(tree: &AggregationTree) -> Result<Self, PruferError> {
+        let n = tree.n();
+        if n < 2 {
+            return Err(PruferError::TooSmall(n));
+        }
+        if tree.root() != NodeId::SINK {
+            return Err(PruferError::RootNotSink(tree.root()));
+        }
+        // Work on an undirected degree/neighbour view.
+        let mut degree = vec![0usize; n];
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (c, p) in tree.edges() {
+            degree[c.index()] += 1;
+            degree[p.index()] += 1;
+            adj[c.index()].push(p);
+            adj[p.index()].push(c);
+        }
+        let mut removed = vec![false; n];
+        let mut leaves: BinaryHeap<NodeId> = (0..n)
+            .map(NodeId::new)
+            .filter(|v| degree[v.index()] == 1)
+            .collect();
+        let mut code = Vec::with_capacity(n - 2);
+        for _ in 0..n.saturating_sub(2) {
+            let u = leaves.pop().expect("a tree with ≥3 remaining nodes has ≥2 leaves");
+            debug_assert!(!removed[u.index()]);
+            let v = adj[u.index()]
+                .iter()
+                .copied()
+                .find(|w| !removed[w.index()])
+                .expect("leaf has exactly one live neighbour");
+            code.push(v);
+            removed[u.index()] = true;
+            degree[v.index()] -= 1;
+            if degree[v.index()] == 1 {
+                leaves.push(v);
+            }
+        }
+        Ok(PruferCode { code, n })
+    }
+
+    /// Creates a code from raw labels (e.g. received over the air).
+    pub fn from_labels(n: usize, labels: Vec<NodeId>) -> Result<Self, PruferError> {
+        if n < 2 || labels.len() != n - 2 {
+            return Err(PruferError::TooSmall(n));
+        }
+        for &l in &labels {
+            if l.index() >= n {
+                return Err(PruferError::LabelOutOfRange { label: l, n });
+            }
+        }
+        Ok(PruferCode { code: labels, n })
+    }
+
+    /// The raw sequence `(p₁, …, p_{n−2})`.
+    pub fn labels(&self) -> &[NodeId] {
+        &self.code
+    }
+
+    /// Number of nodes of the encoded tree.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `N_P(v)`: occurrences of `v` in the code.
+    pub fn occurrences(&self, v: NodeId) -> usize {
+        self.code.iter().filter(|&&p| p == v).count()
+    }
+
+    /// `Ch_T(v)` read off the code (Eq. 23): occurrences, plus one for the
+    /// sink (the final edge is always adjacent to the sink).
+    pub fn child_count(&self, v: NodeId) -> usize {
+        self.occurrences(v) + usize::from(v == NodeId::SINK)
+    }
+
+    /// Decodes (Algorithm 3, with the line-8 fix described in the module
+    /// docs): produces the decode sequence `D` and the tree. `O(n log n)`.
+    pub fn decode(&self) -> Result<Decoded, PruferError> {
+        let n = self.n;
+        // remaining[v] = occurrences of v in the unconsumed suffix of P.
+        let mut remaining = vec![0usize; n];
+        for &p in &self.code {
+            remaining[p.index()] += 1;
+        }
+        let mut used = vec![false; n];
+        used[0] = true; // the sink is placed implicitly as d_n
+        let mut available: BinaryHeap<NodeId> = (1..n)
+            .map(NodeId::new)
+            .filter(|v| remaining[v.index()] == 0)
+            .collect();
+        let take_largest = |available: &mut BinaryHeap<NodeId>,
+                                used: &mut [bool],
+                                remaining: &[usize]|
+         -> Option<NodeId> {
+            while let Some(u) = available.pop() {
+                if !used[u.index()] && remaining[u.index()] == 0 {
+                    used[u.index()] = true;
+                    return Some(u);
+                }
+            }
+            None
+        };
+
+        let mut sequence: Vec<NodeId> = Vec::with_capacity(n);
+        let mut parents: Vec<Option<NodeId>> = vec![None; n];
+        for i in 0..n - 2 {
+            let u = take_largest(&mut available, &mut used, &remaining)
+                .ok_or_else(|| PruferError::InvalidSplice("decode exhausted".into()))?;
+            sequence.push(u);
+            let p = self.code[i];
+            parents[u.index()] = Some(p);
+            remaining[p.index()] -= 1;
+            if remaining[p.index()] == 0 && !used[p.index()] {
+                available.push(p);
+            }
+        }
+        // d_{n−1}: the one remaining non-sink node (generic rule); its parent
+        // is the sink.
+        let last = take_largest(&mut available, &mut used, &remaining)
+            .ok_or_else(|| PruferError::InvalidSplice("decode exhausted at tail".into()))?;
+        sequence.push(last);
+        parents[last.index()] = Some(NodeId::SINK);
+        sequence.push(NodeId::SINK);
+
+        let tree = AggregationTree::from_parents(NodeId::SINK, parents)
+            .map_err(|e| PruferError::InvalidSplice(format!("decoded edges are not a tree: {e}")))?;
+        Ok(Decoded { sequence, tree })
+    }
+}
+
+/// The joint `(P, D)` state every sensor maintains in the distributed
+/// protocol (§VI-B).
+///
+/// The pair encodes the tree directly — `pᵢ` is the parent of `dᵢ` and
+/// `d_{n−1}`'s parent is the sink `d_n = 0` — so parent lookups, component
+/// extraction, and parent-change splices are all local `O(n)` operations,
+/// matching the paper's per-sensor cost claim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodedTree {
+    /// `P` extended by one: `p[i]` is the parent of `d[i]` for
+    /// `i = 0..n−1` (the broadcast `P` is `p[0..n−2]`; `p[n−2]` is always
+    /// the sink and is transmitted implicitly).
+    p: Vec<NodeId>,
+    /// `D`: a permutation of the labels ending with the sink.
+    d: Vec<NodeId>,
+}
+
+impl CodedTree {
+    /// Builds the coded state from a tree (encode, then decode to get `D`).
+    pub fn from_tree(tree: &AggregationTree) -> Result<Self, PruferError> {
+        let code = PruferCode::encode(tree)?;
+        let decoded = code.decode()?;
+        let n = tree.n();
+        let mut p: Vec<NodeId> = Vec::with_capacity(n - 1);
+        p.extend_from_slice(code.labels());
+        p.push(NodeId::SINK); // parent of d_{n−1}
+        let d = decoded.sequence;
+        debug_assert_eq!(d.len(), n);
+        // The decoded tree must equal the input tree edge-for-edge.
+        debug_assert!(tree
+            .edges()
+            .all(|(c, par)| decoded.tree.parent(c) == Some(par)));
+        Ok(CodedTree { p, d })
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.d.len()
+    }
+
+    /// The broadcastable Prüfer portion `P = (p₁, …, p_{n−2})`.
+    pub fn prufer_labels(&self) -> &[NodeId] {
+        &self.p[..self.p.len() - 1]
+    }
+
+    /// The decode sequence `D`.
+    pub fn sequence(&self) -> &[NodeId] {
+        &self.d
+    }
+
+    /// Parent of `v`, or `None` for the sink.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        if v == NodeId::SINK {
+            return None;
+        }
+        self.d
+            .iter()
+            .position(|&x| x == v)
+            .map(|i| self.p[i])
+    }
+
+    /// `Ch_T(v)` from the coded state.
+    pub fn child_count(&self, v: NodeId) -> usize {
+        self.p.iter().filter(|&&x| x == v).count()
+    }
+
+    /// Materializes the tree.
+    pub fn to_tree(&self) -> AggregationTree {
+        let n = self.n();
+        let mut parents: Vec<Option<NodeId>> = vec![None; n];
+        for (i, &child) in self.d.iter().enumerate().take(n - 1) {
+            parents[child.index()] = Some(self.p[i]);
+        }
+        AggregationTree::from_parents(NodeId::SINK, parents)
+            .expect("CodedTree invariant: (P, D) always encodes a tree")
+    }
+
+    /// Nodes of the component that would contain `v` if `v`'s parent edge
+    /// were removed — i.e. `v`'s subtree — listed in `D` order (the order
+    /// the splice preserves).
+    pub fn component_of(&self, v: NodeId) -> Vec<NodeId> {
+        let n = self.n();
+        let mut in_comp = vec![false; n];
+        in_comp[v.index()] = true;
+        // D order is not topological, so fixpoint over parent pointers;
+        // each node's membership equals its parent's (with v forced in).
+        // Two passes of "child of member is member" suffice if children come
+        // after parents in D... they do not in general, so iterate to
+        // fixpoint (≤ depth iterations, each O(n)).
+        loop {
+            let mut changed = false;
+            for (i, &child) in self.d.iter().enumerate().take(n - 1) {
+                if !in_comp[child.index()] && in_comp[self.p[i].index()] && child != NodeId::SINK {
+                    in_comp[child.index()] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.d
+            .iter()
+            .copied()
+            .filter(|w| in_comp[w.index()])
+            .collect()
+    }
+
+    /// The paper's parent-change splice (§VI-B.1, Fig. 5b): `child` moves
+    /// from its current parent to `new_parent`.
+    ///
+    /// `child`'s component (its subtree, in `D` order) moves to the front of
+    /// `D'`; `P'` is rebuilt as the parents of `d'₁ … d'_{n−1}` with the
+    /// single change applied. If the node in position `n−1` would not be a
+    /// child of the sink, the nearest sink-child is swapped into that slot
+    /// to restore the representation invariant.
+    ///
+    /// Fails if `child` is the sink or `new_parent` lies inside `child`'s
+    /// subtree (cycle).
+    pub fn change_parent(&mut self, child: NodeId, new_parent: NodeId) -> Result<(), PruferError> {
+        let n = self.n();
+        if child == NodeId::SINK {
+            return Err(PruferError::InvalidSplice("the sink has no parent".into()));
+        }
+        if new_parent.index() >= n || child.index() >= n {
+            return Err(PruferError::LabelOutOfRange {
+                label: if new_parent.index() >= n { new_parent } else { child },
+                n,
+            });
+        }
+        if child == new_parent {
+            return Err(PruferError::InvalidSplice(format!("{child} cannot parent itself")));
+        }
+        let comp = self.component_of(child);
+        if comp.contains(&new_parent) {
+            return Err(PruferError::InvalidSplice(format!(
+                "new parent {new_parent} lies in the subtree of {child}"
+            )));
+        }
+
+        // Parent map with the change applied.
+        let mut parent_of = vec![NodeId::SINK; n];
+        for (i, &c) in self.d.iter().enumerate().take(n - 1) {
+            parent_of[c.index()] = self.p[i];
+        }
+        parent_of[child.index()] = new_parent;
+
+        // New D: component first (its D order), then the rest (D order).
+        let in_comp: Vec<bool> = {
+            let mut f = vec![false; n];
+            for &w in &comp {
+                f[w.index()] = true;
+            }
+            f
+        };
+        let mut new_d: Vec<NodeId> = comp.clone();
+        new_d.extend(self.d.iter().copied().filter(|w| !in_comp[w.index()]));
+        debug_assert_eq!(new_d.len(), n);
+        debug_assert_eq!(*new_d.last().unwrap(), NodeId::SINK);
+
+        // Restore the invariant: d'_{n−1} must be a child of the sink.
+        if parent_of[new_d[n - 2].index()] != NodeId::SINK {
+            let swap_pos = (0..n - 2)
+                .rev()
+                .find(|&i| parent_of[new_d[i].index()] == NodeId::SINK)
+                .expect("the sink always has at least one child");
+            new_d.swap(swap_pos, n - 2);
+        }
+
+        let new_p: Vec<NodeId> = new_d[..n - 1]
+            .iter()
+            .map(|&c| parent_of[c.index()])
+            .collect();
+        self.d = new_d;
+        self.p = new_p;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The paper's Fig. 5(a) 9-node tree.
+    fn fig5_tree() -> AggregationTree {
+        let edges = [
+            (n(0), n(7)),
+            (n(0), n(4)),
+            (n(0), n(8)),
+            (n(4), n(3)),
+            (n(4), n(2)),
+            (n(2), n(6)),
+            (n(8), n(5)),
+            (n(8), n(1)),
+        ];
+        AggregationTree::from_edges(n(0), 9, &edges).unwrap()
+    }
+
+    #[test]
+    fn fig5_encoding_matches_paper() {
+        let code = PruferCode::encode(&fig5_tree()).unwrap();
+        let want: Vec<NodeId> = [0, 2, 8, 4, 4, 0, 8].iter().map(|&i| n(i)).collect();
+        assert_eq!(code.labels(), &want[..]);
+    }
+
+    #[test]
+    fn fig5_decoding_matches_paper() {
+        let code = PruferCode::from_labels(
+            9,
+            [0, 2, 8, 4, 4, 0, 8].iter().map(|&i| n(i)).collect(),
+        )
+        .unwrap();
+        let decoded = code.decode().unwrap();
+        let want: Vec<NodeId> = [7, 6, 5, 3, 2, 4, 1, 8, 0].iter().map(|&i| n(i)).collect();
+        assert_eq!(decoded.sequence, want);
+        // Tree must equal Fig. 5(a).
+        let orig = fig5_tree();
+        for i in 0..9 {
+            assert_eq!(decoded.tree.parent(n(i)), orig.parent(n(i)), "parent of {i}");
+        }
+    }
+
+    #[test]
+    fn eq23_child_counts() {
+        let tree = fig5_tree();
+        let code = PruferCode::encode(&tree).unwrap();
+        for i in 0..9 {
+            assert_eq!(
+                code.child_count(n(i)),
+                tree.num_children(n(i)),
+                "child count of {i}"
+            );
+        }
+        // The paper's observation: 0, 4, 8 appear twice; 2 once.
+        assert_eq!(code.occurrences(n(0)), 2);
+        assert_eq!(code.occurrences(n(4)), 2);
+        assert_eq!(code.occurrences(n(8)), 2);
+        assert_eq!(code.occurrences(n(2)), 1);
+        // Sink has one more child than its occurrences.
+        assert_eq!(code.child_count(n(0)), 3);
+    }
+
+    #[test]
+    fn paper_line8_counterexample_is_handled() {
+        // Path 2–0–1: leaves {1, 2}; encode removes 2 (largest), neighbour 0,
+        // so P = (0). The surviving non-sink node is 1, but p_{n−2} = 0 —
+        // the paper's line 8 would emit D = (2, 0, 0). The generic rule
+        // yields the correct D = (2, 1, 0).
+        let edges = [(n(0), n(1)), (n(0), n(2))];
+        let tree = AggregationTree::from_edges(n(0), 3, &edges).unwrap();
+        let code = PruferCode::encode(&tree).unwrap();
+        assert_eq!(code.labels(), &[n(0)]);
+        let decoded = code.decode().unwrap();
+        assert_eq!(decoded.sequence, vec![n(2), n(1), n(0)]);
+        assert_eq!(decoded.tree.parent(n(1)), Some(n(0)));
+        assert_eq!(decoded.tree.parent(n(2)), Some(n(0)));
+    }
+
+    #[test]
+    fn two_node_tree() {
+        let tree = AggregationTree::from_edges(n(0), 2, &[(n(0), n(1))]).unwrap();
+        let code = PruferCode::encode(&tree).unwrap();
+        assert!(code.labels().is_empty());
+        let decoded = code.decode().unwrap();
+        assert_eq!(decoded.sequence, vec![n(1), n(0)]);
+        assert_eq!(decoded.tree.parent(n(1)), Some(n(0)));
+    }
+
+    #[test]
+    fn encode_rejects_tiny_and_misrooted() {
+        let t1 = AggregationTree::from_parents(n(0), vec![None]).unwrap();
+        assert_eq!(PruferCode::encode(&t1), Err(PruferError::TooSmall(1)));
+        let t2 = AggregationTree::from_parents(n(1), vec![Some(n(1)), None]).unwrap();
+        assert_eq!(PruferCode::encode(&t2), Err(PruferError::RootNotSink(n(1))));
+    }
+
+    #[test]
+    fn from_labels_validation() {
+        assert!(PruferCode::from_labels(4, vec![n(1), n(2)]).is_ok());
+        assert!(PruferCode::from_labels(4, vec![n(1)]).is_err()); // wrong length
+        assert!(matches!(
+            PruferCode::from_labels(4, vec![n(1), n(9)]),
+            Err(PruferError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn coded_tree_roundtrip() {
+        let tree = fig5_tree();
+        let ct = CodedTree::from_tree(&tree).unwrap();
+        let back = ct.to_tree();
+        for i in 0..9 {
+            assert_eq!(back.parent(n(i)), tree.parent(n(i)));
+            assert_eq!(ct.parent(n(i)), tree.parent(n(i)));
+            assert_eq!(ct.child_count(n(i)), tree.num_children(n(i)));
+        }
+    }
+
+    #[test]
+    fn component_matches_subtree() {
+        let tree = fig5_tree();
+        let ct = CodedTree::from_tree(&tree).unwrap();
+        let mut comp = ct.component_of(n(4));
+        comp.sort();
+        assert_eq!(comp, vec![n(2), n(3), n(4), n(6)]);
+        // Paper: "4 first finds its connected component without (4, 0) and it
+        // is (6, 3, 2, 4)" — D order.
+        assert_eq!(ct.component_of(n(4)), vec![n(6), n(3), n(2), n(4)]);
+    }
+
+    #[test]
+    fn fig5b_parent_change_matches_paper() {
+        // Fig. 5(b): node 4 changes its parent from 0 to 7.
+        let mut ct = CodedTree::from_tree(&fig5_tree()).unwrap();
+        ct.change_parent(n(4), n(7)).unwrap();
+        let want_d: Vec<NodeId> = [6, 3, 2, 4, 7, 5, 1, 8, 0].iter().map(|&i| n(i)).collect();
+        assert_eq!(ct.sequence(), &want_d[..]);
+        let want_p: Vec<NodeId> = [2, 4, 4, 7, 0, 8, 8].iter().map(|&i| n(i)).collect();
+        assert_eq!(ct.prufer_labels(), &want_p[..]);
+        // And the materialized tree reflects the change.
+        let t = ct.to_tree();
+        assert_eq!(t.parent(n(4)), Some(n(7)));
+        assert_eq!(t.num_children(n(7)), 1);
+    }
+
+    #[test]
+    fn change_parent_rejects_cycles_and_root() {
+        let mut ct = CodedTree::from_tree(&fig5_tree()).unwrap();
+        assert!(ct.change_parent(n(4), n(6)).is_err()); // 6 is in 4's subtree
+        assert!(ct.change_parent(n(0), n(4)).is_err()); // sink
+        assert!(ct.change_parent(n(4), n(4)).is_err()); // self
+        assert!(matches!(
+            ct.change_parent(n(4), n(99)),
+            Err(PruferError::LabelOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn change_parent_repairs_tail_invariant() {
+        // Move the subtree containing the old d_{n−1} slot holder and verify
+        // the invariant (d'_{n−1} is a child of the sink) is restored.
+        let mut ct = CodedTree::from_tree(&fig5_tree()).unwrap();
+        // d_{n−1} = 8 originally. Move 8 under 7: component of 8 = {5,1,8}.
+        ct.change_parent(n(8), n(7)).unwrap();
+        let d = ct.sequence().to_vec();
+        let second_last = d[d.len() - 2];
+        assert_eq!(ct.parent(second_last), Some(n(0)), "tail invariant broken");
+        let t = ct.to_tree();
+        assert_eq!(t.parent(n(8)), Some(n(7)));
+    }
+
+    #[test]
+    fn chained_changes_stay_consistent() {
+        let mut ct = CodedTree::from_tree(&fig5_tree()).unwrap();
+        ct.change_parent(n(4), n(7)).unwrap();
+        ct.change_parent(n(6), n(3)).unwrap();
+        ct.change_parent(n(1), n(5)).unwrap();
+        let t = ct.to_tree();
+        assert_eq!(t.parent(n(4)), Some(n(7)));
+        assert_eq!(t.parent(n(6)), Some(n(3)));
+        assert_eq!(t.parent(n(1)), Some(n(5)));
+        // Child counts still consistent with the coded state.
+        for i in 0..9 {
+            assert_eq!(ct.child_count(n(i)), t.num_children(n(i)), "node {i}");
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random parent vector: node i's parent is a uniformly random
+        /// smaller-labelled node, which always yields a valid tree rooted
+        /// at 0 (and exercises varied shapes).
+        fn arb_tree() -> impl Strategy<Value = AggregationTree> {
+            (2usize..40).prop_flat_map(|nn| {
+                let parents: Vec<BoxedStrategy<usize>> =
+                    (1..nn).map(|i| (0..i).boxed()).collect();
+                parents.prop_map(move |ps| {
+                    let mut parents: Vec<Option<NodeId>> = vec![None];
+                    parents.extend(ps.into_iter().map(|p| Some(NodeId::new(p))));
+                    AggregationTree::from_parents(NodeId::SINK, parents).unwrap()
+                })
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn encode_decode_roundtrip(tree in arb_tree()) {
+                let code = PruferCode::encode(&tree).unwrap();
+                prop_assert_eq!(code.labels().len(), tree.n() - 2);
+                let decoded = code.decode().unwrap();
+                for i in 0..tree.n() {
+                    prop_assert_eq!(decoded.tree.parent(n(i)), tree.parent(n(i)));
+                }
+                // D is a permutation ending at the sink.
+                let mut d = decoded.sequence.clone();
+                prop_assert_eq!(*d.last().unwrap(), NodeId::SINK);
+                d.sort();
+                let all: Vec<NodeId> = (0..tree.n()).map(NodeId::new).collect();
+                prop_assert_eq!(d, all);
+            }
+
+            #[test]
+            fn eq23_holds(tree in arb_tree()) {
+                let code = PruferCode::encode(&tree).unwrap();
+                for i in 0..tree.n() {
+                    prop_assert_eq!(code.child_count(n(i)), tree.num_children(n(i)));
+                }
+            }
+
+            #[test]
+            fn splice_equals_reattach(
+                tree in arb_tree(),
+                child_seed in any::<u32>(),
+                parent_seed in any::<u32>(),
+            ) {
+                let nn = tree.n();
+                let child = n(1 + (child_seed as usize) % (nn - 1));
+                let parent = n((parent_seed as usize) % nn);
+                let mut ct = CodedTree::from_tree(&tree).unwrap();
+                let mut reference = tree.clone();
+                let splice = ct.change_parent(child, parent);
+                let direct = reference.reattach(child, parent);
+                prop_assert_eq!(splice.is_ok(), direct.is_ok(),
+                    "splice and reattach must agree on validity");
+                if splice.is_ok() {
+                    let t = ct.to_tree();
+                    for i in 0..nn {
+                        prop_assert_eq!(t.parent(n(i)), reference.parent(n(i)));
+                    }
+                    // Tail invariant.
+                    let d = ct.sequence();
+                    prop_assert_eq!(ct.parent(d[nn - 2]), Some(NodeId::SINK));
+                }
+            }
+        }
+    }
+}

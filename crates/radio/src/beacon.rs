@@ -1,0 +1,63 @@
+//! Beacon-based PRR estimation (Eq. 2): `q̂ = N_r / N_s`.
+
+use rand::{Rng, RngExt};
+use wsn_model::Prr;
+
+/// Estimates a link's PRR the way the paper's deployment does: broadcast
+/// `rounds` beacons over a link whose true reception probability is
+/// `true_prr`, and return the observed ratio of received to sent packets.
+pub fn estimate_prr<R: Rng + ?Sized>(true_prr: Prr, rounds: usize, rng: &mut R) -> Prr {
+    assert!(rounds > 0, "at least one beacon round is required");
+    let q = true_prr.value();
+    let received = (0..rounds).filter(|_| rng.random::<f64>() < q).count();
+    Prr::new(received as f64 / rounds as f64).expect("ratio is in [0, 1]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_converges_to_truth() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let truth = Prr::new(q).unwrap();
+            let est = estimate_prr(truth, 100_000, &mut rng);
+            assert!(
+                (est.value() - q).abs() < 0.01,
+                "estimate {} for truth {q}",
+                est.value()
+            );
+        }
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(estimate_prr(Prr::new(0.0).unwrap(), 1000, &mut rng).value(), 0.0);
+        assert_eq!(estimate_prr(Prr::new(1.0).unwrap(), 1000, &mut rng).value(), 1.0);
+    }
+
+    #[test]
+    fn thousand_rounds_gives_percent_accuracy() {
+        // The paper uses 1000 beacon rounds; the binomial standard error at
+        // q = 0.5 is √(0.25/1000) ≈ 1.6%.
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = Prr::new(0.5).unwrap();
+        let mut worst: f64 = 0.0;
+        for _ in 0..50 {
+            let est = estimate_prr(truth, 1000, &mut rng);
+            worst = worst.max((est.value() - 0.5).abs());
+        }
+        assert!(worst < 0.08, "worst deviation {worst}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one beacon round")]
+    fn zero_rounds_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        estimate_prr(Prr::PERFECT, 0, &mut rng);
+    }
+}

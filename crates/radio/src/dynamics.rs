@@ -1,0 +1,240 @@
+//! Time-varying link quality: the processes behind "a tree-link gets worse
+//! or a non-tree link gets better" (§VI).
+//!
+//! Two standard models:
+//!
+//! * [`GilbertElliott`] — the classic two-state burst-loss channel: a Good
+//!   state with high PRR and a Bad state with low PRR, with geometric
+//!   sojourn times. Captures the abrupt degradations the paper's
+//!   link-worse trigger responds to.
+//! * [`QualityDrift`] — a mean-reverting AR(1) (discrete
+//!   Ornstein–Uhlenbeck) walk on the logit of the PRR: slow environmental
+//!   drift that both degrades tree links and recovers non-tree links,
+//!   exercising the ILU path.
+
+use crate::pathloss::standard_normal;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+use wsn_model::Prr;
+
+/// Two-state burst-loss channel.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    /// PRR while in the Good state.
+    pub good_prr: f64,
+    /// PRR while in the Bad state.
+    pub bad_prr: f64,
+    /// Per-step probability of Good → Bad.
+    pub p_good_to_bad: f64,
+    /// Per-step probability of Bad → Good.
+    pub p_bad_to_good: f64,
+}
+
+impl Default for GilbertElliott {
+    fn default() -> Self {
+        GilbertElliott {
+            good_prr: 0.99,
+            bad_prr: 0.30,
+            p_good_to_bad: 0.02,
+            p_bad_to_good: 0.25,
+        }
+    }
+}
+
+/// Live state of one Gilbert–Elliott channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GeState {
+    /// High-quality regime.
+    Good,
+    /// Burst-loss regime.
+    Bad,
+}
+
+/// A running Gilbert–Elliott channel.
+#[derive(Clone, Debug)]
+pub struct GeChannel {
+    params: GilbertElliott,
+    state: GeState,
+}
+
+impl GeChannel {
+    /// Starts a channel in the Good state.
+    pub fn new(params: GilbertElliott) -> Self {
+        assert!((0.0..=1.0).contains(&params.p_good_to_bad));
+        assert!((0.0..=1.0).contains(&params.p_bad_to_good));
+        GeChannel { params, state: GeState::Good }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> GeState {
+        self.state
+    }
+
+    /// Advances one step and returns the current PRR.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Prr {
+        let flip: f64 = rng.random();
+        self.state = match self.state {
+            GeState::Good if flip < self.params.p_good_to_bad => GeState::Bad,
+            GeState::Bad if flip < self.params.p_bad_to_good => GeState::Good,
+            s => s,
+        };
+        let q = match self.state {
+            GeState::Good => self.params.good_prr,
+            GeState::Bad => self.params.bad_prr,
+        };
+        Prr::clamped(q).expect("parameters are finite")
+    }
+
+    /// Stationary probability of the Good state.
+    pub fn stationary_good(&self) -> f64 {
+        let GilbertElliott { p_good_to_bad: pgb, p_bad_to_good: pbg, .. } = self.params;
+        if pgb + pbg == 0.0 {
+            1.0
+        } else {
+            pbg / (pgb + pbg)
+        }
+    }
+
+    /// Long-run average PRR.
+    pub fn stationary_prr(&self) -> f64 {
+        let pg = self.stationary_good();
+        pg * self.params.good_prr + (1.0 - pg) * self.params.bad_prr
+    }
+}
+
+/// Mean-reverting logit-space drift of a link's PRR.
+#[derive(Clone, Debug)]
+pub struct QualityDrift {
+    /// Mean-reversion strength per step, in `(0, 1]`.
+    pub reversion: f64,
+    /// Per-step noise standard deviation (logit units).
+    pub sigma: f64,
+    /// The long-run mean quality (logit units).
+    anchor_logit: f64,
+    /// Current state (logit units).
+    state_logit: f64,
+}
+
+fn logit(q: f64) -> f64 {
+    let q = q.clamp(1e-6, 1.0 - 1e-6);
+    (q / (1.0 - q)).ln()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl QualityDrift {
+    /// Creates a drift anchored at (and starting from) `initial`.
+    pub fn new(initial: Prr, reversion: f64, sigma: f64) -> Self {
+        assert!(reversion > 0.0 && reversion <= 1.0);
+        assert!(sigma >= 0.0);
+        let l = logit(initial.value());
+        QualityDrift { reversion, sigma, anchor_logit: l, state_logit: l }
+    }
+
+    /// Advances one step and returns the new PRR.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Prr {
+        let noise = self.sigma * standard_normal(rng);
+        self.state_logit += self.reversion * (self.anchor_logit - self.state_logit) + noise;
+        Prr::clamped(sigmoid(self.state_logit)).expect("sigmoid is in (0, 1)")
+    }
+
+    /// Current PRR without advancing.
+    pub fn current(&self) -> Prr {
+        Prr::clamped(sigmoid(self.state_logit)).expect("sigmoid is in (0, 1)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ge_stationary_distribution_matches_simulation() {
+        let params = GilbertElliott::default();
+        let mut ch = GeChannel::new(params);
+        let mut rng = StdRng::seed_from_u64(1);
+        let steps = 200_000;
+        let mut good = 0usize;
+        let mut sum = 0.0;
+        for _ in 0..steps {
+            let q = ch.step(&mut rng);
+            if ch.state() == GeState::Good {
+                good += 1;
+            }
+            sum += q.value();
+        }
+        let pg = good as f64 / steps as f64;
+        assert!(
+            (pg - ch.stationary_good()).abs() < 0.01,
+            "empirical P(Good) {pg} vs analytic {}",
+            ch.stationary_good()
+        );
+        assert!((sum / steps as f64 - ch.stationary_prr()).abs() < 0.01);
+    }
+
+    #[test]
+    fn ge_produces_bursts() {
+        let mut ch = GeChannel::new(GilbertElliott::default());
+        let mut rng = StdRng::seed_from_u64(2);
+        // Expected bad-burst length = 1/p_bad_to_good = 4; observe at least
+        // one burst of length ≥ 2 over a long run.
+        let mut run = 0usize;
+        let mut longest = 0usize;
+        for _ in 0..10_000 {
+            ch.step(&mut rng);
+            if ch.state() == GeState::Bad {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        assert!(longest >= 2, "no bursts observed");
+    }
+
+    #[test]
+    fn drift_reverts_to_anchor() {
+        let mut d = QualityDrift::new(Prr::new(0.95).unwrap(), 0.2, 0.0);
+        // Knock it down, then let it recover deterministically (σ = 0).
+        d.state_logit = logit(0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            d.step(&mut rng);
+        }
+        assert!(
+            (d.current().value() - 0.95).abs() < 0.01,
+            "did not revert: {}",
+            d.current().value()
+        );
+    }
+
+    #[test]
+    fn drift_stays_in_unit_interval() {
+        let mut d = QualityDrift::new(Prr::new(0.9).unwrap(), 0.05, 0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..5000 {
+            let q = d.step(&mut rng).value();
+            assert!((0.0..=1.0).contains(&q));
+        }
+    }
+
+    #[test]
+    fn drift_wanders_with_noise() {
+        let mut d = QualityDrift::new(Prr::new(0.9).unwrap(), 0.02, 0.4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..2000).map(|_| d.step(&mut rng).value()).collect();
+        let min = samples.iter().cloned().fold(1.0, f64::min);
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.05, "drift too static: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_reversion_rejected() {
+        QualityDrift::new(Prr::new(0.9).unwrap(), 0.0, 0.1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Log-distance path loss with log-normal shadowing.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// The log-distance path-loss model:
+///
+/// `PL(d) = PL(d₀) + 10·η·log₁₀(d/d₀) + X_σ`, `X_σ ~ N(0, σ²)` (dB).
+///
+/// Defaults are calibrated for the indoor 2.4 GHz setting of the paper's
+/// testbeds: reference loss 55 dB at 1 m, exponent 3.0, shadowing σ 3 dB.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PathLoss {
+    /// Reference path loss at `d₀ = 1 m`, in dB.
+    pub pl0_db: f64,
+    /// Path-loss exponent `η`.
+    pub exponent: f64,
+    /// Shadowing standard deviation, dB (0 disables shadowing).
+    pub shadowing_sigma_db: f64,
+}
+
+impl Default for PathLoss {
+    fn default() -> Self {
+        PathLoss { pl0_db: 55.0, exponent: 3.0, shadowing_sigma_db: 3.0 }
+    }
+}
+
+impl PathLoss {
+    /// Mean path loss at distance `d` meters (no shadowing).
+    pub fn mean_db(&self, d: f64) -> f64 {
+        assert!(d > 0.0, "distance must be positive");
+        self.pl0_db + 10.0 * self.exponent * (d.max(1e-3)).log10()
+    }
+
+    /// One shadowed sample of the path loss at distance `d` meters.
+    pub fn sample_db<R: Rng + ?Sized>(&self, d: f64, rng: &mut R) -> f64 {
+        self.mean_db(d) + self.shadowing_sigma_db * standard_normal(rng)
+    }
+}
+
+/// Box–Muller standard normal (keeps us off rand_distr, which is not in the
+/// approved dependency set).
+pub(crate) fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_increases_with_distance() {
+        let pl = PathLoss::default();
+        assert!(pl.mean_db(2.0) > pl.mean_db(1.0));
+        assert!(pl.mean_db(10.0) > pl.mean_db(5.0));
+        // 10× distance adds 10·η dB.
+        let delta = pl.mean_db(10.0) - pl.mean_db(1.0);
+        assert!((delta - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_loss_at_one_meter() {
+        let pl = PathLoss::default();
+        assert!((pl.mean_db(1.0) - 55.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shadowing_has_zero_mean_and_right_spread() {
+        let pl = PathLoss { shadowing_sigma_db: 4.0, ..PathLoss::default() };
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| pl.sample_db(3.0, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - pl.mean_db(3.0)).abs() < 0.1, "mean off: {mean}");
+        assert!((var.sqrt() - 4.0).abs() < 0.1, "σ off: {}", var.sqrt());
+    }
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let pl = PathLoss { shadowing_sigma_db: 0.0, ..PathLoss::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pl.sample_db(2.0, &mut rng), pl.mean_db(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn rejects_nonpositive_distance() {
+        PathLoss::default().mean_db(0.0);
+    }
+}

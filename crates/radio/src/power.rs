@@ -1,0 +1,166 @@
+//! TelosB TX power levels and PowerMonitor-style trace synthesis (Fig. 3).
+
+use crate::pathloss::standard_normal;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wsn_model::energy::{IDLE_POWER_W, RECEIVE_POWER_W, SEND_POWER_W};
+
+/// A CC2420/TelosB transmit power level (the register values the paper
+/// sweeps in Fig. 2) with its output power in dBm.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TxPowerLevel {
+    /// Register value (3, 7, 11, …, 31).
+    pub level: u8,
+    /// Output power in dBm.
+    pub dbm: f64,
+}
+
+impl TxPowerLevel {
+    /// The CC2420 datasheet mapping from register level to output power.
+    pub const TABLE: [TxPowerLevel; 8] = [
+        TxPowerLevel { level: 3, dbm: -25.0 },
+        TxPowerLevel { level: 7, dbm: -15.0 },
+        TxPowerLevel { level: 11, dbm: -10.0 },
+        TxPowerLevel { level: 15, dbm: -7.0 },
+        TxPowerLevel { level: 19, dbm: -5.0 },
+        TxPowerLevel { level: 23, dbm: -3.0 },
+        TxPowerLevel { level: 27, dbm: -1.0 },
+        TxPowerLevel { level: 31, dbm: 0.0 },
+    ];
+
+    /// Looks up a register level (the paper uses 11, 15 and 19).
+    pub fn from_level(level: u8) -> Option<TxPowerLevel> {
+        Self::TABLE.iter().copied().find(|t| t.level == level)
+    }
+}
+
+/// Radio state of a node at a sampling instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PowerState {
+    /// Transmitting packets (Fig. 3a, ≈80 mW).
+    Sending,
+    /// Listening / receiving (Fig. 3b, ≈60 mW).
+    Receiving,
+    /// Radio off; MCU + LEDs only (Fig. 3c, ≈80 µW).
+    Idle,
+}
+
+impl PowerState {
+    /// The mean draw of the state in watts.
+    pub fn mean_power_w(self) -> f64 {
+        match self {
+            PowerState::Sending => SEND_POWER_W,
+            PowerState::Receiving => RECEIVE_POWER_W,
+            PowerState::Idle => IDLE_POWER_W,
+        }
+    }
+}
+
+/// A synthesized PowerMonitor trace: per-sample instantaneous power of one
+/// node held in a fixed radio state.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PowerTrace {
+    /// The state the node was held in.
+    pub state: PowerState,
+    /// Sampling interval in seconds.
+    pub dt: f64,
+    /// Instantaneous power samples in watts.
+    pub samples: Vec<f64>,
+}
+
+impl PowerTrace {
+    /// Synthesizes a trace of `n` samples: the state's mean draw plus 5%
+    /// multiplicative measurement noise plus, for the sending state,
+    /// periodic packet bursts (the spiky structure visible in Fig. 3a).
+    pub fn synthesize<R: Rng + ?Sized>(
+        state: PowerState,
+        n: usize,
+        dt: f64,
+        rng: &mut R,
+    ) -> PowerTrace {
+        let base = state.mean_power_w();
+        let samples = (0..n)
+            .map(|i| {
+                let noise = 1.0 + 0.05 * standard_normal(rng);
+                let burst = match state {
+                    // A packet every 8 samples draws extra amplifier power,
+                    // balanced by a lower floor in between.
+                    PowerState::Sending => {
+                        if i % 8 == 0 {
+                            1.35
+                        } else {
+                            0.95
+                        }
+                    }
+                    _ => 1.0,
+                };
+                (base * burst * noise).max(0.0)
+            })
+            .collect();
+        PowerTrace { state, dt, samples }
+    }
+
+    /// Average power over the trace, watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Total energy of the trace, joules.
+    pub fn energy_j(&self) -> f64 {
+        self.samples.iter().sum::<f64>() * self.dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn power_table_covers_paper_levels() {
+        for level in [11u8, 15, 19] {
+            let t = TxPowerLevel::from_level(level).unwrap();
+            assert!(t.dbm <= 0.0);
+        }
+        assert!(TxPowerLevel::from_level(12).is_none());
+        // Monotone in level.
+        for w in TxPowerLevel::TABLE.windows(2) {
+            assert!(w[0].dbm < w[1].dbm);
+        }
+    }
+
+    #[test]
+    fn trace_means_match_fig3() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let send = PowerTrace::synthesize(PowerState::Sending, 8000, 1e-3, &mut rng);
+        let recv = PowerTrace::synthesize(PowerState::Receiving, 8000, 1e-3, &mut rng);
+        let idle = PowerTrace::synthesize(PowerState::Idle, 8000, 1e-3, &mut rng);
+        // Sending ≈ 80 mW (within 10%: bursts average to 1.0).
+        assert!((send.mean_power_w() - 0.080).abs() < 0.008, "{}", send.mean_power_w());
+        assert!((recv.mean_power_w() - 0.060).abs() < 0.004, "{}", recv.mean_power_w());
+        assert!((idle.mean_power_w() - 80e-6).abs() < 8e-6, "{}", idle.mean_power_w());
+        // Orders of magnitude as in the paper: idle is ~1000× cheaper.
+        assert!(send.mean_power_w() / idle.mean_power_w() > 500.0);
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let trace = PowerTrace { state: PowerState::Idle, dt: 0.5, samples: vec![2.0, 4.0] };
+        assert!((trace.energy_j() - 3.0).abs() < 1e-12);
+        let empty = PowerTrace { state: PowerState::Idle, dt: 0.5, samples: vec![] };
+        assert_eq!(empty.mean_power_w(), 0.0);
+    }
+
+    #[test]
+    fn sending_trace_is_spiky() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let send = PowerTrace::synthesize(PowerState::Sending, 64, 1e-3, &mut rng);
+        let max = send.samples.iter().cloned().fold(0.0, f64::max);
+        let min = send.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1.2, "bursts should be visible: {min}..{max}");
+    }
+}

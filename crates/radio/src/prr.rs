@@ -1,0 +1,155 @@
+//! The SNR → packet-reception-ratio link curve.
+
+use crate::pathloss::PathLoss;
+use crate::power::TxPowerLevel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wsn_model::Prr;
+
+/// A complete link model: path loss + receiver noise floor + packet
+/// success curve.
+///
+/// The packet-success curve follows the transitional-region literature
+/// (Zuniga & Krishnamachari): per-bit error `p_b = ½·exp(−α·γ)` with `γ`
+/// the linear SNR, and `PRR = (1 − p_b)^(8·f)` for an `f`-byte frame. The
+/// paper's packets are 34 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// Path-loss model.
+    pub pathloss: PathLoss,
+    /// Receiver noise floor, dBm.
+    pub noise_floor_dbm: f64,
+    /// Per-bit error steepness `α` (higher = sharper transition).
+    pub alpha: f64,
+    /// Frame size in bytes (the paper's packets are 34 bytes).
+    pub frame_bytes: usize,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel {
+            pathloss: PathLoss::default(),
+            noise_floor_dbm: -95.0,
+            alpha: 0.21,
+            frame_bytes: 34,
+        }
+    }
+}
+
+impl LinkModel {
+    /// PRR for a given SNR in dB.
+    pub fn prr_from_snr_db(&self, snr_db: f64) -> Prr {
+        let gamma = 10f64.powf(snr_db / 10.0);
+        let p_bit = 0.5 * (-self.alpha * gamma).exp();
+        let bits = (8 * self.frame_bytes) as f64;
+        Prr::clamped((1.0 - p_bit).powf(bits)).expect("finite arithmetic")
+    }
+
+    /// Mean PRR (no shadowing) at distance `d` meters under `tx`.
+    pub fn mean_prr(&self, d: f64, tx: TxPowerLevel) -> Prr {
+        let snr = tx.dbm - self.pathloss.mean_db(d) - self.noise_floor_dbm;
+        self.prr_from_snr_db(snr)
+    }
+
+    /// One shadowed PRR sample — the "true" quality of a deployed link,
+    /// drawn once per link at deployment time (shadowing is static for
+    /// fixed node positions).
+    pub fn sample_prr<R: Rng + ?Sized>(&self, d: f64, tx: TxPowerLevel, rng: &mut R) -> Prr {
+        let snr = tx.dbm - self.pathloss.sample_db(d, rng) - self.noise_floor_dbm;
+        self.prr_from_snr_db(snr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FT;
+
+    fn lvl(l: u8) -> TxPowerLevel {
+        TxPowerLevel::from_level(l).unwrap()
+    }
+
+    #[test]
+    fn prr_monotone_in_snr() {
+        let m = LinkModel::default();
+        let mut prev = -1.0;
+        for snr in [-5.0, 0.0, 3.0, 6.0, 9.0, 12.0, 20.0] {
+            let p = m.prr_from_snr_db(snr).value();
+            assert!(p >= prev, "PRR must not decrease with SNR");
+            prev = p;
+        }
+        assert!(m.prr_from_snr_db(30.0).value() > 0.999);
+        assert!(m.prr_from_snr_db(-10.0).value() < 0.01);
+    }
+
+    #[test]
+    fn prr_monotone_decreasing_in_distance() {
+        let m = LinkModel::default();
+        let tx = lvl(15);
+        let mut prev = 2.0;
+        for ft in [2.0, 4.0, 8.0, 12.0, 16.0] {
+            let p = m.mean_prr(ft * FT, tx).value();
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fig2_shape_power_19_stays_usable() {
+        // "the link quality decreases while the distance increases when
+        // Tx = 19" — it degrades but remains usable where 11/15 are dead.
+        let m = LinkModel::default();
+        let tx = lvl(19);
+        let near = m.mean_prr(4.0 * FT, tx).value();
+        let far = m.mean_prr(16.0 * FT, tx).value();
+        assert!(near > 0.99, "4 ft at level 19: {near}");
+        assert!(far > 0.5, "16 ft at level 19: {far}");
+        assert!(far < near);
+        // Clear contrast against level 15 at the same distance.
+        assert!(far > 10.0 * m.mean_prr(16.0 * FT, lvl(15)).value());
+    }
+
+    #[test]
+    fn fig2_shape_low_power_collapses() {
+        // "the average link quality goes from almost 100% to less than 10%
+        // while the distance increases from 4ft to 16ft when the
+        // transmission power is 11 and 15".
+        let m = LinkModel::default();
+        for level in [11u8, 15] {
+            let tx = lvl(level);
+            let near = m.mean_prr(4.0 * FT, tx).value();
+            let far = m.mean_prr(16.0 * FT, tx).value();
+            assert!(near > 0.95, "4 ft at level {level}: {near}");
+            assert!(far < 0.10, "16 ft at level {level}: {far}");
+        }
+    }
+
+    #[test]
+    fn higher_power_never_hurts() {
+        let m = LinkModel::default();
+        for ft in [4.0, 8.0, 12.0, 16.0] {
+            let d = ft * FT;
+            let p11 = m.mean_prr(d, lvl(11)).value();
+            let p15 = m.mean_prr(d, lvl(15)).value();
+            let p19 = m.mean_prr(d, lvl(19)).value();
+            assert!(p11 <= p15 + 1e-12 && p15 <= p19 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn shadowed_samples_scatter_around_mean() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let m = LinkModel::default();
+        let tx = lvl(15);
+        let d = 10.0 * FT;
+        let mut rng = StdRng::seed_from_u64(5);
+        let samples: Vec<f64> = (0..500).map(|_| m.sample_prr(d, tx, &mut rng).value()).collect();
+        let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(hi - lo > 0.2, "shadowing must spread link quality: {lo}..{hi}");
+        for s in samples {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

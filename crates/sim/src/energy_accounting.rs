@@ -1,0 +1,190 @@
+//! Energy ledger for aggregation rounds, with and without retransmissions.
+//!
+//! Quantifies the paper's motivation claim behind Fig. 1: at 10% link
+//! quality "nodes spend 90% of energy in retransmission".
+
+use rand::{Rng, RngExt};
+use wsn_model::{AggregationTree, EnergyModel, Network, NodeId};
+
+/// Energy spent across one or more simulated rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyLedger {
+    /// Joules spent on first-attempt transmissions.
+    pub first_tx_j: f64,
+    /// Joules spent on retransmissions.
+    pub retx_j: f64,
+    /// Joules spent receiving.
+    pub rx_j: f64,
+}
+
+impl EnergyLedger {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.first_tx_j + self.retx_j + self.rx_j
+    }
+
+    /// Fraction of *transmit* energy that went to retransmissions.
+    pub fn retx_fraction(&self) -> f64 {
+        let tx = self.first_tx_j + self.retx_j;
+        if tx == 0.0 {
+            0.0
+        } else {
+            self.retx_j / tx
+        }
+    }
+}
+
+/// Simulates `rounds` retransmit-until-success rounds and returns the
+/// ledger. Receivers pay `Rx` only for the (single) successful copy, as the
+/// failed copies are rejected at the PHY; `attempt_cap` bounds dead links.
+pub fn retransmission_ledger<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+    rounds: usize,
+    attempt_cap: usize,
+    rng: &mut R,
+) -> EnergyLedger {
+    assert!(rounds > 0);
+    let mut ledger = EnergyLedger::default();
+    let links: Vec<f64> = tree
+        .edges()
+        .map(|(c, p)| {
+            let e = net.find_edge(c, p).expect("tree edge exists");
+            net.link(e).prr().value()
+        })
+        .collect();
+    for _ in 0..rounds {
+        for &q in &links {
+            let mut attempts = 1usize;
+            while attempts < attempt_cap && rng.random::<f64>() >= q {
+                attempts += 1;
+            }
+            ledger.first_tx_j += model.tx;
+            ledger.retx_j += model.tx * (attempts - 1) as f64;
+            ledger.rx_j += model.rx;
+        }
+    }
+    ledger
+}
+
+/// The no-retransmission ledger is deterministic: `n − 1` sends and, in
+/// expectation, `q_e` receives per link (failed packets are not decoded).
+pub fn lossy_expected_ledger(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+) -> EnergyLedger {
+    let mut ledger = EnergyLedger::default();
+    for (c, p) in tree.edges() {
+        let e = net.find_edge(c, p).expect("tree edge exists");
+        ledger.first_tx_j += model.tx;
+        ledger.rx_j += model.rx * net.link(e).prr().value();
+    }
+    ledger
+}
+
+/// Which node would deplete first under the retransmission regime, and how
+/// many rounds it survives — retransmissions shift the bottleneck toward
+/// nodes behind bad links, not just high-degree nodes.
+pub fn retransmission_bottleneck(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+) -> (NodeId, f64) {
+    let mut per_round = vec![0.0f64; net.n()];
+    for (c, p) in tree.edges() {
+        let e = net.find_edge(c, p).expect("tree edge exists");
+        let etx = net.link(e).prr().etx();
+        per_round[c.index()] += model.tx * etx;
+        per_round[p.index()] += model.rx;
+    }
+    let mut best = (NodeId::SINK, f64::INFINITY);
+    for (i, &burn) in per_round.iter().enumerate() {
+        if burn <= 0.0 {
+            continue;
+        }
+        let rounds = net.initial_energy(NodeId::new(i)) / burn;
+        if rounds < best.1 {
+            best = (NodeId::new(i), rounds);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_model::NetworkBuilder;
+
+    fn chain(qs: &[f64]) -> (Network, AggregationTree) {
+        let k = qs.len() + 1;
+        let mut b = NetworkBuilder::new(k);
+        for (i, &q) in qs.iter().enumerate() {
+            b.add_edge(i, i + 1, q).unwrap();
+        }
+        let net = b.build().unwrap();
+        let edges: Vec<_> = (0..k - 1)
+            .map(|i| (NodeId::new(i), NodeId::new(i + 1)))
+            .collect();
+        let tree = AggregationTree::from_edges(NodeId::SINK, k, &edges).unwrap();
+        (net, tree)
+    }
+
+    #[test]
+    fn paper_claim_90_percent_at_q_10() {
+        let (net, tree) = chain(&[0.1; 15]); // 16-node chain at q = 0.1
+        let model = EnergyModel::PAPER;
+        let mut rng = StdRng::seed_from_u64(1);
+        let ledger = retransmission_ledger(&net, &tree, &model, 2000, 10_000, &mut rng);
+        let frac = ledger.retx_fraction();
+        assert!(
+            (frac - 0.9).abs() < 0.01,
+            "retransmission fraction {frac} (paper: 90%)"
+        );
+    }
+
+    #[test]
+    fn perfect_links_have_no_retx() {
+        let (net, tree) = chain(&[1.0; 5]);
+        let model = EnergyModel::PAPER;
+        let mut rng = StdRng::seed_from_u64(2);
+        let ledger = retransmission_ledger(&net, &tree, &model, 100, 100, &mut rng);
+        assert_eq!(ledger.retx_j, 0.0);
+        assert!((ledger.first_tx_j - 100.0 * 5.0 * model.tx).abs() < 1e-9);
+        assert_eq!(ledger.retx_fraction(), 0.0);
+    }
+
+    #[test]
+    fn lossy_ledger_is_cheaper_than_retx() {
+        let (net, tree) = chain(&[0.5; 6]);
+        let model = EnergyModel::PAPER;
+        let lossy = lossy_expected_ledger(&net, &tree, &model);
+        let mut rng = StdRng::seed_from_u64(3);
+        let retx = retransmission_ledger(&net, &tree, &model, 500, 10_000, &mut rng);
+        // Per-round comparison.
+        assert!(lossy.total() < retx.total() / 500.0);
+        // Lossy receivers only pay for arrived packets.
+        assert!((lossy.rx_j - 6.0 * model.rx * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retx_bottleneck_sits_behind_the_bad_link() {
+        // Node 3's uplink is terrible; with retransmissions node 3 burns
+        // energy fastest even though everyone has one child at most.
+        let (net, tree) = chain(&[0.99, 0.99, 0.05, 0.99]);
+        let model = EnergyModel::PAPER;
+        let (node, rounds) = retransmission_bottleneck(&net, &tree, &model);
+        assert_eq!(node, NodeId::new(3));
+        assert!(rounds < 1.0e6);
+    }
+
+    #[test]
+    fn ledger_totals_add_up() {
+        let l = EnergyLedger { first_tx_j: 1.0, retx_j: 3.0, rx_j: 0.5 };
+        assert!((l.total() - 4.5).abs() < 1e-12);
+        assert!((l.retx_fraction() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,95 @@
+//! Aggregation latency: how many slots a round takes to reach the sink.
+//!
+//! With slotted, interference-free scheduling a node can forward as soon as
+//! all its children have reported, so a round completes in `depth(T)` slots
+//! — the metric that the delay-constrained line of related work (Shen et
+//! al., §II) optimizes. IRA does not constrain depth, so this module lets
+//! the experiments quantify the latency cost of its lifetime/reliability
+//! trade-off against SPT and MST trees.
+
+use wsn_model::{AggregationTree, NodeId};
+
+/// Depth of the tree: slots per aggregation round under ideal scheduling.
+pub fn round_latency_slots(tree: &AggregationTree) -> usize {
+    (0..tree.n())
+        .map(|i| tree.depth(NodeId::new(i)))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Average over nodes of their hop distance to the sink — the mean
+/// freshness of individual readings.
+pub fn mean_hop_distance(tree: &AggregationTree) -> f64 {
+    if tree.n() == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..tree.n()).map(|i| tree.depth(NodeId::new(i))).sum();
+    total as f64 / tree.n() as f64
+}
+
+/// Histogram of node depths (`result[d]` = nodes at depth `d`).
+pub fn depth_histogram(tree: &AggregationTree) -> Vec<usize> {
+    let max = round_latency_slots(tree);
+    let mut hist = vec![0usize; max + 1];
+    for i in 0..tree.n() {
+        hist[tree.depth(NodeId::new(i))] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn path(k: usize) -> AggregationTree {
+        let edges: Vec<_> = (0..k - 1).map(|i| (n(i), n(i + 1))).collect();
+        AggregationTree::from_edges(n(0), k, &edges).unwrap()
+    }
+
+    fn star(k: usize) -> AggregationTree {
+        let edges: Vec<_> = (1..k).map(|v| (n(0), n(v))).collect();
+        AggregationTree::from_edges(n(0), k, &edges).unwrap()
+    }
+
+    #[test]
+    fn path_latency_is_length() {
+        assert_eq!(round_latency_slots(&path(6)), 5);
+        assert!((mean_hop_distance(&path(6)) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_latency_is_one() {
+        assert_eq!(round_latency_slots(&star(6)), 1);
+        assert!((mean_hop_distance(&star(6)) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_all_nodes() {
+        let t = path(5);
+        let h = depth_histogram(&t);
+        assert_eq!(h, vec![1, 1, 1, 1, 1]);
+        let s = star(5);
+        assert_eq!(depth_histogram(&s), vec![1, 4]);
+    }
+
+    #[test]
+    fn lifetime_friendly_trees_pay_latency() {
+        // The max-lifetime shape (a path) has the worst latency; the most
+        // latency-friendly shape (a star) has the worst lifetime — the
+        // three-way trade-off in one assertion.
+        let k = 8;
+        assert!(round_latency_slots(&path(k)) > round_latency_slots(&star(k)));
+    }
+
+    #[test]
+    fn single_node() {
+        let t = AggregationTree::from_parents(n(0), vec![None]).unwrap();
+        assert_eq!(round_latency_slots(&t), 0);
+        assert_eq!(mean_hop_distance(&t), 0.0);
+        assert_eq!(depth_histogram(&t), vec![1]);
+    }
+}

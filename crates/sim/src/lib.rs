@@ -1,0 +1,35 @@
+//! Data-aggregation round simulator.
+//!
+//! The paper's traffic model (§III-B): once per round every node aggregates
+//! its children's packets with its own reading and transmits a single
+//! packet to its parent. Two loss regimes matter:
+//!
+//! * **No retransmissions** (the paper's operating point for time-critical
+//!   collection): a lost packet silently drops the whole subtree's data for
+//!   that round; the probability a round delivers everything is exactly
+//!   `Q(T) = Π q_e`, which [`rounds`] verifies empirically.
+//! * **Retransmit-until-success** (the ETX strawman of Fig. 1): each hop
+//!   repeats until received; the expected packet count per round is
+//!   `Σ_e 1/q_e`, growing as `≈ (n−1)/q̄` as average quality `q̄` drops —
+//!   the motivation experiment in [`retransmission`].
+//!
+//! [`lifetime_sim`] drains per-node batteries round by round and reports
+//! when the first node dies, validating the closed-form Eq. 1.
+//! [`stats`] holds the small summary-statistics helpers the experiment
+//! harness shares.
+
+pub mod energy_accounting;
+pub mod latency;
+pub mod lifetime_sim;
+pub mod retransmission;
+pub mod rounds;
+pub mod schedule;
+pub mod stats;
+
+pub use energy_accounting::{lossy_expected_ledger, retransmission_ledger, EnergyLedger};
+pub use latency::{depth_histogram, mean_hop_distance, round_latency_slots};
+pub use lifetime_sim::{simulate_lifetime, LifetimeSimOutcome};
+pub use retransmission::{average_packets_per_round, expected_packets_per_round};
+pub use rounds::{estimate_reliability, simulate_round, RoundOutcome};
+pub use schedule::{greedy_schedule, validate_schedule, TdmaSchedule};
+pub use stats::{mean, stddev, Summary};

@@ -1,0 +1,192 @@
+//! Battery-drain simulation validating Eq. 1.
+
+use rand::{Rng, RngExt};
+use wsn_model::{AggregationTree, EnergyModel, Network, NodeId};
+
+/// Result of draining batteries round by round.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LifetimeSimOutcome {
+    /// Completed rounds before the first node could no longer afford the
+    /// next round.
+    pub rounds: u64,
+    /// The node that depleted first.
+    pub first_dead: NodeId,
+}
+
+/// Deterministic drain (the paper's accounting: every node spends
+/// `Tx + Rx·Ch` per round regardless of losses). Equals `⌊min_v L(v)⌋` with
+/// ties broken by node id. `round_cap` bounds the walk.
+pub fn simulate_lifetime(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+    round_cap: u64,
+) -> LifetimeSimOutcome {
+    let n = net.n();
+    // Eq. 1 charges every node Tx plus Rx per child each round (the sink's
+    // Tx models its upstream report, matching the paper's accounting).
+    let per_round: Vec<f64> = (0..n)
+        .map(|i| model.round_energy(tree.num_children(NodeId::new(i))))
+        .collect();
+    let mut energy: Vec<f64> = (0..n).map(|i| net.initial_energy(NodeId::new(i))).collect();
+    let mut rounds = 0u64;
+    loop {
+        if rounds >= round_cap {
+            // Report the eventual bottleneck anyway.
+            let first = argmin_remaining(&energy, &per_round);
+            return LifetimeSimOutcome { rounds, first_dead: first };
+        }
+        // The tolerance absorbs floating-point drift from repeated
+        // subtraction (≈ rounds · ulp ≪ 1e-9 J for any realistic horizon).
+        if let Some(dead) = (0..n).find(|&i| energy[i] < per_round[i] - 1e-9) {
+            return LifetimeSimOutcome { rounds, first_dead: NodeId::new(dead) };
+        }
+        for i in 0..n {
+            energy[i] -= per_round[i];
+        }
+        rounds += 1;
+    }
+}
+
+/// Stochastic drain: receivers only pay `Rx` for packets that actually
+/// arrive, so lossy links *extend* the simulated lifetime relative to
+/// Eq. 1 — a conservatism check on the analytic model.
+pub fn simulate_lifetime_lossy<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    model: &EnergyModel,
+    round_cap: u64,
+    rng: &mut R,
+) -> LifetimeSimOutcome {
+    let n = net.n();
+    let mut energy: Vec<f64> = (0..n).map(|i| net.initial_energy(NodeId::new(i))).collect();
+    let tree_links: Vec<(usize, f64)> = tree
+        .edges()
+        .map(|(c, p)| {
+            let e = net.find_edge(c, p).expect("tree edge must exist");
+            (p.index(), net.link(e).prr().value())
+        })
+        .collect();
+    let mut rounds = 0u64;
+    loop {
+        if rounds >= round_cap {
+            let per: Vec<f64> = (0..n).map(|_| model.tx).collect();
+            let first = argmin_remaining(&energy, &per);
+            return LifetimeSimOutcome { rounds, first_dead: first };
+        }
+        // Check affordability of the worst case first (Tx plus all children).
+        if let Some(dead) = (0..n).find(|&i| energy[i] < model.tx - 1e-9) {
+            return LifetimeSimOutcome { rounds, first_dead: NodeId::new(dead) };
+        }
+        for e in energy.iter_mut() {
+            *e -= model.tx;
+        }
+        for &(parent, q) in &tree_links {
+            if rng.random::<f64>() < q {
+                energy[parent] -= model.rx;
+            }
+        }
+        if let Some(dead) = (0..n).find(|&i| energy[i] < -1e-9) {
+            return LifetimeSimOutcome { rounds, first_dead: NodeId::new(dead) };
+        }
+        rounds += 1;
+    }
+}
+
+fn argmin_remaining(energy: &[f64], per_round: &[f64]) -> NodeId {
+    let mut best = (0usize, f64::INFINITY);
+    for i in 0..energy.len() {
+        let ratio = energy[i] / per_round[i].max(1e-18);
+        if ratio < best.1 {
+            best = (i, ratio);
+        }
+    }
+    NodeId::new(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::{lifetime, NetworkBuilder};
+
+    fn star(n: usize, energy: f64) -> (Network, AggregationTree) {
+        let mut b = NetworkBuilder::new(n);
+        for v in 1..n {
+            b.add_edge(0, v, 0.9).unwrap();
+        }
+        b.set_uniform_energy(energy).unwrap();
+        let net = b.build().unwrap();
+        let edges: Vec<_> = (1..n).map(|v| (NodeId::SINK, NodeId::new(v))).collect();
+        let tree = AggregationTree::from_edges(NodeId::SINK, n, &edges).unwrap();
+        (net, tree)
+    }
+
+    #[test]
+    fn deterministic_drain_matches_eq1() {
+        let model = EnergyModel::PAPER;
+        // Small batteries keep the walk short: 1 J each.
+        let (net, tree) = star(4, 1.0);
+        let out = simulate_lifetime(&net, &tree, &model, 1_000_000);
+        let analytic = lifetime::network_lifetime(&net, &tree, &model);
+        assert_eq!(out.rounds, analytic.floor() as u64);
+        assert_eq!(out.first_dead, NodeId::SINK, "the hub dies first");
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let model = EnergyModel::PAPER;
+        let (net, tree) = star(4, 3000.0);
+        let out = simulate_lifetime(&net, &tree, &model, 100);
+        assert_eq!(out.rounds, 100);
+    }
+
+    #[test]
+    fn lossy_drain_is_never_shorter() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let model = EnergyModel::PAPER;
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.5).unwrap();
+        b.add_edge(1, 2, 0.5).unwrap();
+        b.add_edge(1, 3, 0.5).unwrap();
+        b.set_uniform_energy(0.5).unwrap();
+        let net = b.build().unwrap();
+        let tree = AggregationTree::from_edges(
+            NodeId::SINK,
+            4,
+            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2)), (NodeId::new(1), NodeId::new(3))],
+        )
+        .unwrap();
+        let det = simulate_lifetime(&net, &tree, &model, 1_000_000);
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..5 {
+            let lossy = simulate_lifetime_lossy(&net, &tree, &model, 1_000_000, &mut rng);
+            assert!(
+                lossy.rounds >= det.rounds,
+                "lossy {} vs deterministic {}",
+                lossy.rounds,
+                det.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn heterogeneous_energy_changes_the_bottleneck() {
+        let model = EnergyModel::PAPER;
+        let mut b = NetworkBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.set_energy(NodeId::new(2), 0.01).unwrap();
+        b.set_energy(NodeId::new(0), 10.0).unwrap();
+        b.set_energy(NodeId::new(1), 10.0).unwrap();
+        let net = b.build().unwrap();
+        let tree = AggregationTree::from_edges(
+            NodeId::SINK,
+            3,
+            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2))],
+        )
+        .unwrap();
+        let out = simulate_lifetime(&net, &tree, &model, 1_000_000);
+        assert_eq!(out.first_dead, NodeId::new(2));
+    }
+}

@@ -1,0 +1,124 @@
+//! The ETX strawman of Fig. 1: retransmit every hop until success and
+//! count the packets one aggregation round costs.
+
+use rand::{Rng, RngExt};
+use wsn_model::{AggregationTree, Network};
+
+/// Expected packets per round under retransmit-until-success:
+/// `Σ_{e∈T} ETX(e) = Σ 1/q_e`. Infinite if any tree link is dead.
+pub fn expected_packets_per_round(net: &Network, tree: &AggregationTree) -> f64 {
+    tree.edges()
+        .map(|(c, p)| {
+            let e = net.find_edge(c, p).expect("tree edge must exist");
+            net.link(e).prr().etx()
+        })
+        .sum()
+}
+
+/// Simulates one round: per hop, geometric number of attempts until the
+/// packet is received. `attempt_cap` bounds pathological links (0 PRR).
+pub fn simulate_packets_per_round<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    attempt_cap: usize,
+    rng: &mut R,
+) -> usize {
+    let mut total = 0usize;
+    for (c, p) in tree.edges() {
+        let e = net.find_edge(c, p).expect("tree edge must exist");
+        let q = net.link(e).prr().value();
+        let mut attempts = 0usize;
+        loop {
+            attempts += 1;
+            if attempts >= attempt_cap || rng.random::<f64>() < q {
+                break;
+            }
+        }
+        total += attempts;
+    }
+    total
+}
+
+/// Average simulated packets per round over `rounds` rounds.
+pub fn average_packets_per_round<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    rounds: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(rounds > 0);
+    let total: usize = (0..rounds)
+        .map(|_| simulate_packets_per_round(net, tree, 10_000, rng))
+        .sum();
+    total as f64 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_model::{AggregationTree, NetworkBuilder, NodeId};
+
+    fn uniform_chain(n: usize, q: f64) -> (Network, AggregationTree) {
+        let mut b = NetworkBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i, i + 1, q).unwrap();
+        }
+        let net = b.build().unwrap();
+        let edges: Vec<_> = (0..n - 1)
+            .map(|i| (NodeId::new(i), NodeId::new(i + 1)))
+            .collect();
+        let tree = AggregationTree::from_edges(NodeId::SINK, n, &edges).unwrap();
+        (net, tree)
+    }
+
+    #[test]
+    fn paper_anchor_points() {
+        // Fig. 1 at 16 nodes: 15 packets at q = 1.0, 150 at q = 0.1.
+        let (net, tree) = uniform_chain(16, 1.0);
+        assert!((expected_packets_per_round(&net, &tree) - 15.0).abs() < 1e-9);
+        let (net, tree) = uniform_chain(16, 0.1);
+        assert!((expected_packets_per_round(&net, &tree) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulation_matches_expectation() {
+        let (net, tree) = uniform_chain(16, 0.5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let avg = average_packets_per_round(&net, &tree, 20_000, &mut rng);
+        let expect = expected_packets_per_round(&net, &tree);
+        assert!(
+            (avg - expect).abs() / expect < 0.02,
+            "simulated {avg} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn perfect_links_send_exactly_once() {
+        let (net, tree) = uniform_chain(8, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(simulate_packets_per_round(&net, &tree, 100, &mut rng), 7);
+    }
+
+    #[test]
+    fn attempt_cap_bounds_dead_links() {
+        let (net, tree) = uniform_chain(3, 0.0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let pkts = simulate_packets_per_round(&net, &tree, 50, &mut rng);
+        assert_eq!(pkts, 100); // 2 links × cap
+        assert!(expected_packets_per_round(&net, &tree).is_infinite());
+    }
+
+    #[test]
+    fn packets_grow_as_quality_drops() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut prev = 0.0;
+        for q in [1.0, 0.8, 0.6, 0.4, 0.2] {
+            let (net, tree) = uniform_chain(16, q);
+            let avg = average_packets_per_round(&net, &tree, 3000, &mut rng);
+            assert!(avg > prev, "packets must grow as q drops: {avg} after {prev}");
+            prev = avg;
+        }
+    }
+}

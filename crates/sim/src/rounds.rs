@@ -1,0 +1,175 @@
+//! One aggregation round without retransmissions.
+
+use rand::{Rng, RngExt};
+use wsn_model::{AggregationTree, Network};
+
+/// What happened in one simulated round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Every hop succeeded — the sink holds all `n` readings.
+    pub success: bool,
+    /// Number of nodes (including the sink) whose reading reached the sink.
+    pub delivered_sources: usize,
+    /// Packets transmitted (always `n − 1`: no retries in this mode).
+    pub transmissions: usize,
+    /// Packets successfully received by parents.
+    pub receptions: usize,
+}
+
+/// Simulates one aggregation round: post-order, each non-root node sends
+/// one packet to its parent, which arrives with the link's PRR. A node
+/// whose packet is lost loses its whole aggregated subtree for the round.
+pub fn simulate_round<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    rng: &mut R,
+) -> RoundOutcome {
+    let n = tree.n();
+    // edge_ok[v] = v's packet to its parent arrived.
+    let mut edge_ok = vec![true; n];
+    let mut receptions = 0usize;
+    let mut transmissions = 0usize;
+    for (child, parent) in tree.edges() {
+        let e = net
+            .find_edge(child, parent)
+            .expect("tree edge must exist in the network");
+        transmissions += 1;
+        let ok = rng.random::<f64>() < net.link(e).prr().value();
+        edge_ok[child.index()] = ok;
+        if ok {
+            receptions += 1;
+        }
+    }
+    // A reading is delivered iff every edge on its path to the sink worked.
+    // BFS order guarantees parents are resolved before children.
+    let mut path_ok = vec![false; n];
+    let mut delivered = 0usize;
+    for v in tree.bfs_order() {
+        let ok = match tree.parent(v) {
+            None => true,
+            Some(p) => path_ok[p.index()] && edge_ok[v.index()],
+        };
+        path_ok[v.index()] = ok;
+        if ok {
+            delivered += 1;
+        }
+    }
+    RoundOutcome {
+        success: delivered == n,
+        delivered_sources: delivered,
+        transmissions,
+        receptions,
+    }
+}
+
+/// Monte-Carlo estimate of the tree reliability `Q(T)`: the fraction of
+/// fully successful rounds.
+pub fn estimate_reliability<R: Rng + ?Sized>(
+    net: &Network,
+    tree: &AggregationTree,
+    rounds: usize,
+    rng: &mut R,
+) -> f64 {
+    assert!(rounds > 0);
+    let ok = (0..rounds)
+        .filter(|_| simulate_round(net, tree, rng).success)
+        .count();
+    ok as f64 / rounds as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wsn_model::{reliability, NetworkBuilder, NodeId};
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn chain(qs: &[f64]) -> (Network, AggregationTree) {
+        let k = qs.len() + 1;
+        let mut b = NetworkBuilder::new(k);
+        for (i, &q) in qs.iter().enumerate() {
+            b.add_edge(i, i + 1, q).unwrap();
+        }
+        let net = b.build().unwrap();
+        let edges: Vec<_> = (0..k - 1).map(|i| (n(i), n(i + 1))).collect();
+        let tree = AggregationTree::from_edges(n(0), k, &edges).unwrap();
+        (net, tree)
+    }
+
+    #[test]
+    fn perfect_links_always_succeed() {
+        let (net, tree) = chain(&[1.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let o = simulate_round(&net, &tree, &mut rng);
+            assert!(o.success);
+            assert_eq!(o.delivered_sources, 4);
+            assert_eq!(o.transmissions, 3);
+            assert_eq!(o.receptions, 3);
+        }
+    }
+
+    #[test]
+    fn dead_link_kills_the_subtree() {
+        let (net, tree) = chain(&[0.0, 1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = simulate_round(&net, &tree, &mut rng);
+        assert!(!o.success);
+        // Only the sink's own reading survives: the break is right below it.
+        assert_eq!(o.delivered_sources, 1);
+        assert_eq!(o.receptions, 2);
+    }
+
+    #[test]
+    fn empirical_reliability_matches_q() {
+        let (net, tree) = chain(&[0.9, 0.8, 0.95]);
+        let q = reliability::tree_reliability(&net, &tree);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = estimate_reliability(&net, &tree, 60_000, &mut rng);
+        assert!(
+            (est - q).abs() < 0.01,
+            "estimated {est} vs analytic {q}"
+        );
+    }
+
+    #[test]
+    fn branching_counts_partial_delivery() {
+        // Star at sink, two leaves with very different quality.
+        let mut b = NetworkBuilder::new(3);
+        b.add_edge(0, 1, 1.0).unwrap();
+        b.add_edge(0, 2, 0.0).unwrap();
+        let net = b.build().unwrap();
+        let tree =
+            AggregationTree::from_edges(n(0), 3, &[(n(0), n(1)), (n(0), n(2))]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let o = simulate_round(&net, &tree, &mut rng);
+        assert!(!o.success);
+        assert_eq!(o.delivered_sources, 2); // sink + node 1
+    }
+
+    #[test]
+    fn fig4_trees_reproduce_their_reliabilities() {
+        // The toy network of Fig. 4; empirical check of 0.36 vs 0.648.
+        let mut b = NetworkBuilder::new(6);
+        b.add_edge(4, 0, 1.0).unwrap();
+        b.add_edge(5, 0, 1.0).unwrap();
+        b.add_edge(2, 4, 0.5).unwrap();
+        b.add_edge(3, 4, 0.9).unwrap();
+        b.add_edge(1, 5, 0.8).unwrap();
+        b.add_edge(2, 5, 0.9).unwrap();
+        let net = b.build().unwrap();
+        let t_a = AggregationTree::from_edges(
+            n(0),
+            6,
+            &[(n(4), n(0)), (n(5), n(0)), (n(2), n(4)), (n(3), n(4)), (n(1), n(5))],
+        )
+        .unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = estimate_reliability(&net, &t_a, 80_000, &mut rng);
+        assert!((est - 0.36).abs() < 0.01, "tree (a): {est}");
+    }
+}

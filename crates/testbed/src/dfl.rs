@@ -1,0 +1,199 @@
+//! The device-free-localization (DFL) deployment of §VII.
+
+use rand::{RngExt, SeedableRng};
+use wsn_model::{ModelError, Network, NetworkBuilder, NodeId};
+use wsn_radio::{estimate_prr, LinkModel, TxPowerLevel};
+
+/// Parameters of the DFL scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct DflConfig {
+    /// Side length of the square, meters (paper: 3.6 m).
+    pub side_m: f64,
+    /// Spacing between adjacent sensors along the perimeter (paper: 0.9 m).
+    pub spacing_m: f64,
+    /// TelosB TX power register level (the mid-power regime, level 15,
+    /// reproduces the paper's mix of near-perfect short links and weak
+    /// diagonals).
+    pub tx_level: u8,
+    /// Beacon rounds for link estimation (paper: 1000).
+    pub beacon_rounds: usize,
+    /// Initial energy per node, joules (paper: 3000 J).
+    pub initial_energy_j: f64,
+    /// Links whose estimated PRR falls below this floor are pruned (they
+    /// would never be chosen and only bloat the LP).
+    pub prr_floor: f64,
+    /// Ambient-imperfection span: each link's physical PRR is additionally
+    /// multiplied by `U(1 − span, 1)`, modelling the interference that
+    /// keeps real testbed links below 1.0.
+    pub imperfection_span: f64,
+}
+
+impl Default for DflConfig {
+    fn default() -> Self {
+        DflConfig {
+            side_m: 3.6,
+            spacing_m: 0.9,
+            tx_level: 15,
+            beacon_rounds: 1000,
+            initial_energy_j: 3000.0,
+            prr_floor: 0.02,
+            imperfection_span: 0.006,
+        }
+    }
+}
+
+impl DflConfig {
+    /// Sensor positions along the square perimeter, starting at the origin
+    /// (node 0, the sink) and walking counter-clockwise.
+    pub fn positions(&self) -> Vec<(f64, f64)> {
+        let per_side = (self.side_m / self.spacing_m).round() as usize;
+        let mut pos = Vec::with_capacity(4 * per_side);
+        for i in 0..per_side {
+            pos.push((i as f64 * self.spacing_m, 0.0));
+        }
+        for i in 0..per_side {
+            pos.push((self.side_m, i as f64 * self.spacing_m));
+        }
+        for i in 0..per_side {
+            pos.push((self.side_m - i as f64 * self.spacing_m, self.side_m));
+        }
+        for i in 0..per_side {
+            pos.push((0.0, self.side_m - i as f64 * self.spacing_m));
+        }
+        pos
+    }
+}
+
+/// Builds the DFL network: geometry → radio model → 1000-round beacon
+/// estimates, deterministically from `seed`.
+pub fn dfl_network(config: &DflConfig, model: &LinkModel, seed: u64) -> Result<Network, ModelError> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let pos = config.positions();
+    let n = pos.len();
+    let tx = TxPowerLevel::from_level(config.tx_level)
+        .unwrap_or_else(|| panic!("unknown TelosB power level {}", config.tx_level));
+
+    let mut b = NetworkBuilder::new(n);
+    b.set_uniform_energy(config.initial_energy_j)?;
+    for u in 0..n {
+        for v in u + 1..n {
+            let (ux, uy) = pos[u];
+            let (vx, vy) = pos[v];
+            let d = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt();
+            // Static shadowed channel for this link…
+            let physical = model.sample_prr(d, tx, &mut rng);
+            // …attenuated by ambient interference…
+            let factor = 1.0 - rng.random_range(0.0..config.imperfection_span);
+            let actual = physical.degraded(factor);
+            // …observed through 1000 beacon rounds (Eq. 2).
+            let estimated = estimate_prr(actual, config.beacon_rounds, &mut rng);
+            if estimated.value() >= config.prr_floor {
+                b.add_edge(u, v, estimated.value())?;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Euclidean distance between two DFL nodes (helper for analyses).
+pub fn dfl_distance(config: &DflConfig, a: NodeId, b: NodeId) -> f64 {
+    let pos = config.positions();
+    let (ax, ay) = pos[a.index()];
+    let (bx, by) = pos[b.index()];
+    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_nodes_on_the_perimeter() {
+        let cfg = DflConfig::default();
+        let pos = cfg.positions();
+        assert_eq!(pos.len(), 16);
+        // All on the square boundary with 0.9 m grid coordinates.
+        for &(x, y) in &pos {
+            let on_edge = x.abs() < 1e-9
+                || y.abs() < 1e-9
+                || (x - 3.6).abs() < 1e-9
+                || (y - 3.6).abs() < 1e-9;
+            assert!(on_edge, "({x}, {y}) is not on the perimeter");
+        }
+        // Adjacent spacing is 0.9 m, including the wrap-around pair.
+        for i in 0..16 {
+            let (ax, ay) = pos[i];
+            let (bx, by) = pos[(i + 1) % 16];
+            let d = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+            assert!((d - 0.9).abs() < 1e-9, "spacing between {i} and next: {d}");
+        }
+    }
+
+    #[test]
+    fn network_is_connected_and_deterministic() {
+        let cfg = DflConfig::default();
+        let model = LinkModel::default();
+        let a = dfl_network(&cfg, &model, 42).unwrap();
+        let b = dfl_network(&cfg, &model, 42).unwrap();
+        assert_eq!(a.n(), 16);
+        assert_eq!(a.num_edges(), b.num_edges());
+        for ((_, la), (_, lb)) in a.edges().zip(b.edges()) {
+            assert_eq!(la.prr().value(), lb.prr().value());
+        }
+        // Different seed ⇒ different trace.
+        let c = dfl_network(&cfg, &model, 43).unwrap();
+        let same = a.num_edges() == c.num_edges()
+            && a.edges()
+                .zip(c.edges())
+                .all(|((_, x), (_, y))| x.prr().value() == y.prr().value());
+        assert!(!same);
+    }
+
+    #[test]
+    fn link_quality_mix_matches_the_testbed_story() {
+        let cfg = DflConfig::default();
+        let model = LinkModel::default();
+        let net = dfl_network(&cfg, &model, 7).unwrap();
+        let qualities: Vec<f64> = net.links().iter().map(|l| l.prr().value()).collect();
+        let strong = qualities.iter().filter(|&&q| q > 0.95).count();
+        let weak = qualities.iter().filter(|&&q| q < 0.5).count();
+        // Plenty of strong short links (a spanning tree's worth and more)…
+        assert!(strong >= 16, "only {strong} strong links");
+        // …and some weak long diagonals.
+        assert!(weak >= 1, "no weak links at all");
+        // Nothing is exactly perfect (ambient imperfection + estimation).
+        let perfect = qualities.iter().filter(|&&q| q >= 1.0).count();
+        assert!(
+            perfect < qualities.len() / 4,
+            "{perfect}/{} links estimated perfect",
+            qualities.len()
+        );
+    }
+
+    #[test]
+    fn adjacent_links_are_strong() {
+        let cfg = DflConfig::default();
+        let model = LinkModel::default();
+        let net = dfl_network(&cfg, &model, 3).unwrap();
+        for i in 0..16usize {
+            let j = (i + 1) % 16;
+            let e = net
+                .find_edge(NodeId::new(i), NodeId::new(j))
+                .unwrap_or_else(|| panic!("adjacent link ({i}, {j}) pruned"));
+            assert!(
+                net.link(e).prr().value() > 0.9,
+                "adjacent link ({i}, {j}) weak: {}",
+                net.link(e).prr().value()
+            );
+        }
+    }
+
+    #[test]
+    fn distance_helper() {
+        let cfg = DflConfig::default();
+        assert!((dfl_distance(&cfg, NodeId::new(0), NodeId::new(1)) - 0.9).abs() < 1e-9);
+        // Opposite corners: node 0 at (0,0), node 8 at (3.6, 3.6).
+        let diag = dfl_distance(&cfg, NodeId::new(0), NodeId::new(8));
+        assert!((diag - 3.6 * std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

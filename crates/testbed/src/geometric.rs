@@ -1,0 +1,176 @@
+//! Random geometric deployments: nodes scattered in an area, link quality
+//! from the radio model.
+//!
+//! `G(n, p)` with `q ~ U(0.95, 1)` (§VII-B) decouples topology from
+//! quality; real deployments do not — long links are weak links. These
+//! generators produce spatially-embedded networks where the PRR falls out
+//! of distance through [`wsn_radio::LinkModel`], the regime where
+//! quality-aware tree construction matters most.
+
+use rand::{RngExt, SeedableRng};
+use wsn_model::{ModelError, Network, NetworkBuilder, NodeId};
+use wsn_radio::{estimate_prr, LinkModel, TxPowerLevel};
+
+/// Parameters of a uniform-random planar deployment.
+#[derive(Clone, Copy, Debug)]
+pub struct GeometricConfig {
+    /// Number of nodes (node 0, the sink, is placed at the area center).
+    pub n: usize,
+    /// Side length of the square deployment area, meters.
+    pub side_m: f64,
+    /// TelosB TX power register level.
+    pub tx_level: u8,
+    /// Beacon rounds for link estimation.
+    pub beacon_rounds: usize,
+    /// Initial energy per node, joules.
+    pub initial_energy_j: f64,
+    /// Estimated-PRR floor below which links are pruned.
+    pub prr_floor: f64,
+    /// Resampling attempts for connectivity.
+    pub max_attempts: usize,
+}
+
+impl Default for GeometricConfig {
+    fn default() -> Self {
+        GeometricConfig {
+            n: 16,
+            side_m: 6.0,
+            tx_level: 19,
+            beacon_rounds: 1000,
+            initial_energy_j: 3000.0,
+            prr_floor: 0.02,
+            max_attempts: 200,
+        }
+    }
+}
+
+/// A deployment: the network plus the node positions that produced it.
+#[derive(Clone, Debug)]
+pub struct GeometricDeployment {
+    /// The estimated network.
+    pub network: Network,
+    /// Node positions in meters (`positions[0]` is the sink).
+    pub positions: Vec<(f64, f64)>,
+}
+
+/// Samples a connected geometric deployment.
+pub fn geometric_deployment(
+    config: &GeometricConfig,
+    model: &LinkModel,
+    seed: u64,
+) -> Result<GeometricDeployment, ModelError> {
+    assert!(config.n >= 2);
+    let tx = TxPowerLevel::from_level(config.tx_level)
+        .unwrap_or_else(|| panic!("unknown TelosB power level {}", config.tx_level));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut last_err = ModelError::Empty;
+    for _ in 0..config.max_attempts {
+        // Sink at the center; sensors uniform over the square.
+        let mut positions = vec![(config.side_m / 2.0, config.side_m / 2.0)];
+        for _ in 1..config.n {
+            positions.push((
+                rng.random_range(0.0..config.side_m),
+                rng.random_range(0.0..config.side_m),
+            ));
+        }
+        let mut b = NetworkBuilder::new(config.n);
+        b.set_uniform_energy(config.initial_energy_j)?;
+        for u in 0..config.n {
+            for v in u + 1..config.n {
+                let (ux, uy) = positions[u];
+                let (vx, vy) = positions[v];
+                let d = ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt().max(0.05);
+                let physical = model.sample_prr(d, tx, &mut rng);
+                let estimated = estimate_prr(physical, config.beacon_rounds, &mut rng);
+                if estimated.value() >= config.prr_floor {
+                    b.add_edge(u, v, estimated.value())?;
+                }
+            }
+        }
+        match b.build() {
+            Ok(network) => return Ok(GeometricDeployment { network, positions }),
+            Err(e @ ModelError::Disconnected { .. }) => last_err = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+/// Euclidean distance between two deployed nodes.
+pub fn deployment_distance(d: &GeometricDeployment, a: NodeId, b: NodeId) -> f64 {
+    let (ax, ay) = d.positions[a.index()];
+    let (bx, by) = d.positions[b.index()];
+    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deployment_is_connected_and_deterministic() {
+        let cfg = GeometricConfig::default();
+        let model = LinkModel::default();
+        let a = geometric_deployment(&cfg, &model, 5).unwrap();
+        let b = geometric_deployment(&cfg, &model, 5).unwrap();
+        assert_eq!(a.network.n(), 16);
+        assert_eq!(a.network.num_edges(), b.network.num_edges());
+        assert_eq!(a.positions, b.positions);
+        // Sink at the center.
+        assert_eq!(a.positions[0], (3.0, 3.0));
+    }
+
+    #[test]
+    fn quality_correlates_with_distance() {
+        let cfg = GeometricConfig::default();
+        let model = LinkModel::default();
+        let dep = geometric_deployment(&cfg, &model, 9).unwrap();
+        // Compare the mean quality of the shortest vs. longest quartile.
+        let mut pairs: Vec<(f64, f64)> = dep
+            .network
+            .links()
+            .iter()
+            .map(|l| {
+                (
+                    deployment_distance(&dep, l.u(), l.v()),
+                    l.prr().value(),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let q = pairs.len() / 4;
+        assert!(q >= 2, "need enough links for quartiles");
+        let near: f64 = pairs[..q].iter().map(|p| p.1).sum::<f64>() / q as f64;
+        let far: f64 = pairs[pairs.len() - q..].iter().map(|p| p.1).sum::<f64>() / q as f64;
+        assert!(
+            near > far + 0.05,
+            "near links ({near:.3}) should beat far links ({far:.3})"
+        );
+    }
+
+    #[test]
+    fn positions_inside_the_area() {
+        let cfg = GeometricConfig { n: 24, side_m: 10.0, ..GeometricConfig::default() };
+        let dep = geometric_deployment(&cfg, &LinkModel::default(), 2).unwrap();
+        for &(x, y) in &dep.positions {
+            assert!((0.0..=10.0).contains(&x));
+            assert!((0.0..=10.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn impossible_area_reports_disconnection() {
+        // A huge area at minimum power: nodes cannot hear each other.
+        let cfg = GeometricConfig {
+            side_m: 500.0,
+            tx_level: 3,
+            max_attempts: 3,
+            ..GeometricConfig::default()
+        };
+        assert!(matches!(
+            geometric_deployment(&cfg, &LinkModel::default(), 1),
+            Err(ModelError::Disconnected { .. })
+        ));
+    }
+}

@@ -1,0 +1,25 @@
+//! Scenario generation: the paper's two evaluation substrates.
+//!
+//! * [`dfl`] — the device-free-localization deployment of §VII (Fig. 6):
+//!   16 TelosB nodes on the perimeter of a 3.6 m × 3.6 m square, 0.9 m
+//!   apart, node 0 the sink, 3000 J each, link qualities estimated from
+//!   1000 beacon rounds (Eq. 2). The physical trace is replaced by the
+//!   calibrated radio model of [`wsn_radio`] with per-link static shadowing
+//!   and a small ambient-imperfection factor (interference keeps even
+//!   short testbed links below PRR 1.0).
+//! * [`random`] — the random-graph workload of §VII-B: `G(n, p)` with each
+//!   edge present independently with probability `p`, link quality uniform
+//!   in `(0.95, 1)`, and equal (3000 J) or heterogeneous
+//!   (`[1500 J, 5000 J]`) initial energy.
+//! * [`trace`] — a small plain-text trace codec so scenarios can be saved,
+//!   shared and replayed.
+
+pub mod dfl;
+pub mod geometric;
+pub mod random;
+pub mod trace;
+
+pub use dfl::{dfl_network, DflConfig};
+pub use geometric::{deployment_distance, geometric_deployment, GeometricConfig, GeometricDeployment};
+pub use random::{random_graph, EnergyDistribution, RandomGraphConfig};
+pub use trace::{read_trace, write_trace};

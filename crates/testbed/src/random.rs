@@ -1,0 +1,190 @@
+//! Random-graph scenarios of §VII-B.
+
+use rand::{Rng, RngExt};
+use wsn_model::{ModelError, Network, NetworkBuilder, NodeId};
+
+/// How initial energy is assigned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EnergyDistribution {
+    /// Every node gets the same energy (paper: 3000 J).
+    Uniform(f64),
+    /// Each node draws uniformly from `[lo, hi]` (paper: 1500–5000 J).
+    Heterogeneous {
+        /// Lower bound, joules.
+        lo: f64,
+        /// Upper bound, joules.
+        hi: f64,
+    },
+}
+
+/// Parameters of the `G(n, p)` workload.
+#[derive(Clone, Copy, Debug)]
+pub struct RandomGraphConfig {
+    /// Number of nodes (paper: 16).
+    pub n: usize,
+    /// Independent link probability (paper: 0.7, swept in Fig. 10).
+    pub link_probability: f64,
+    /// Link quality range (paper: `(0.95, 1)`).
+    pub prr_range: (f64, f64),
+    /// Initial energy assignment.
+    pub energy: EnergyDistribution,
+    /// Connectivity retries before giving up.
+    pub max_attempts: usize,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            n: 16,
+            link_probability: 0.7,
+            prr_range: (0.95, 1.0),
+            energy: EnergyDistribution::Uniform(3000.0),
+            max_attempts: 1000,
+        }
+    }
+}
+
+/// Samples a connected `G(n, p)` network with the configured link qualities
+/// and energies. Resamples (up to `max_attempts`) until connected, as the
+/// paper implicitly does by only evaluating connected instances.
+pub fn random_graph<R: Rng + ?Sized>(
+    config: &RandomGraphConfig,
+    rng: &mut R,
+) -> Result<Network, ModelError> {
+    assert!(config.n >= 2, "need at least two nodes");
+    assert!(
+        (0.0..=1.0).contains(&config.link_probability),
+        "link probability must be in [0, 1]"
+    );
+    let (qlo, qhi) = config.prr_range;
+    assert!(0.0 <= qlo && qlo <= qhi && qhi <= 1.0, "invalid PRR range");
+
+    let mut last_err = ModelError::Empty;
+    for _ in 0..config.max_attempts {
+        let mut b = NetworkBuilder::new(config.n);
+        match config.energy {
+            EnergyDistribution::Uniform(e) => {
+                b.set_uniform_energy(e)?;
+            }
+            EnergyDistribution::Heterogeneous { lo, hi } => {
+                for v in 0..config.n {
+                    let e = if (hi - lo).abs() < f64::EPSILON {
+                        lo
+                    } else {
+                        rng.random_range(lo..hi)
+                    };
+                    b.set_energy(NodeId::new(v), e)?;
+                }
+            }
+        }
+        for u in 0..config.n {
+            for v in u + 1..config.n {
+                if rng.random::<f64>() < config.link_probability {
+                    let q = if (qhi - qlo).abs() < f64::EPSILON {
+                        qlo
+                    } else {
+                        rng.random_range(qlo..qhi)
+                    };
+                    b.add_edge(u, v, q)?;
+                }
+            }
+        }
+        match b.build() {
+            Ok(net) => return Ok(net),
+            Err(e @ ModelError::Disconnected { .. }) => last_err = e,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_defaults_produce_dense_connected_graphs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = RandomGraphConfig::default();
+        for _ in 0..10 {
+            let net = random_graph(&cfg, &mut rng).unwrap();
+            assert_eq!(net.n(), 16);
+            // E[edges] = 0.7 · C(16,2) = 84; allow generous slack.
+            assert!(net.num_edges() > 50, "{} edges", net.num_edges());
+            for l in net.links() {
+                let q = l.prr().value();
+                assert!((0.95..1.0).contains(&q), "q = {q}");
+            }
+            assert_eq!(net.initial_energy(NodeId::new(3)), 3000.0);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_energy_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = RandomGraphConfig {
+            energy: EnergyDistribution::Heterogeneous { lo: 1500.0, hi: 5000.0 },
+            ..RandomGraphConfig::default()
+        };
+        let net = random_graph(&cfg, &mut rng).unwrap();
+        let mut varied = false;
+        let first = net.initial_energy(NodeId::new(0));
+        for v in 0..16 {
+            let e = net.initial_energy(NodeId::new(v));
+            assert!((1500.0..5000.0).contains(&e));
+            if (e - first).abs() > 1.0 {
+                varied = true;
+            }
+        }
+        assert!(varied, "energies should differ across nodes");
+    }
+
+    #[test]
+    fn sparse_graphs_retry_until_connected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = RandomGraphConfig {
+            n: 10,
+            link_probability: 0.25,
+            ..RandomGraphConfig::default()
+        };
+        for _ in 0..5 {
+            let net = random_graph(&cfg, &mut rng).unwrap();
+            assert_eq!(net.n(), 10); // builder guarantees connectivity
+        }
+    }
+
+    #[test]
+    fn impossible_density_reports_disconnection() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = RandomGraphConfig {
+            n: 8,
+            link_probability: 0.0,
+            max_attempts: 5,
+            ..RandomGraphConfig::default()
+        };
+        assert!(matches!(
+            random_graph(&cfg, &mut rng),
+            Err(ModelError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_ranges_are_fine() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = RandomGraphConfig {
+            n: 5,
+            link_probability: 1.0,
+            prr_range: (0.97, 0.97),
+            energy: EnergyDistribution::Heterogeneous { lo: 2000.0, hi: 2000.0 },
+            ..RandomGraphConfig::default()
+        };
+        let net = random_graph(&cfg, &mut rng).unwrap();
+        assert_eq!(net.num_edges(), 10);
+        for l in net.links() {
+            assert_eq!(l.prr().value(), 0.97);
+        }
+        assert_eq!(net.initial_energy(NodeId::new(2)), 2000.0);
+    }
+}

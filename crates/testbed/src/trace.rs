@@ -1,0 +1,180 @@
+//! Plain-text trace codec for scenarios.
+//!
+//! Format (line-oriented, `#` comments allowed):
+//!
+//! ```text
+//! nodes <n>
+//! energy <node> <joules>        # one per node (optional; default 3000 J)
+//! link <u> <v> <prr>            # one per undirected link
+//! ```
+
+use std::fmt::Write as _;
+use wsn_model::{ModelError, Network, NetworkBuilder, NodeId};
+
+/// Serializes a network into the text trace format.
+pub fn write_trace(net: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# MRLC scenario trace");
+    let _ = writeln!(out, "nodes {}", net.n());
+    for v in 0..net.n() {
+        let _ = writeln!(out, "energy {} {}", v, net.initial_energy(NodeId::new(v)));
+    }
+    for l in net.links() {
+        let _ = writeln!(out, "link {} {} {}", l.u(), l.v(), l.prr().value());
+    }
+    out
+}
+
+/// Errors raised while parsing a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parsed network failed validation.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            TraceError::Model(e) => write!(f, "invalid network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses the text trace format back into a network.
+pub fn read_trace(text: &str) -> Result<Network, TraceError> {
+    let mut builder: Option<NetworkBuilder> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap();
+        let mut next_num = |what: &str| -> Result<f64, TraceError> {
+            parts
+                .next()
+                .ok_or_else(|| TraceError::Parse {
+                    line: line_no,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<f64>()
+                .map_err(|e| TraceError::Parse {
+                    line: line_no,
+                    message: format!("bad {what}: {e}"),
+                })
+        };
+        match keyword {
+            "nodes" => {
+                let n = next_num("node count")? as usize;
+                builder = Some(NetworkBuilder::new(n));
+            }
+            "energy" => {
+                let b = builder.as_mut().ok_or_else(|| TraceError::Parse {
+                    line: line_no,
+                    message: "`energy` before `nodes`".into(),
+                })?;
+                let v = next_num("node id")? as usize;
+                let e = next_num("energy")?;
+                b.set_energy(NodeId::new(v), e).map_err(TraceError::Model)?;
+            }
+            "link" => {
+                let b = builder.as_mut().ok_or_else(|| TraceError::Parse {
+                    line: line_no,
+                    message: "`link` before `nodes`".into(),
+                })?;
+                let u = next_num("endpoint")? as usize;
+                let v = next_num("endpoint")? as usize;
+                let q = next_num("prr")?;
+                b.add_edge(u, v, q).map_err(TraceError::Model)?;
+            }
+            other => {
+                return Err(TraceError::Parse {
+                    line: line_no,
+                    message: format!("unknown keyword `{other}`"),
+                });
+            }
+        }
+    }
+    builder
+        .ok_or_else(|| TraceError::Parse { line: 0, message: "no `nodes` line".into() })?
+        .build()
+        .map_err(TraceError::Model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_graph, RandomGraphConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let cfg = RandomGraphConfig { n: 8, ..RandomGraphConfig::default() };
+        let net = random_graph(&cfg, &mut rng).unwrap();
+        let text = write_trace(&net);
+        let back = read_trace(&text).unwrap();
+        assert_eq!(back.n(), net.n());
+        assert_eq!(back.num_edges(), net.num_edges());
+        for ((_, a), (_, b)) in net.edges().zip(back.edges()) {
+            assert_eq!(a.endpoints(), b.endpoints());
+            assert!((a.prr().value() - b.prr().value()).abs() < 1e-12);
+        }
+        for v in 0..net.n() {
+            assert_eq!(
+                net.initial_energy(NodeId::new(v)),
+                back.initial_energy(NodeId::new(v))
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\nnodes 2\nenergy 0 3000\nenergy 1 3000\nlink 0 1 0.9\n";
+        let net = read_trace(text).unwrap();
+        assert_eq!(net.n(), 2);
+        assert_eq!(net.num_edges(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "nodes 2\nlink 0 1\n";
+        match read_trace(text) {
+            Err(TraceError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match read_trace("link 0 1 0.9\n") {
+            Err(TraceError::Parse { message, .. }) => {
+                assert!(message.contains("before `nodes`"))
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        match read_trace("frobnicate\n") {
+            Err(TraceError::Parse { message, .. }) => {
+                assert!(message.contains("unknown keyword"))
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_network_reported() {
+        // Disconnected.
+        let text = "nodes 4\nlink 0 1 0.9\nlink 2 3 0.9\n";
+        assert!(matches!(read_trace(text), Err(TraceError::Model(_))));
+        // Empty.
+        assert!(read_trace("# nothing\n").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! A miniature of the paper's random-graph evaluation (Figs. 8–10): sweep
+//! a handful of `G(16, p)` instances and print the AAML / IRA / MST cost
+//! triples plus where IRA's reliability gain comes from.
+//!
+//! ```text
+//! cargo run --example random_sweep [instances]
+//! ```
+
+use wsn_experiments::fig8;
+use wsn_model::PaperCost;
+use wsn_testbed::EnergyDistribution;
+
+fn main() {
+    let instances: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    for (label, energy) in [
+        ("equal energy (3000 J)", EnergyDistribution::Uniform(3000.0)),
+        (
+            "heterogeneous energy [1500 J, 5000 J]",
+            EnergyDistribution::Heterogeneous { lo: 1500.0, hi: 5000.0 },
+        ),
+    ] {
+        let cfg = fig8::Config {
+            instances,
+            energy,
+            ..fig8::Config::default()
+        };
+        let rows = fig8::run(&cfg);
+        println!("=== {instances} random G(16, 0.7) instances, {label} ===");
+        println!("{:>4} {:>8} {:>8} {:>8} {:>10}", "i", "AAML", "IRA", "MST", "IRA rel.");
+        for r in &rows {
+            println!(
+                "{:>4} {:>8.1} {:>8.1} {:>8.1} {:>10.4}",
+                r.instance,
+                r.aaml_cost,
+                r.ira_cost,
+                r.mst_cost,
+                PaperCost(r.ira_cost).reliability(),
+            );
+        }
+        let mean = |sel: fn(&fig8::Row) -> f64| {
+            rows.iter().map(sel).sum::<f64>() / rows.len() as f64
+        };
+        println!(
+            "means: AAML {:.1}, IRA {:.1}, MST {:.1} -> IRA spends {:.0}% of AAML's cost\n",
+            mean(|r| r.aaml_cost),
+            mean(|r| r.ira_cost),
+            mean(|r| r.mst_cost),
+            100.0 * mean(|r| r.ira_cost) / mean(|r| r.aaml_cost),
+        );
+    }
+}

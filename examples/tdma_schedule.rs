@@ -1,0 +1,49 @@
+//! Translate tree shape into air time: build the IRA, MST and SPT trees on
+//! the DFL deployment and print their interference-aware TDMA schedules.
+//!
+//! ```text
+//! cargo run --example tdma_schedule
+//! ```
+
+use wsn_experiments::workloads::{aaml_paper_protocol, ira_at};
+use wsn_model::EnergyModel;
+use wsn_radio::LinkModel;
+use wsn_sim::{greedy_schedule, round_latency_slots, validate_schedule};
+use wsn_testbed::{dfl_network, DflConfig};
+
+fn main() {
+    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 2015)
+        .expect("DFL is connected");
+    let model = EnergyModel::PAPER;
+    let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+    let ira = ira_at(&net, model, aaml.lifetime * 0.7).expect("feasible");
+    let mst = wsn_baselines::mst(&net).unwrap();
+    let spt = wsn_baselines::spt(&net).unwrap();
+
+    println!("{:<6} {:>6} {:>12} {:>14}", "tree", "depth", "TDMA slots", "slot contents");
+    for (name, tree) in [("IRA", &ira.tree), ("MST", &mst), ("SPT", &spt)] {
+        let sched = greedy_schedule(&net, tree);
+        assert!(validate_schedule(&net, tree, &sched), "schedule must verify");
+        let busiest = (0..sched.length())
+            .map(|s| sched.transmissions_in(s).len())
+            .max()
+            .unwrap_or(0);
+        println!(
+            "{name:<6} {:>6} {:>12} {:>10} max/slot",
+            round_latency_slots(tree),
+            sched.length(),
+            busiest
+        );
+    }
+
+    println!("\nIRA slot-by-slot:");
+    let sched = greedy_schedule(&net, &ira.tree);
+    for s in 0..sched.length() {
+        let txs: Vec<String> = sched
+            .transmissions_in(s)
+            .iter()
+            .map(|&v| format!("{v}->{}", ira.tree.parent(v).unwrap()))
+            .collect();
+        println!("  slot {s}: {}", txs.join("  "));
+    }
+}

@@ -1,0 +1,50 @@
+//! The paper's Fig. 4 toy example: two aggregation trees over the same
+//! 6-node network, one with reliability 0.36 and one with 0.648, showing
+//! why the choice of tree matters when links are unreliable.
+//!
+//! ```text
+//! cargo run --example toy_reliability
+//! ```
+
+use wsn_model::{reliability, AggregationTree, NetworkBuilder, NodeId, PaperCost};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn main() {
+    let mut b = NetworkBuilder::new(6);
+    b.add_edge(4, 0, 1.0).unwrap();
+    b.add_edge(5, 0, 1.0).unwrap();
+    b.add_edge(2, 4, 0.5).unwrap(); // the weak link tree (a) uses
+    b.add_edge(3, 4, 0.9).unwrap();
+    b.add_edge(1, 5, 0.8).unwrap();
+    b.add_edge(2, 5, 0.9).unwrap(); // the better alternative for node 2
+    let net = b.build().unwrap();
+
+    let tree_a = AggregationTree::from_edges(
+        n(0),
+        6,
+        &[(n(4), n(0)), (n(5), n(0)), (n(2), n(4)), (n(3), n(4)), (n(1), n(5))],
+    )
+    .unwrap();
+    let tree_b = AggregationTree::from_edges(
+        n(0),
+        6,
+        &[(n(4), n(0)), (n(5), n(0)), (n(2), n(5)), (n(3), n(4)), (n(1), n(5))],
+    )
+    .unwrap();
+
+    for (label, tree) in [("(a)", &tree_a), ("(b)", &tree_b)] {
+        let q = reliability::tree_reliability(&net, tree);
+        let c = PaperCost::of_tree(&net, tree);
+        println!("tree {label}: Q(T) = {q:.3}, cost = {c}");
+        for (child, parent) in tree.edges() {
+            let e = net.find_edge(child, parent).unwrap();
+            println!("    {child} -> {parent}   (q = {})", net.link(e).prr());
+        }
+    }
+    println!();
+    println!("Rerouting node 2 over the 0.9 link lifts one-round delivery");
+    println!("probability from 0.36 to 0.648 — an 80% improvement for free.");
+}

@@ -1,0 +1,125 @@
+//! Integration of the distributed protocol against the centralized solver
+//! on a live, degrading network (the Figs. 11–13 machinery, plus replica
+//! convergence).
+
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use wsn_model::{EnergyModel, Prr};
+use wsn_proto::{run_link_dynamics, DynamicsConfig, ProtocolState};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, DflConfig};
+
+#[test]
+fn distributed_tracks_centralized_ira_under_dynamics() {
+    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 11).unwrap();
+    let model = EnergyModel::PAPER;
+    let mst = wsn_baselines::mst(&net).unwrap();
+    let lc = wsn_model::lifetime::network_lifetime(&net, &mst, &model) * 0.9;
+
+    let initial = solve_ira(
+        &MrlcInstance::new(net.clone(), model, lc).unwrap(),
+        &IraConfig::default(),
+    )
+    .unwrap();
+
+    let cfg = DynamicsConfig { rounds: 25, cost_step: 2e-2, seed: 3, lc };
+    let records = run_link_dynamics(&net, &initial.tree, model, &cfg, |n| {
+        MrlcInstance::new(n.clone(), model, lc)
+            .ok()
+            .and_then(|inst| solve_ira(&inst, &IraConfig::default()).ok())
+            .map(|s| s.tree)
+    });
+
+    assert_eq!(records.len(), 26);
+    for r in &records {
+        // The centralized optimum lower-bounds the local repair.
+        assert!(r.centralized_cost <= r.distributed_cost + 1e-6, "round {}", r.round);
+        // Lemma 3 invariant holds on every recorded tree.
+        let expect = (-(r.distributed_cost / 1000.0) * std::f64::consts::LN_2).exp();
+        assert!((r.distributed_reliability - expect).abs() < 1e-9);
+    }
+    // With an aggressive degradation step the protocol must have acted.
+    assert!(records.iter().any(|r| r.messages > 0));
+}
+
+#[test]
+fn replicas_converge_after_many_mixed_updates() {
+    let mut net = dfl_network(&DflConfig::default(), &LinkModel::default(), 12).unwrap();
+    let model = EnergyModel::PAPER;
+    let tree = wsn_baselines::mst(&net).unwrap();
+    let lc = wsn_model::lifetime::network_lifetime(&net, &tree, &model) * 0.5;
+
+    let mut a = ProtocolState::new(&tree, lc, model).unwrap();
+    let mut b = a.clone();
+
+    // Alternate link-worse and link-better triggers across many rounds.
+    let n_edges = net.num_edges();
+    for k in 0..30usize {
+        let e = wsn_model::EdgeId(((k * 7) % n_edges) as u32);
+        let link = *net.link(e);
+        if k % 2 == 0 {
+            net.set_prr(e, link.prr().degraded(0.7));
+            let child = link.u(); // deterministic pick
+            a.handle_link_worse(&net, child);
+            b.handle_link_worse(&net, child);
+        } else {
+            net.set_prr(e, Prr::new(0.9995).unwrap());
+            a.handle_link_better(&net, link.u(), link.v());
+            b.handle_link_better(&net, link.u(), link.v());
+        }
+        assert_eq!(a.coded(), b.coded(), "replicas diverged at round {k}");
+    }
+    // The final state is still a valid spanning tree.
+    let t = a.tree();
+    assert_eq!(t.edges().count(), net.n() - 1);
+    for (c, p) in t.edges() {
+        assert!(net.find_edge(c, p).is_some());
+    }
+}
+
+#[test]
+fn frame_level_replay_matches_replicated_state() {
+    // The ProtocolState model decides; the DistributedNetwork disseminates
+    // the same decisions as real frames. Both views must converge to the
+    // same tree.
+    use wsn_proto::DistributedNetwork;
+
+    let mut net = dfl_network(&DflConfig::default(), &LinkModel::default(), 13).unwrap();
+    let model = EnergyModel::PAPER;
+    let tree = wsn_baselines::mst(&net).unwrap();
+    let lc = wsn_model::lifetime::network_lifetime(&net, &tree, &model) * 0.5;
+
+    let mut state = ProtocolState::new(&tree, lc, model).unwrap();
+    let mut wire = DistributedNetwork::new(net.n());
+    wire.announce(&tree).unwrap();
+
+    let n_edges = net.num_edges();
+    let mut frames = 0usize;
+    for k in 0..20usize {
+        // Degrade a deterministic tree edge and let the state model decide.
+        let e = wsn_model::EdgeId(((k * 11) % n_edges) as u32);
+        let link = *net.link(e);
+        net.set_prr(e, link.prr().degraded(0.6));
+        let current = state.tree();
+        let child = if current.contains_edge(link.u(), link.v()) {
+            if current.parent(link.u()) == Some(link.v()) { link.u() } else { link.v() }
+        } else {
+            continue;
+        };
+        let before = state.coded().clone();
+        state.handle_link_worse(&net, child);
+        // Replay the decision (if any) over the wire.
+        if state.coded() != &before {
+            let new_parent = state.coded().parent(child).unwrap();
+            frames += wire.parent_change(child, new_parent).unwrap();
+        }
+        // Byte-fed replicas agree with the decision model.
+        let a = wire.tree();
+        let b = state.tree();
+        for i in 0..net.n() {
+            let v = wsn_model::NodeId::new(i);
+            assert_eq!(a.parent(v), b.parent(v), "divergence at node {v} round {k}");
+        }
+    }
+    assert!(wire.is_consistent());
+    assert!(frames > 0, "no updates fired during the replay");
+}

@@ -1,0 +1,104 @@
+//! Cross-solver integration: IRA, Lagrangian, exact B&B, the lifetime
+//! bounds, and the Pareto sweep must tell one consistent story on shared
+//! instances.
+
+use mrlc_core::{
+    dominant_points, lagrangian_dbmst, lifetime_bounds, pareto_frontier, solve_exact, solve_ira,
+    ExactConfig, ExactOutcome, IraConfig, LagrangianConfig, MrlcInstance,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wsn_model::{lifetime, EnergyModel, PaperCost};
+use wsn_radio::LinkModel;
+use wsn_testbed::{geometric_deployment, random_graph, GeometricConfig, RandomGraphConfig};
+
+fn instance(seed: u64, n: usize, children: usize) -> MrlcInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let net = random_graph(
+        &RandomGraphConfig { n, link_probability: 0.5, ..RandomGraphConfig::default() },
+        &mut rng,
+    )
+    .expect("connected instance");
+    let model = EnergyModel::PAPER;
+    let lc = lifetime::node_lifetime(3000.0, &model, children) * 0.999;
+    MrlcInstance::new(net, model, lc).unwrap()
+}
+
+#[test]
+fn every_solver_respects_the_same_ordering() {
+    for seed in [1u64, 2, 3] {
+        let inst = instance(seed, 12, 3);
+        let ira = solve_ira(&inst, &IraConfig::default()).expect("feasible");
+        let lag = lagrangian_dbmst(&inst, &LagrangianConfig::default());
+        let ExactOutcome::Optimal { cost: opt, tree: opt_tree, .. } =
+            solve_exact(&inst, &ExactConfig::default())
+        else {
+            panic!("seed {seed}: exact must close")
+        };
+        // Ordering: dual bound ≤ OPT ≤ {IRA, Lagrangian incumbent}.
+        assert!(lag.lower_bound <= opt + 1e-9, "seed {seed}");
+        assert!(ira.cost >= opt - 1e-9, "seed {seed}");
+        if lag.best_tree.is_some() {
+            assert!(lag.best_cost >= opt - 1e-9, "seed {seed}");
+        }
+        // The exact tree verifies against the instance.
+        assert!(inst.meets_lifetime(&opt_tree));
+        // And the MST is a floor below everything.
+        let mst = wsn_baselines::mst(inst.network()).unwrap();
+        assert!(inst.cost(&mst) <= opt + 1e-9, "seed {seed}");
+    }
+}
+
+#[test]
+fn bounds_bracket_the_pareto_frontier() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = random_graph(&RandomGraphConfig::default(), &mut rng).unwrap();
+    let model = EnergyModel::PAPER;
+    let bounds = lifetime_bounds(&net, &model).expect("LP feasibility probe");
+    assert!(bounds.heuristic_lower <= bounds.fractional_upper * (1.0 + 1e-9));
+
+    let pts = pareto_frontier(&net, model, 12).expect("sweep");
+    for p in &pts {
+        // No achieved lifetime can exceed the fractional ceiling.
+        assert!(
+            p.lifetime <= bounds.fractional_upper * (1.0 + 1e-9),
+            "point at LC {:.3e} broke the ceiling",
+            p.lc
+        );
+        // Lemma 3 consistency on every reported pair.
+        assert!((PaperCost(p.cost).reliability() - p.reliability).abs() < 1e-9);
+    }
+    let kept = dominant_points(&pts);
+    assert!(!kept.is_empty());
+}
+
+#[test]
+fn geometric_deployments_flow_through_the_whole_stack() {
+    let dep = geometric_deployment(
+        &GeometricConfig { n: 12, side_m: 7.0, ..GeometricConfig::default() },
+        &LinkModel::default(),
+        31,
+    )
+    .expect("connected deployment");
+    let model = EnergyModel::PAPER;
+    let inst = MrlcInstance::new(
+        dep.network.clone(),
+        model,
+        lifetime::node_lifetime(3000.0, &model, 3) * 0.999,
+    )
+    .unwrap();
+    let ira = solve_ira(&inst, &IraConfig::default()).expect("feasible");
+    assert!(ira.meets_lc);
+    match solve_exact(&inst, &ExactConfig::default()) {
+        ExactOutcome::Optimal { cost, .. } => {
+            assert!(ira.cost >= cost - 1e-9);
+            assert!(
+                ira.cost <= cost * 1.5 + 1e-9,
+                "IRA {} far above OPT {} on a geometric instance",
+                ira.cost,
+                cost
+            );
+        }
+        other => panic!("exact must close at n = 12: {other:?}"),
+    }
+}

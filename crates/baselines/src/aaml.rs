@@ -56,7 +56,8 @@ fn potential(net: &Network, tree: &AggregationTree, model: &EnergyModel) -> (f64
 }
 
 fn lex_gt(a: (f64, i64), b: (f64, i64)) -> bool {
-    a.0 > b.0 * (1.0 + 1e-12) + 1e-12 || ((a.0 - b.0).abs() <= 1e-9 + 1e-12 * b.0.abs() && a.1 > b.1)
+    a.0 > b.0 * (1.0 + 1e-12) + 1e-12
+        || ((a.0 - b.0).abs() <= 1e-9 + 1e-12 * b.0.abs() && a.1 > b.1)
 }
 
 /// Runs AAML from `initial` (or the BFS tree when `None`).
@@ -87,8 +88,7 @@ pub fn aaml_tree(
         let bottlenecks: Vec<NodeId> = (0..n)
             .map(NodeId::new)
             .filter(|&v| {
-                let l =
-                    lifetime::node_lifetime(net.initial_energy(v), model, tree.num_children(v));
+                let l = lifetime::node_lifetime(net.initial_energy(v), model, tree.num_children(v));
                 (l - current.0).abs() <= 1e-9 * (1.0 + current.0.abs())
             })
             .collect();
@@ -199,10 +199,7 @@ mod tests {
         let net = complete(6);
         let model = EnergyModel::PAPER;
         let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
-        let max_children = (0..6)
-            .map(|i| res.tree.num_children(NodeId::new(i)))
-            .max()
-            .unwrap();
+        let max_children = (0..6).map(|i| res.tree.num_children(NodeId::new(i))).max().unwrap();
         assert!(max_children <= 1, "AAML left a node with {max_children} children");
         let expect = lifetime::node_lifetime(3000.0, &model, 1);
         assert!((res.lifetime - expect).abs() < 1.0);
@@ -214,12 +211,7 @@ mod tests {
         let model = EnergyModel::PAPER;
         let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
         let best = brute_max_lifetime(&net, &model);
-        assert!(
-            (res.lifetime - best).abs() < 1.0,
-            "AAML {} vs optimum {}",
-            res.lifetime,
-            best
-        );
+        assert!((res.lifetime - best).abs() < 1.0, "AAML {} vs optimum {}", res.lifetime, best);
     }
 
     #[test]

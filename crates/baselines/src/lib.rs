@@ -56,11 +56,7 @@ mod tests {
         }
         let net = b.build().unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        for t in [
-            mst(&net).unwrap(),
-            spt(&net).unwrap(),
-            random_tree(&net, &mut rng).unwrap(),
-        ] {
+        for t in [mst(&net).unwrap(), spt(&net).unwrap(), random_tree(&net, &mut rng).unwrap()] {
             assert_eq!(t.n(), 5);
             assert_eq!(t.edges().count(), 4);
             for (c, p) in t.edges() {

@@ -8,9 +8,7 @@ use wsn_experiments::*;
 
 fn bench_fig1(c: &mut Criterion) {
     let cfg = fig1::Config::fast();
-    c.bench_function("fig1_retransmission_packets", |b| {
-        b.iter(|| black_box(fig1::run(&cfg)))
-    });
+    c.bench_function("fig1_retransmission_packets", |b| b.iter(|| black_box(fig1::run(&cfg))));
 }
 
 fn bench_fig2(c: &mut Criterion) {

@@ -104,10 +104,8 @@ fn bench_prufer(c: &mut Criterion) {
         b.iter(|| {
             let mut ct = coded.clone();
             // Move a leaf under the sink — always valid.
-            let leaf = (1..64)
-                .map(wsn_model::NodeId::new)
-                .find(|&v| ct.child_count(v) == 0)
-                .unwrap();
+            let leaf =
+                (1..64).map(wsn_model::NodeId::new).find(|&v| ct.child_count(v) == 0).unwrap();
             ct.change_parent(leaf, wsn_model::NodeId::SINK).unwrap();
             black_box(ct)
         })
@@ -153,14 +151,9 @@ fn bench_exact_solver(c: &mut Criterion) {
 fn bench_gomory_hu(c: &mut Criterion) {
     use wsn_graph::GomoryHuTree;
     let net = bench_graph(24, 48);
-    let edges: Vec<(usize, usize, f64)> = net
-        .links()
-        .iter()
-        .map(|l| (l.u().index(), l.v().index(), l.prr().value()))
-        .collect();
-    c.bench_function("gomory_hu_n24", |b| {
-        b.iter(|| black_box(GomoryHuTree::build(24, &edges)))
-    });
+    let edges: Vec<(usize, usize, f64)> =
+        net.links().iter().map(|l| (l.u().index(), l.v().index(), l.prr().value())).collect();
+    c.bench_function("gomory_hu_n24", |b| b.iter(|| black_box(GomoryHuTree::build(24, &edges))));
 }
 
 fn bench_wire_codec(c: &mut Criterion) {

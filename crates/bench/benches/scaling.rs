@@ -45,10 +45,8 @@ fn bench_separation_scaling(c: &mut Criterion) {
         // oracle rather than the component pre-check).
         let m = net.num_edges();
         let x = (n as f64 - 1.0) / m as f64;
-        let edges: Vec<FracEdge> = net
-            .edges()
-            .map(|(_, l)| FracEdge { u: l.u().index(), v: l.v().index(), x })
-            .collect();
+        let edges: Vec<FracEdge> =
+            net.edges().map(|(_, l)| FracEdge { u: l.u().index(), v: l.v().index(), x }).collect();
         g.bench_with_input(BenchmarkId::from_parameter(n), &edges, |b, edges| {
             b.iter(|| black_box(violated_sets(n, edges, 1e-7)))
         });

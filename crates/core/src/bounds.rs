@@ -71,8 +71,8 @@ pub fn lifetime_bounds(net: &Network, model: &EnergyModel) -> Result<LifetimeBou
     // binary-search the first feasible candidate in descending order.
     let mut lo = 0usize; // invariant: all indices < lo are infeasible
     let mut hi = candidates.len(); // invariant: hi - 1 ... must be checked
-    // First, ensure the loosest candidate is feasible at all (it always is:
-    // the smallest positive lifetime gives caps ≥ n − 1).
+                                   // First, ensure the loosest candidate is feasible at all (it always is:
+                                   // the smallest positive lifetime gives caps ≥ n − 1).
     while lo < hi {
         let mid = (lo + hi) / 2;
         // Shade the bound down a hair so the tree *attaining* the candidate
@@ -83,10 +83,7 @@ pub fn lifetime_bounds(net: &Network, model: &EnergyModel) -> Result<LifetimeBou
             lo = mid + 1;
         }
     }
-    let fractional_upper = candidates
-        .get(lo)
-        .copied()
-        .unwrap_or(0.0);
+    let fractional_upper = candidates.get(lo).copied().unwrap_or(0.0);
 
     // Constructive floor: the best of BFS-tree local search (AAML) — reuse
     // the baseline through a minimal inline dependency-free reimplementation

@@ -164,10 +164,8 @@ pub fn solve_exact(inst: &MrlcInstance, config: &ExactConfig) -> ExactOutcome {
         caps.push(cap.min(n - 1));
     }
 
-    let mut edges: Vec<(usize, usize, f64, usize)> = net
-        .edges()
-        .map(|(e, l)| (l.u().index(), l.v().index(), l.cost(), e.index()))
-        .collect();
+    let mut edges: Vec<(usize, usize, f64, usize)> =
+        net.edges().map(|(e, l)| (l.u().index(), l.v().index(), l.cost(), e.index())).collect();
     edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
 
     let mut search = Search {
@@ -320,12 +318,8 @@ mod tests {
             panic!("feasible by construction")
         };
         assert!(ira.cost >= opt_lc - 1e-9, "IRA {} below OPT {}", ira.cost, opt_lc);
-        let inst_lp = MrlcInstance::new(
-            inst.network().clone(),
-            *inst.model(),
-            ira.stats.l_prime,
-        )
-        .unwrap();
+        let inst_lp =
+            MrlcInstance::new(inst.network().clone(), *inst.model(), ira.stats.l_prime).unwrap();
         match solve_exact(&inst_lp, &ExactConfig::default()) {
             ExactOutcome::Optimal { cost: opt_lp, .. } => {
                 assert!(ira.cost <= opt_lp + 1e-9, "IRA {} above OPT(L') {}", ira.cost, opt_lp);

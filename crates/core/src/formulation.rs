@@ -152,11 +152,8 @@ impl CutLp {
                 LpStatus::Optimal => {}
             }
 
-            let frac: Vec<FracEdge> = edges
-                .iter()
-                .zip(&sol.x)
-                .map(|(e, &x)| FracEdge { u: e.u, v: e.v, x })
-                .collect();
+            let frac: Vec<FracEdge> =
+                edges.iter().zip(&sol.x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
             let violated = violated_sets(n, &frac, SEP_TOL);
             if violated.is_empty() {
                 return Ok(CutLpOutcome::Optimal { x: sol.x, objective: sol.objective });
@@ -225,23 +222,14 @@ mod tests {
         let edges = k5();
         let mut cut = CutLp::new();
         let out = cut.solve(5, &edges, &[]).unwrap();
-        let CutLpOutcome::Optimal { x, objective } = out else {
-            panic!("K5 is feasible")
-        };
+        let CutLpOutcome::Optimal { x, objective } = out else { panic!("K5 is feasible") };
         assert_integral_tree(5, &edges, &x);
-        let wedges: Vec<WeightedEdge> = edges
-            .iter()
-            .map(|e| WeightedEdge { u: e.u, v: e.v, w: e.cost, id: e.tag })
-            .collect();
+        let wedges: Vec<WeightedEdge> =
+            edges.iter().map(|e| WeightedEdge { u: e.u, v: e.v, w: e.cost, id: e.tag }).collect();
         let mst = kruskal(5, &wedges).unwrap();
-        let mst_cost: f64 = mst
-            .iter()
-            .map(|&id| edges.iter().find(|e| e.tag == id).unwrap().cost)
-            .sum();
-        assert!(
-            (objective - mst_cost).abs() < 1e-6,
-            "LP {objective} vs MST {mst_cost}"
-        );
+        let mst_cost: f64 =
+            mst.iter().map(|&id| edges.iter().find(|e| e.tag == id).unwrap().cost).sum();
+        assert!((objective - mst_cost).abs() < 1e-6, "LP {objective} vs MST {mst_cost}");
     }
 
     #[test]
@@ -269,19 +257,14 @@ mod tests {
         assert!((unconstrained - 0.4).abs() < 1e-6);
 
         let mut cut2 = CutLp::new();
-        let CutLpOutcome::Optimal { x, objective } =
-            cut2.solve(5, &edges, &[(0, 2.0)]).unwrap()
+        let CutLpOutcome::Optimal { x, objective } = cut2.solve(5, &edges, &[(0, 2.0)]).unwrap()
         else {
             panic!()
         };
         // Optimal now: 2 star edges + 2 expensive edges = 0.2 + 2.0.
         assert!((objective - 2.2).abs() < 1e-6, "got {objective}");
-        let deg0: f64 = edges
-            .iter()
-            .zip(&x)
-            .filter(|(e, _)| e.u == 0 || e.v == 0)
-            .map(|(_, &v)| v)
-            .sum();
+        let deg0: f64 =
+            edges.iter().zip(&x).filter(|(e, _)| e.u == 0 || e.v == 0).map(|(_, &v)| v).sum();
         assert!(deg0 <= 2.0 + 1e-6);
     }
 
@@ -334,12 +317,8 @@ mod tests {
     fn state_reuse_across_solves() {
         // Cuts accumulated on the first solve should carry to the second
         // (IRA re-solves after removing edges).
-        let edges = vec![
-            lpe(0, 1, 0.1, 0),
-            lpe(1, 2, 0.1, 1),
-            lpe(0, 2, 0.1, 2),
-            lpe(2, 3, 2.0, 3),
-        ];
+        let edges =
+            vec![lpe(0, 1, 0.1, 0), lpe(1, 2, 0.1, 1), lpe(0, 2, 0.1, 2), lpe(2, 3, 2.0, 3)];
         let mut cut = CutLp::new();
         let _ = cut.solve(4, &edges, &[]).unwrap();
         let cuts_after_first = cut.cuts_added;

@@ -103,8 +103,8 @@ pub fn solve_ira(inst: &MrlcInstance, config: &IraConfig) -> Result<IraSolution,
     let net = inst.network();
     let n = net.n();
     if n == 1 {
-        let tree = AggregationTree::from_parents(NodeId::SINK, vec![None])
-            .map_err(IraError::Model)?;
+        let tree =
+            AggregationTree::from_parents(NodeId::SINK, vec![None]).map_err(IraError::Model)?;
         return Ok(IraSolution {
             tree,
             cost: 0.0,
@@ -191,11 +191,7 @@ fn attempt(
 
     let mut active: Vec<bool> = vec![true; net.num_edges()];
     let mut cut = CutLp::new();
-    let mut stats = IraStats {
-        l_prime: l_used,
-        relaxed_to_lc: relaxed,
-        ..IraStats::default()
-    };
+    let mut stats = IraStats { l_prime: l_used, relaxed_to_lc: relaxed, ..IraStats::default() };
 
     while w_set.iter().any(|&b| b) {
         stats.iterations += 1;
@@ -210,7 +206,8 @@ fn attempt(
                 tag: e.index(),
             })
             .collect();
-        let cap_list: Vec<(usize, f64)> = (0..n).filter(|&i| w_set[i]).map(|i| (i, caps[i])).collect();
+        let cap_list: Vec<(usize, f64)> =
+            (0..n).filter(|&i| w_set[i]).map(|i| (i, caps[i])).collect();
 
         let outcome = cut.solve(n, &edges, &cap_list).map_err(AttemptError::Lp)?;
         stats.lp_solves = cut.lp_solves;
@@ -289,12 +286,10 @@ fn attempt(
     let chosen = wsn_graph::prim(n, &wedges).ok_or_else(|| {
         AttemptError::Infeasible("support graph lost connectivity (numerical)".into())
     })?;
-    let tree_edges: Vec<(NodeId, NodeId)> = chosen
-        .iter()
-        .map(|&id| net.links()[id].endpoints())
-        .collect();
-    let tree = AggregationTree::from_edges(NodeId::SINK, n, &tree_edges)
-        .map_err(AttemptError::Model)?;
+    let tree_edges: Vec<(NodeId, NodeId)> =
+        chosen.iter().map(|&id| net.links()[id].endpoints()).collect();
+    let tree =
+        AggregationTree::from_edges(NodeId::SINK, n, &tree_edges).map_err(AttemptError::Model)?;
 
     let cost = inst.cost(&tree);
     let reliability = inst.reliability(&tree);
@@ -360,10 +355,7 @@ mod tests {
     }
 
     fn brute_max_lifetime(inst: &MrlcInstance) -> f64 {
-        enumerate_trees(inst)
-            .into_iter()
-            .map(|(_, l)| l)
-            .fold(0.0, f64::max)
+        enumerate_trees(inst).into_iter().map(|(_, l)| l).fold(0.0, f64::max)
     }
 
     #[test]
@@ -484,11 +476,8 @@ mod tests {
         let lc = lifetime::node_lifetime(3000.0, &model, 2) * 0.999;
         let inst = MrlcInstance::new(net, model, lc).unwrap();
         let batch = solve_ira(&inst, &IraConfig::default()).unwrap();
-        let single = solve_ira(
-            &inst,
-            &IraConfig { batch_removal: false, ..IraConfig::default() },
-        )
-        .unwrap();
+        let single =
+            solve_ira(&inst, &IraConfig { batch_removal: false, ..IraConfig::default() }).unwrap();
         assert!((batch.cost - single.cost).abs() < 1e-9);
         assert!(single.stats.iterations >= batch.stats.iterations);
     }

@@ -135,21 +135,15 @@ pub fn lagrangian_dbmst(inst: &MrlcInstance, config: &LagrangianConfig) -> Lagra
             deg[e.v] += 1;
             reweighted_cost += e.w + lambda[e.u] + lambda[e.v];
         }
-        let dual: f64 = reweighted_cost
-            - lambda
-                .iter()
-                .zip(&caps)
-                .map(|(l, &b)| l * b as f64)
-                .sum::<f64>();
+        let dual: f64 =
+            reweighted_cost - lambda.iter().zip(&caps).map(|(l, &b)| l * b as f64).sum::<f64>();
         best_lb = best_lb.max(dual);
 
         // Incumbent: the reweighted MST directly if feasible, else its
         // greedy repair (move children off over-cap nodes at minimum added
         // cost — standard Lagrangian-heuristic practice).
-        let edges: Vec<(NodeId, NodeId)> = chosen
-            .iter()
-            .map(|&id| net.links()[id].endpoints())
-            .collect();
+        let edges: Vec<(NodeId, NodeId)> =
+            chosen.iter().map(|&id| net.links()[id].endpoints()).collect();
         if let Ok(t) = AggregationTree::from_edges(NodeId::SINK, n, &edges) {
             if let Some((repaired, cost)) = repair_to_caps(inst, &caps, t) {
                 if cost < best_cost - 1e-12 {
@@ -178,12 +172,7 @@ pub fn lagrangian_dbmst(inst: &MrlcInstance, config: &LagrangianConfig) -> Lagra
         step *= config.decay;
     }
 
-    LagrangianResult {
-        best_tree,
-        best_cost,
-        lower_bound: best_lb,
-        iterations: config.iterations,
-    }
+    LagrangianResult { best_tree, best_cost, lower_bound: best_lb, iterations: config.iterations }
 }
 
 /// Edge ids equal indices into `base` by construction; this helper keeps
@@ -206,9 +195,7 @@ fn repair_to_caps(
     let n = net.n();
     let tree_degree = |t: &AggregationTree, v: NodeId| t.degree(v);
     for _ in 0..2 * n {
-        let over = (0..n)
-            .map(NodeId::new)
-            .find(|&v| tree_degree(&tree, v) > caps[v.index()]);
+        let over = (0..n).map(NodeId::new).find(|&v| tree_degree(&tree, v) > caps[v.index()]);
         let Some(v) = over else {
             let cost = inst.cost(&tree);
             return Some((tree, cost));
@@ -216,15 +203,9 @@ fn repair_to_caps(
         // Cheapest re-homing of any child of v to an under-cap parent.
         let mut best: Option<(f64, NodeId, NodeId)> = None;
         for &c in tree.children(v) {
-            let old_cost = net
-                .find_edge(c, v)
-                .map(|e| net.link(e).cost())
-                .unwrap_or(f64::INFINITY);
+            let old_cost = net.find_edge(c, v).map(|e| net.link(e).cost()).unwrap_or(f64::INFINITY);
             for &(e, w) in net.neighbors(c) {
-                if w == v
-                    || tree_degree(&tree, w) + 1 > caps[w.index()]
-                    || tree.in_subtree(w, c)
-                {
+                if w == v || tree_degree(&tree, w) + 1 > caps[w.index()] || tree.in_subtree(w, c) {
                     continue;
                 }
                 let delta = net.link(e).cost() - old_cost;
@@ -278,8 +259,7 @@ mod tests {
         let lc = lifetime::node_lifetime(3000.0, &model, 2) * 0.999;
         let inst = MrlcInstance::new(net, model, lc).unwrap();
         let res = lagrangian_dbmst(&inst, &LagrangianConfig::default());
-        let ExactOutcome::Optimal { cost: opt, .. } =
-            solve_exact(&inst, &ExactConfig::default())
+        let ExactOutcome::Optimal { cost: opt, .. } = solve_exact(&inst, &ExactConfig::default())
         else {
             panic!("feasible by construction")
         };
@@ -294,12 +274,7 @@ mod tests {
             assert!(res.best_cost >= opt - 1e-9);
         }
         // The dual should come reasonably close on this small instance.
-        assert!(
-            res.lower_bound > 0.25 * opt,
-            "bound {} too loose vs OPT {}",
-            res.lower_bound,
-            opt
-        );
+        assert!(res.lower_bound > 0.25 * opt, "bound {} too loose vs OPT {}", res.lower_bound, opt);
     }
 
     #[test]

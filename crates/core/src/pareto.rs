@@ -41,9 +41,7 @@ pub fn pareto_frontier(
     candidates.reverse();
     if candidates.len() > max_points {
         let stride = candidates.len() as f64 / max_points as f64;
-        candidates = (0..max_points)
-            .map(|i| candidates[(i as f64 * stride) as usize])
-            .collect();
+        candidates = (0..max_points).map(|i| candidates[(i as f64 * stride) as usize]).collect();
     }
     let mut out = Vec::with_capacity(candidates.len());
     for lc in candidates {
@@ -81,9 +79,7 @@ pub fn dominant_points(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     }
     // Deduplicate identical (lifetime, cost) pairs.
     kept.sort_by(|a, b| a.lifetime.partial_cmp(&b.lifetime).unwrap());
-    kept.dedup_by(|a, b| {
-        (a.lifetime - b.lifetime).abs() < 1e-6 && (a.cost - b.cost).abs() < 1e-9
-    });
+    kept.dedup_by(|a, b| (a.lifetime - b.lifetime).abs() < 1e-6 && (a.cost - b.cost).abs() < 1e-9);
     kept
 }
 

@@ -1,8 +1,6 @@
 //! The MRLC problem instance (Problem 1 / Problem 2 of the paper).
 
-use wsn_model::{
-    lifetime, reliability, AggregationTree, EnergyModel, ModelError, Network, NodeId,
-};
+use wsn_model::{lifetime, reliability, AggregationTree, EnergyModel, ModelError, Network, NodeId};
 
 /// An instance of the Maximizing-Reliability-of-Lifetime-Constrained
 /// aggregation tree problem.
@@ -69,11 +67,8 @@ impl MrlcInstance {
     /// incident edge as the parent link, so their worst-case children count
     /// is `deg(v) − 1`; the sink's is `deg(v)`.
     pub fn worst_case_lifetime(&self, v: NodeId, support_degree: usize) -> f64 {
-        let children = if v == NodeId::SINK {
-            support_degree
-        } else {
-            support_degree.saturating_sub(1)
-        };
+        let children =
+            if v == NodeId::SINK { support_degree } else { support_degree.saturating_sub(1) };
         lifetime::node_lifetime(self.network.initial_energy(v), &self.model, children)
     }
 }

@@ -39,11 +39,8 @@ pub fn violated_sets(n: usize, edges: &[FracEdge], tol: f64) -> Vec<Vec<usize>> 
     let mut found: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
 
     // --- Pre-check: components of the support graph. ---
-    let support: Vec<(usize, usize)> = edges
-        .iter()
-        .filter(|e| e.x > tol)
-        .map(|e| (e.u, e.v))
-        .collect();
+    let support: Vec<(usize, usize)> =
+        edges.iter().filter(|e| e.x > tol).map(|e| (e.u, e.v)).collect();
     let (labels, k) = components(n, support.iter().copied());
     if k > 1 {
         for comp in 0..k {
@@ -100,11 +97,8 @@ pub fn violated_sets(n: usize, edges: &[FracEdge], tol: f64) -> Vec<Vec<usize>> 
 /// `x(E(S)) − (|S| − 1)`: positive means `S` violates the subtour bound.
 pub fn violation(edges: &[FracEdge], set: &[usize]) -> f64 {
     let in_set: std::collections::HashSet<usize> = set.iter().copied().collect();
-    let internal: f64 = edges
-        .iter()
-        .filter(|e| in_set.contains(&e.u) && in_set.contains(&e.v))
-        .map(|e| e.x)
-        .sum();
+    let internal: f64 =
+        edges.iter().filter(|e| in_set.contains(&e.u) && in_set.contains(&e.v)).map(|e| e.x).sum();
     internal - (set.len() as f64 - 1.0)
 }
 
@@ -137,12 +131,7 @@ mod tests {
     fn fractional_violation_detected() {
         // x = 2/3 on each triangle edge: x(E(S)) = 2 > |S| − 1 = 2? No —
         // equals exactly 2... use 0.75: 2.25 > 2.
-        let edges = vec![
-            fe(0, 1, 0.75),
-            fe(1, 2, 0.75),
-            fe(0, 2, 0.75),
-            fe(0, 3, 0.75),
-        ];
+        let edges = vec![fe(0, 1, 0.75), fe(1, 2, 0.75), fe(0, 2, 0.75), fe(0, 3, 0.75)];
         let sets = violated_sets(4, &edges, 1e-7);
         assert!(sets.iter().any(|s| s == &vec![0, 1, 2]));
     }

@@ -25,9 +25,7 @@ pub fn verify_tree(inst: &MrlcInstance, tree: &AggregationTree) -> Verification 
     let net = inst.network();
     let structural = tree.n() == net.n()
         && tree.root() == NodeId::SINK
-        && tree
-            .edges()
-            .all(|(c, p)| net.find_edge(c, p).is_some());
+        && tree.edges().all(|(c, p)| net.find_edge(c, p).is_some());
     if !structural {
         return Verification {
             is_valid_spanning_tree: false,

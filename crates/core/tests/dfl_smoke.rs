@@ -28,10 +28,7 @@ fn fig7_qualitative_relationships() {
     let sol = solve_ira(&inst, &IraConfig::default()).unwrap();
     let ira_cost = PaperCost::from_nat(sol.cost).0;
 
-    eprintln!(
-        "AAML: cost {aaml_cost:.1} rel {aaml_rel:.3} life {:.3e}",
-        aaml.lifetime
-    );
+    eprintln!("AAML: cost {aaml_cost:.1} rel {aaml_rel:.3} life {:.3e}", aaml.lifetime);
     eprintln!("MST : cost {mst_cost:.1} life {mst_life:.3e}");
     eprintln!(
         "IRA : cost {ira_cost:.1} rel {:.3} life {:.3e} (relaxed={}, guards={})",

@@ -40,11 +40,9 @@ pub fn removal_policy(instances: usize, base_seed: u64) -> Vec<RemovalRow> {
             let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
             let inst = MrlcInstance::new(net, model, aaml.lifetime).unwrap();
             let batch = solve_ira(&inst, &IraConfig::default()).expect("feasible at LC");
-            let single = solve_ira(
-                &inst,
-                &IraConfig { batch_removal: false, ..IraConfig::default() },
-            )
-            .expect("feasible at LC");
+            let single =
+                solve_ira(&inst, &IraConfig { batch_removal: false, ..IraConfig::default() })
+                    .expect("feasible at LC");
             RemovalRow {
                 instance: i,
                 batch_lp_solves: batch.stats.lp_solves,
@@ -66,7 +64,10 @@ pub fn render_removal(rows: &[RemovalRow]) -> String {
             f(r.cost_delta, 2),
         ]);
     }
-    format!("Ablation — IRA constraint-removal policy (batch vs. paper-literal single)\n{}", t.render())
+    format!(
+        "Ablation — IRA constraint-removal policy (batch vs. paper-literal single)\n{}",
+        t.render()
+    )
 }
 
 /// One round of the improving-links experiment.
@@ -86,8 +87,8 @@ pub struct IluRow {
 /// random non-tree link's PRR improves toward 1, ILU reacts, and IRA
 /// re-solves centrally.
 pub fn ilu_improving_links(rounds: usize, seed: u64) -> Vec<IluRow> {
-    let mut net = dfl_network(&DflConfig::default(), &LinkModel::default(), seed)
-        .expect("DFL deployment");
+    let mut net =
+        dfl_network(&DflConfig::default(), &LinkModel::default(), seed).expect("DFL deployment");
     let model = EnergyModel::PAPER;
     let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
     // On the DFL ring AAML reaches the absolute lifetime optimum (a
@@ -132,12 +133,7 @@ pub fn ilu_improving_links(rounds: usize, seed: u64) -> Vec<IluRow> {
 pub fn render_ilu(rows: &[IluRow]) -> String {
     let mut t = Table::new(["round", "ILU cost", "IRA cost", "changes"]);
     for r in rows {
-        t.push([
-            r.round.to_string(),
-            f(r.ilu_cost, 1),
-            f(r.ira_cost, 1),
-            r.changes.to_string(),
-        ]);
+        t.push([r.round.to_string(), f(r.ilu_cost, 1), f(r.ira_cost, 1), r.changes.to_string()]);
     }
     format!("Ablation — ILU under improving links (extension; §VI-B.2 path)\n{}", t.render())
 }

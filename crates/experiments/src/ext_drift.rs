@@ -87,9 +87,7 @@ pub fn run(config: &Config) -> Vec<Record> {
         let tree = state.tree();
         if let Some((child, _)) = tree
             .edges()
-            .filter_map(|(c, p)| {
-                net.find_edge(c, p).map(|e| (c, net.link(e).prr().value()))
-            })
+            .filter_map(|(c, p)| net.find_edge(c, p).map(|e| (c, net.link(e).prr().value())))
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         {
             updates += state.handle_link_worse(&net, child).changes;

@@ -1,0 +1,279 @@
+//! Extension: control-plane fault tolerance — convergence and overhead
+//! under a lossy channel, plus node-crash repair.
+//!
+//! The paper's distributed protocol (§VI-B) assumes every announce and
+//! parent-change broadcast arrives. This experiment drops that assumption:
+//! control frames traverse the same unreliable links as data, so each hop
+//! runs ack/retry/backoff ([`wsn_proto::RetryPolicy`]) and the network
+//! reconciles stragglers with heartbeat-digest anti-entropy
+//! ([`wsn_proto::DistributedNetwork::resync`]). The sweep raises per-link
+//! frame loss from 0% to 30% and reports what reliability costs: control
+//! frames sent (relative to the lossless baseline), virtual-time slots,
+//! resync rounds, and epoch re-announces. A final phase crashes the
+//! busiest non-sink router mid-epoch and measures sink-driven orphan
+//! re-homing under the `LC` lifetime bound.
+
+use crate::table::{f, Table};
+use crate::workloads::{aaml_paper_protocol, ira_at};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use wsn_model::{EnergyModel, Network, NodeId};
+use wsn_proto::{DistributedNetwork, FaultPlan, LossyChannel, RetryPolicy};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, DflConfig};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Per-link control-frame loss probabilities to sweep.
+    pub losses: Vec<f64>,
+    /// Independent channel seeds per loss rate.
+    pub trials: usize,
+    /// Parent-change updates issued per trial.
+    pub changes: usize,
+    /// Deployment / protocol seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            losses: vec![0.0, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30],
+            trials: 10,
+            changes: 6,
+            seed: 2015,
+        }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config { losses: vec![0.0, 0.15, 0.30], trials: 3, changes: 3, ..Config::default() }
+    }
+}
+
+/// Aggregate outcome per loss rate (means over trials).
+#[derive(Clone, Copy, Debug)]
+pub struct Row {
+    /// Per-link frame loss probability.
+    pub loss: f64,
+    /// Mean control frames sent (data + ack) per trial.
+    pub frames: f64,
+    /// Mean virtual-time slots spent (transmissions + backoff).
+    pub slots: f64,
+    /// Mean heartbeat/resync rounds until convergence.
+    pub resync_rounds: f64,
+    /// Mean epoch re-announces triggered by divergence.
+    pub reannounces: f64,
+    /// Fraction of trials where every replica converged byte-identically.
+    pub converged: f64,
+    /// Mean orphans re-homed after the crash (out of `crash_orphans`).
+    pub rehomed: f64,
+    /// Mean orphans left stranded (no eligible live neighbour).
+    pub stranded: f64,
+    /// Mean orphans the crashed node had *at crash time* — the updates
+    /// issued before the crash can move children away from the victim,
+    /// so this varies by trial (always `rehomed + stranded`).
+    pub crash_orphans: f64,
+}
+
+/// Picks a legal random re-homing in `tree`: a non-sink node and a
+/// physical neighbour outside its own subtree.
+fn random_move(
+    net: &Network,
+    tree: &wsn_model::AggregationTree,
+    sink: NodeId,
+    rng: &mut StdRng,
+) -> Option<(NodeId, NodeId)> {
+    for _ in 0..32 {
+        let child = NodeId::new(rng.random_range(0..net.n()));
+        if child == sink {
+            continue;
+        }
+        let candidates: Vec<NodeId> = net
+            .neighbors(child)
+            .iter()
+            .map(|&(_, w)| w)
+            .filter(|&w| !tree.in_subtree(w, child))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let parent = candidates[rng.random_range(0..candidates.len())];
+        return Some((child, parent));
+    }
+    None
+}
+
+/// The non-sink node with the most children in `tree` — crashing it
+/// orphans the largest subtree head-count.
+fn busiest_router(tree: &wsn_model::AggregationTree, n: usize, sink: NodeId) -> NodeId {
+    (0..n)
+        .map(NodeId::new)
+        .filter(|&v| v != sink)
+        .max_by_key(|&v| tree.children(v).len())
+        .expect("network has more than one node")
+}
+
+/// Runs the sweep. Every loss rate replays the same deployment, initial
+/// tree, update schedule, and crash victim; only the channel differs.
+pub fn run(config: &Config) -> Vec<Row> {
+    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), config.seed)
+        .expect("DFL deployment");
+    let model = EnergyModel::PAPER;
+    let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+    let lc = aaml.lifetime * 0.7;
+    let initial = ira_at(&net, model, lc).expect("initial tree").tree;
+    let sink = NodeId::SINK;
+    let crashed = busiest_router(&initial, net.n(), sink);
+
+    let mut rows = Vec::with_capacity(config.losses.len());
+    for &loss in &config.losses {
+        let mut acc = Row {
+            loss,
+            frames: 0.0,
+            slots: 0.0,
+            resync_rounds: 0.0,
+            reannounces: 0.0,
+            converged: 0.0,
+            rehomed: 0.0,
+            stranded: 0.0,
+            crash_orphans: 0.0,
+        };
+        for trial in 0..config.trials {
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (trial as u64) << 8);
+            let mut wire = DistributedNetwork::new(net.n()).with_sink(sink);
+            let mut ch = LossyChannel::new(
+                FaultPlan::uniform(loss)
+                    .with_seed(config.seed ^ 0xFA17 ^ trial as u64)
+                    .with_duplication(0.02)
+                    .with_reordering(0.02),
+            );
+            let policy = RetryPolicy::default();
+            let mut frames = 0usize;
+            let mut slots = 0u64;
+
+            let d = wire.announce_lossy(&initial, &mut ch, &policy).expect("announce encodes");
+            frames += d.total_frames();
+            slots += d.slots;
+
+            for _ in 0..config.changes {
+                let view = wire.tree();
+                if let Some((child, parent)) = random_move(&net, &view, sink, &mut rng) {
+                    // A diverged origin may reject its own splice; the
+                    // resync below repairs whatever state results.
+                    if let Ok(d) = wire.parent_change_lossy(child, parent, &mut ch, &policy) {
+                        frames += d.total_frames();
+                        slots += d.slots;
+                    }
+                }
+            }
+
+            let r = wire.resync(&mut ch, &policy, 100);
+            frames += r.delivery.total_frames();
+            slots += r.delivery.slots;
+            acc.resync_rounds += r.rounds as f64;
+            acc.reannounces += r.reannounces as f64;
+
+            // Crash the busiest router and let the sink re-home orphans.
+            ch.crash(crashed);
+            let rep = wire
+                .repair_crashed(&net, lc, &model, crashed, &mut ch, &policy)
+                .expect("sink holds a tree");
+            frames += rep.delivery.total_frames();
+            slots += rep.delivery.slots;
+            acc.rehomed += rep.rehomed.len() as f64;
+            acc.stranded += rep.stranded.len() as f64;
+            acc.crash_orphans += (rep.rehomed.len() + rep.stranded.len()) as f64;
+            let r2 = wire.resync(&mut ch, &policy, 100);
+            frames += r2.delivery.total_frames();
+            slots += r2.delivery.slots;
+
+            if r.converged && r2.converged && wire.is_consistent_alive(&ch) {
+                acc.converged += 1.0;
+            }
+            acc.frames += frames as f64;
+            acc.slots += slots as f64;
+        }
+        let t = config.trials as f64;
+        acc.frames /= t;
+        acc.slots /= t;
+        acc.resync_rounds /= t;
+        acc.reannounces /= t;
+        acc.converged /= t;
+        acc.rehomed /= t;
+        acc.stranded /= t;
+        acc.crash_orphans /= t;
+        rows.push(acc);
+    }
+    rows
+}
+
+/// Renders the sweep; the overhead column is relative to the first
+/// (lossless) row's frame count.
+pub fn render(rows: &[Row]) -> String {
+    let baseline = rows.first().map(|r| r.frames).unwrap_or(1.0).max(1.0);
+    let mut t = Table::new(vec![
+        "loss",
+        "frames",
+        "overhead",
+        "slots",
+        "resync",
+        "reannounce",
+        "rehomed",
+        "stranded",
+        "converged",
+    ]);
+    for r in rows {
+        t.push([
+            format!("{:.0}%", r.loss * 100.0),
+            f(r.frames, 1),
+            format!("{:.2}x", r.frames / baseline),
+            f(r.slots, 1),
+            f(r.resync_rounds, 2),
+            f(r.reannounces, 2),
+            format!("{:.1}/{:.1}", r.rehomed, r.crash_orphans),
+            f(r.stranded, 2),
+            format!("{:.0}%", r.converged * 100.0),
+        ]);
+    }
+    format!(
+        "Ext. — control-plane fault tolerance (loss sweep, ack/retry + anti-entropy)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_and_repairs_up_to_30_percent_loss() {
+        let rows = run(&Config::fast());
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            // Acceptance bar: every trial converges to byte-identical
+            // replicas and every crash orphan finds a new parent.
+            assert!((r.converged - 1.0).abs() < 1e-9, "loss {} converged {}", r.loss, r.converged);
+            assert!(r.stranded < 1e-9, "loss {} stranded {}", r.loss, r.stranded);
+            assert!((r.rehomed - r.crash_orphans).abs() < 1e-9);
+        }
+        // Reliability costs messages: overhead grows with loss.
+        assert!(rows[2].frames > rows[0].frames, "30% loss must cost more frames than 0%");
+        assert!(rows[2].slots > rows[0].slots);
+    }
+
+    #[test]
+    fn lossless_baseline_needs_no_reannounce() {
+        let rows = run(&Config { losses: vec![0.0], trials: 2, changes: 3, seed: 7 });
+        assert_eq!(rows[0].reannounces, 0.0);
+        assert_eq!(rows[0].resync_rounds, 1.0, "one clean heartbeat sweep per resync");
+    }
+
+    #[test]
+    fn render_has_one_row_per_loss() {
+        let rows = run(&Config::fast());
+        assert_eq!(render(&rows).lines().count(), rows.len() + 3);
+    }
+}

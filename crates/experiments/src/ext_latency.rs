@@ -61,13 +61,7 @@ pub fn run(config: &Config) -> Vec<Row> {
         let ira = ira_at(&net, model, aaml.lifetime).expect("feasible at L_AAML");
         let mst_t = mst(&net).expect("connected");
         let spt_t = spt(&net).expect("connected");
-        [
-            ("AAML", aaml.tree),
-            ("IRA", ira.tree),
-            ("MST", mst_t),
-            ("SPT", spt_t),
-        ]
-        .map(|(name, t)| {
+        [("AAML", aaml.tree), ("IRA", ira.tree), ("MST", mst_t), ("SPT", spt_t)].map(|(name, t)| {
             (
                 name,
                 round_latency_slots(&t) as f64,
@@ -83,10 +77,8 @@ pub fn run(config: &Config) -> Vec<Row> {
         .map(|(k, &scheme)| {
             let depth: f64 =
                 per_instance.iter().map(|r| r[k].1).sum::<f64>() / cfg.instances as f64;
-            let hops: f64 =
-                per_instance.iter().map(|r| r[k].2).sum::<f64>() / cfg.instances as f64;
-            let tdma: f64 =
-                per_instance.iter().map(|r| r[k].3).sum::<f64>() / cfg.instances as f64;
+            let hops: f64 = per_instance.iter().map(|r| r[k].2).sum::<f64>() / cfg.instances as f64;
+            let tdma: f64 = per_instance.iter().map(|r| r[k].3).sum::<f64>() / cfg.instances as f64;
             Row { scheme: scheme.to_string(), mean_depth: depth, mean_hops: hops, mean_tdma: tdma }
         })
         .collect()
@@ -96,12 +88,7 @@ pub fn run(config: &Config) -> Vec<Row> {
 pub fn render(rows: &[Row]) -> String {
     let mut t = Table::new(["scheme", "mean depth (slots)", "mean hops", "mean TDMA length"]);
     for r in rows {
-        t.push([
-            r.scheme.clone(),
-            f(r.mean_depth, 2),
-            f(r.mean_hops, 2),
-            f(r.mean_tdma, 2),
-        ]);
+        t.push([r.scheme.clone(), f(r.mean_depth, 2), f(r.mean_hops, 2), f(r.mean_tdma, 2)]);
     }
     format!("Extension — aggregation latency of the candidate trees\n{}", t.render())
 }

@@ -64,11 +64,11 @@ pub fn run(config: &Config) -> (Vec<ParetoPoint>, Vec<ParetoPoint>) {
 
 /// Renders both the raw sweep and the dominant staircase.
 pub fn render(all: &[ParetoPoint], dominant: &[ParetoPoint]) -> String {
-    let mut t = Table::new(["LC (rounds)", "lifetime", "cost", "reliability", "strict", "dominant"]);
+    let mut t =
+        Table::new(["LC (rounds)", "lifetime", "cost", "reliability", "strict", "dominant"]);
     for p in all {
-        let is_dominant = dominant
-            .iter()
-            .any(|q| (q.lc - p.lc).abs() < 1e-6 && (q.cost - p.cost).abs() < 1e-9);
+        let is_dominant =
+            dominant.iter().any(|q| (q.lc - p.lc).abs() < 1e-6 && (q.cost - p.cost).abs() < 1e-9);
         t.push([
             format!("{:.3e}", p.lc),
             format!("{:.3e}", p.lifetime),
@@ -103,11 +103,7 @@ mod tests {
 
     #[test]
     fn random_scenario_also_works() {
-        let (all, dominant) = run(&Config {
-            scenario: Scenario::Random,
-            seed: 4,
-            max_points: 8,
-        });
+        let (all, dominant) = run(&Config { scenario: Scenario::Random, seed: 4, max_points: 8 });
         assert!(!all.is_empty());
         assert!(!dominant.is_empty());
         let text = render(&all, &dominant);

@@ -67,8 +67,7 @@ pub fn run(config: &Config) -> Vec<Row> {
             let mut acc = [0.0f64; 4];
             let mut exact_runs = 0usize;
             for r in 0..config.repeats {
-                let mut rng =
-                    StdRng::seed_from_u64(config.base_seed + (n * 1000 + r) as u64);
+                let mut rng = StdRng::seed_from_u64(config.base_seed + (n * 1000 + r) as u64);
                 let net = random_graph(
                     &RandomGraphConfig { n, ..RandomGraphConfig::default() },
                     &mut rng,

@@ -66,11 +66,8 @@ pub fn run(config: &Config) -> Vec<Row> {
     let cfg = *config;
     parallel_map(cfg.instances, move |i| {
         let mut rng = StdRng::seed_from_u64(cfg.base_seed + i as u64);
-        let gcfg = RandomGraphConfig {
-            n: cfg.n,
-            link_probability: 0.5,
-            ..RandomGraphConfig::default()
-        };
+        let gcfg =
+            RandomGraphConfig { n: cfg.n, link_probability: 0.5, ..RandomGraphConfig::default() };
         let net = random_graph(&gcfg, &mut rng).expect("connected instance");
         let model = EnergyModel::PAPER;
         let lc =
@@ -115,9 +112,8 @@ pub fn render(rows: &[Row]) -> String {
         .iter()
         .filter(|r| r.exact.is_finite() && r.ira.is_finite() && r.lagrangian.is_finite())
         .collect();
-    let mean = |sel: fn(&&Row) -> f64| {
-        closed.iter().map(sel).sum::<f64>() / closed.len().max(1) as f64
-    };
+    let mean =
+        |sel: fn(&&Row) -> f64| closed.iter().map(sel).sum::<f64>() / closed.len().max(1) as f64;
     format!(
         "Extension — solver comparison (IRA vs. Lagrangian vs. exact)\n{}\n\
          over {} fully-solved instances: IRA/OPT = {:.4}, Lagrangian/OPT = {:.4}, dual/OPT = {:.4}\n",

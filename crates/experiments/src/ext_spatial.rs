@@ -59,12 +59,9 @@ pub struct Row {
 pub fn run(config: &Config) -> Vec<Row> {
     let cfg = *config;
     parallel_map(cfg.instances, move |i| {
-        let dep = geometric_deployment(
-            &cfg.geometry,
-            &LinkModel::default(),
-            cfg.base_seed + i as u64,
-        )
-        .expect("connected deployment");
+        let dep =
+            geometric_deployment(&cfg.geometry, &LinkModel::default(), cfg.base_seed + i as u64)
+                .expect("connected deployment");
         let net = dep.network;
         let model = EnergyModel::PAPER;
         let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
@@ -72,22 +69,17 @@ pub fn run(config: &Config) -> Vec<Row> {
         let mst = wsn_baselines::mst(&net).expect("connected");
         Row {
             instance: i,
-            aaml: (
-                paper_cost(&net, &aaml.tree),
-                reliability::tree_reliability(&net, &aaml.tree),
-            ),
+            aaml: (paper_cost(&net, &aaml.tree), reliability::tree_reliability(&net, &aaml.tree)),
             ira: (paper_cost(&net, &ira.tree), ira.reliability),
-            mst: (
-                paper_cost(&net, &mst),
-                reliability::tree_reliability(&net, &mst),
-            ),
+            mst: (paper_cost(&net, &mst), reliability::tree_reliability(&net, &mst)),
         }
     })
 }
 
 /// Renders the spatial table plus means.
 pub fn render(rows: &[Row]) -> String {
-    let mut t = Table::new(["instance", "AAML cost", "IRA cost", "MST cost", "AAML rel", "IRA rel"]);
+    let mut t =
+        Table::new(["instance", "AAML cost", "IRA cost", "MST cost", "AAML rel", "IRA rel"]);
     for r in rows {
         t.push([
             r.instance.to_string(),

@@ -72,15 +72,11 @@ pub fn run(config: &Config) -> Vec<Row> {
     let initial = ira_at(&base_net, model, lc).expect("initial tree");
 
     // Pre-generate the shared drift history: per-round PRR of every link.
-    let mut drifts: Vec<QualityDrift> = base_net
-        .links()
-        .iter()
-        .map(|l| QualityDrift::new(l.prr(), 0.05, config.sigma))
-        .collect();
+    let mut drifts: Vec<QualityDrift> =
+        base_net.links().iter().map(|l| QualityDrift::new(l.prr(), 0.05, config.sigma)).collect();
     let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57AB);
-    let history: Vec<Vec<wsn_model::Prr>> = (0..config.rounds)
-        .map(|_| drifts.iter_mut().map(|d| d.step(&mut rng)).collect())
-        .collect();
+    let history: Vec<Vec<wsn_model::Prr>> =
+        (0..config.rounds).map(|_| drifts.iter_mut().map(|d| d.step(&mut rng)).collect()).collect();
 
     config
         .margins
@@ -133,10 +129,7 @@ pub fn render(rows: &[Row]) -> String {
             f(r.mean_cost, 1),
         ]);
     }
-    format!(
-        "Extension — protocol stability: hysteresis margin vs. update budget\n{}",
-        t.render()
-    )
+    format!("Extension — protocol stability: hysteresis margin vs. update budget\n{}", t.render())
 }
 
 #[cfg(test)]

@@ -41,12 +41,7 @@ impl Default for Config {
 impl Config {
     /// Reduced workload for tests.
     pub fn fast() -> Self {
-        Config {
-            sizes: vec![16, 32],
-            qualities: vec![1.0, 0.5, 0.1],
-            rounds: 300,
-            seed: 1,
-        }
+        Config { sizes: vec![16, 32], qualities: vec![1.0, 0.5, 0.1], rounds: 300, seed: 1 }
     }
 }
 
@@ -104,7 +99,8 @@ pub fn run(config: &Config) -> Vec<Point> {
 
 /// Renders the paper-style series.
 pub fn render(points: &[Point]) -> String {
-    let mut t = Table::new(["n", "avg quality", "expected pkts", "simulated pkts", "retx energy %"]);
+    let mut t =
+        Table::new(["n", "avg quality", "expected pkts", "simulated pkts", "retx energy %"]);
     for p in points {
         t.push([
             p.n.to_string(),
@@ -114,7 +110,10 @@ pub fn render(points: &[Point]) -> String {
             f(p.retx_energy_fraction * 100.0, 1),
         ]);
     }
-    format!("Fig. 1 — packets per aggregation round vs. link quality (retransmission mode)\n{}", t.render())
+    format!(
+        "Fig. 1 — packets per aggregation round vs. link quality (retransmission mode)\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

@@ -33,11 +33,7 @@ impl Default for Config {
 impl Config {
     /// Reduced workload for tests.
     pub fn fast() -> Self {
-        Config {
-            probabilities: vec![0.3, 0.6, 0.9],
-            instances: 6,
-            ..Config::default()
-        }
+        Config { probabilities: vec![0.3, 0.6, 0.9], instances: 6, ..Config::default() }
     }
 }
 
@@ -93,11 +89,7 @@ mod tests {
 
     #[test]
     fn aaml_grows_with_density_while_ira_stays_flat() {
-        let pts = run(&Config {
-            probabilities: vec![0.3, 0.9],
-            instances: 10,
-            base_seed: 1000,
-        });
+        let pts = run(&Config { probabilities: vec![0.3, 0.9], instances: 10, base_seed: 1000 });
         let sparse = &pts[0];
         let dense = &pts[1];
         // AAML is insensitive to density in the right way: it keeps paying
@@ -112,10 +104,7 @@ mod tests {
         // for this figure (more links help quality-aware trees only).
         let gap_sparse = sparse.aaml - sparse.ira;
         let gap_dense = dense.aaml - dense.ira;
-        assert!(
-            gap_dense > gap_sparse,
-            "gap must widen: {gap_sparse} -> {gap_dense}"
-        );
+        assert!(gap_dense > gap_sparse, "gap must widen: {gap_sparse} -> {gap_dense}");
         // Ordering at every density, and IRA hugging the MST bound.
         for p in &pts {
             assert!(p.mst <= p.ira + 1e-6);

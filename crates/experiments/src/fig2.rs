@@ -120,11 +120,8 @@ mod tests {
     fn prr_decreases_with_distance_on_average() {
         let pts = run(&Config::default());
         for level in [11, 15, 19] {
-            let series: Vec<f64> = pts
-                .iter()
-                .filter(|p| p.level == level)
-                .map(|p| p.avg_prr)
-                .collect();
+            let series: Vec<f64> =
+                pts.iter().filter(|p| p.level == level).map(|p| p.avg_prr).collect();
             assert!(
                 series.first().unwrap() >= series.last().unwrap(),
                 "level {level} should decay"

@@ -84,7 +84,9 @@ pub fn render(a: &Artifacts) -> String {
     format!(
         "Fig. 6 — the DFL deployment (16 tripods, 3.6 m square, sink = node 0)\n\n{}\n\n\
          estimated links: {}\n{}",
-        a.map, a.total_links, t.render()
+        a.map,
+        a.total_links,
+        t.render()
     )
 }
 
@@ -96,10 +98,7 @@ mod tests {
     fn map_places_all_sixteen_nodes() {
         let a = run(2015);
         for i in 0..16 {
-            assert!(
-                a.map.contains(&i.to_string()),
-                "node {i} missing from the map"
-            );
+            assert!(a.map.contains(&i.to_string()), "node {i} missing from the map");
         }
     }
 

@@ -88,12 +88,7 @@ pub fn run(config: &Config) -> Vec<Row> {
 pub fn render(rows: &[Row], title: &str) -> String {
     let mut t = Table::new(["instance", "AAML", "IRA", "MST"]);
     for r in rows {
-        t.push([
-            r.instance.to_string(),
-            f(r.aaml_cost, 1),
-            f(r.ira_cost, 1),
-            f(r.mst_cost, 1),
-        ]);
+        t.push([r.instance.to_string(), f(r.aaml_cost, 1), f(r.ira_cost, 1), f(r.mst_cost, 1)]);
     }
     let mean = |sel: fn(&Row) -> f64| -> f64 {
         rows.iter().map(sel).sum::<f64>() / rows.len().max(1) as f64
@@ -124,10 +119,7 @@ mod tests {
             assert!(r.mst_cost <= r.ira_cost + 1e-6, "instance {}", r.instance);
         }
         // On average: IRA well below AAML (paper: ≈30%), and close to MST.
-        assert!(
-            mean_ira < 0.6 * mean_aaml,
-            "IRA mean {mean_ira} vs AAML mean {mean_aaml}"
-        );
+        assert!(mean_ira < 0.6 * mean_aaml, "IRA mean {mean_ira} vs AAML mean {mean_aaml}");
         assert!(mean_ira < mean_mst * 2.0 + 20.0, "IRA should hug the MST bound");
     }
 

@@ -48,10 +48,7 @@ mod tests {
         let mean_mst: f64 = rows.iter().map(|r| r.mst_cost).sum::<f64>() / 10.0;
         let mean_aaml: f64 = rows.iter().map(|r| r.aaml_cost).sum::<f64>() / 10.0;
         // "the IRA and MST curves are more closer" — small absolute gap.
-        assert!(
-            mean_ira - mean_mst < 30.0,
-            "IRA {mean_ira} should hug MST {mean_mst}"
-        );
+        assert!(mean_ira - mean_mst < 30.0, "IRA {mean_ira} should hug MST {mean_mst}");
         // "the cost of AAML is at least 50% higher than that of IRA in most
         // situations" — check on the mean.
         assert!(mean_aaml > 1.5 * mean_ira, "AAML {mean_aaml} vs IRA {mean_ira}");

@@ -18,6 +18,7 @@
 
 pub mod ablation;
 pub mod ext_drift;
+pub mod ext_faults;
 pub mod ext_latency;
 pub mod ext_optgap;
 pub mod ext_pareto;

@@ -11,11 +11,8 @@ use wsn_experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "all".to_string());
+    let which =
+        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
 
     let run_one = |name: &str| match name {
         "fig1" => {
@@ -71,28 +68,40 @@ fn main() {
             print!("{}", ext_optgap::render(&ext_optgap::run(&cfg)));
         }
         "latency" => {
-            let cfg = if fast { ext_latency::Config::fast() } else { ext_latency::Config::default() };
+            let cfg =
+                if fast { ext_latency::Config::fast() } else { ext_latency::Config::default() };
             print!("{}", ext_latency::render(&ext_latency::run(&cfg)));
         }
         "scalability" => {
-            let cfg = if fast { ext_scalability::Config::fast() } else { ext_scalability::Config::default() };
+            let cfg = if fast {
+                ext_scalability::Config::fast()
+            } else {
+                ext_scalability::Config::default()
+            };
             print!("{}", ext_scalability::render(&ext_scalability::run(&cfg)));
         }
         "stability" => {
-            let cfg = if fast { ext_stability::Config::fast() } else { ext_stability::Config::default() };
+            let cfg =
+                if fast { ext_stability::Config::fast() } else { ext_stability::Config::default() };
             print!("{}", ext_stability::render(&ext_stability::run(&cfg)));
         }
         "solvers" => {
-            let cfg = if fast { ext_solvers::Config::fast() } else { ext_solvers::Config::default() };
+            let cfg =
+                if fast { ext_solvers::Config::fast() } else { ext_solvers::Config::default() };
             print!("{}", ext_solvers::render(&ext_solvers::run(&cfg)));
         }
         "spatial" => {
-            let cfg = if fast { ext_spatial::Config::fast() } else { ext_spatial::Config::default() };
+            let cfg =
+                if fast { ext_spatial::Config::fast() } else { ext_spatial::Config::default() };
             print!("{}", ext_spatial::render(&ext_spatial::run(&cfg)));
         }
         "drift" => {
             let cfg = if fast { ext_drift::Config::fast() } else { ext_drift::Config::default() };
             print!("{}", ext_drift::render(&ext_drift::run(&cfg)));
+        }
+        "faults" => {
+            let cfg = if fast { ext_faults::Config::fast() } else { ext_faults::Config::default() };
+            print!("{}", ext_faults::render(&ext_faults::run(&cfg)));
         }
         "ablation" => {
             let (instances, rounds) = if fast { (4, 15) } else { (20, 60) };
@@ -103,7 +112,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability] [--fast]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults] [--fast]"
             );
             std::process::exit(2);
         }
@@ -111,8 +120,29 @@ fn main() {
 
     if which == "all" {
         for name in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "ablation", "pareto", "optgap", "latency", "drift", "spatial", "solvers", "stability", "scalability",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "ablation",
+            "pareto",
+            "optgap",
+            "latency",
+            "drift",
+            "spatial",
+            "solvers",
+            "stability",
+            "scalability",
+            "faults",
         ] {
             run_one(name);
             println!();

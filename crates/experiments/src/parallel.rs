@@ -16,10 +16,7 @@ where
     if count == 0 {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(count);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(count);
     if threads <= 1 {
         return (0..count).map(f).collect();
     }

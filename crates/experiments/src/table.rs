@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(2.71828, 2), "2.72");
+        assert_eq!(f(std::f64::consts::E, 2), "2.72");
         assert_eq!(f(1.0, 0), "1");
     }
 }

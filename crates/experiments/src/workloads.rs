@@ -10,9 +10,7 @@ use wsn_model::{EnergyModel, ModelError, Network, PaperCost};
 /// then run AAML from the BFS tree. Falls back to the unfiltered network if
 /// the filter disconnects it.
 pub fn aaml_paper_protocol(net: &Network, model: &EnergyModel) -> Result<AamlResult, ModelError> {
-    let working = net
-        .restrict_edges(|l| l.prr().value() >= 0.95)
-        .unwrap_or_else(|_| net.clone());
+    let working = net.restrict_edges(|l| l.prr().value() >= 0.95).unwrap_or_else(|_| net.clone());
     aaml_tree(&working, model, None, &AamlConfig::default())
 }
 

@@ -84,10 +84,7 @@ impl GomoryHuTree {
 
     /// The global minimum cut value of the graph (the lightest tree edge).
     pub fn global_min_cut(&self) -> f64 {
-        self.weight[1..]
-            .iter()
-            .copied()
-            .fold(f64::INFINITY, f64::min)
+        self.weight[1..].iter().copied().fold(f64::INFINITY, f64::min)
     }
 }
 

@@ -139,14 +139,10 @@ pub fn mst_tree(net: &Network) -> Result<AggregationTree, ModelError> {
             id: e.index(),
         })
         .collect();
-    let chosen = prim(net.n(), &edges).ok_or(ModelError::Disconnected {
-        component_of_root: 0,
-        n: net.n(),
-    })?;
-    let tree_edges: Vec<(NodeId, NodeId)> = chosen
-        .iter()
-        .map(|&id| net.links()[id].endpoints())
-        .collect();
+    let chosen = prim(net.n(), &edges)
+        .ok_or(ModelError::Disconnected { component_of_root: 0, n: net.n() })?;
+    let tree_edges: Vec<(NodeId, NodeId)> =
+        chosen.iter().map(|&id| net.links()[id].endpoints()).collect();
     AggregationTree::from_edges(NodeId::SINK, net.n(), &tree_edges)
 }
 
@@ -159,9 +155,7 @@ mod tests {
     }
 
     fn total(edges: &[WeightedEdge], ids: &[usize]) -> f64 {
-        ids.iter()
-            .map(|&id| edges.iter().find(|e| e.id == id).unwrap().w)
-            .sum()
+        ids.iter().map(|&id| edges.iter().find(|e| e.id == id).unwrap().w).sum()
     }
 
     fn square_with_diagonal() -> Vec<WeightedEdge> {
@@ -231,9 +225,8 @@ mod tests {
     fn prim_handles_parallel_weights_deterministically() {
         // All weights equal: result must still be a spanning tree and the
         // same one on repeated runs.
-        let edges: Vec<WeightedEdge> = (0..6)
-            .flat_map(|u| (u + 1..6).map(move |v| we(u, v, 1.0, u * 10 + v)))
-            .collect();
+        let edges: Vec<WeightedEdge> =
+            (0..6).flat_map(|u| (u + 1..6).map(move |v| we(u, v, 1.0, u * 10 + v))).collect();
         let a = prim(6, &edges).unwrap();
         let b = prim(6, &edges).unwrap();
         assert_eq!(a, b);
@@ -248,10 +241,7 @@ mod tests {
             (2usize..9).prop_flat_map(|n| {
                 // A random path guarantees connectivity; extra random edges on
                 // top.
-                let extra = proptest::collection::vec(
-                    (0..n, 0..n, 1u32..1000),
-                    0..12,
-                );
+                let extra = proptest::collection::vec((0..n, 0..n, 1u32..1000), 0..12);
                 let spine = proptest::collection::vec(1u32..1000, n - 1);
                 (Just(n), spine, extra).prop_map(|(n, spine, extra)| {
                     let mut edges = Vec::new();

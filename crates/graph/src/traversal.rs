@@ -2,7 +2,10 @@
 
 /// Labels each node `0..n` with a dense component id, given an undirected
 /// edge list. Returns `(labels, num_components)`.
-pub fn components(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> (Vec<usize>, usize) {
+pub fn components(
+    n: usize,
+    edges: impl IntoIterator<Item = (usize, usize)>,
+) -> (Vec<usize>, usize) {
     let mut uf = crate::unionfind::UnionFind::new(n);
     for (u, v) in edges {
         uf.union(u, v);

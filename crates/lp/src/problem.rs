@@ -80,11 +80,7 @@ impl LpProblem {
             assert!(a.is_finite(), "constraint coefficient must be finite");
             *dense.entry(v.index()).or_insert(0.0) += a;
         }
-        self.constraints.push(Constraint {
-            terms: dense.into_iter().collect(),
-            rel,
-            rhs,
-        });
+        self.constraints.push(Constraint { terms: dense.into_iter().collect(), rel, rhs });
     }
 
     /// Number of variables.

@@ -185,9 +185,7 @@ impl Tableau {
             };
             if limit < t_star - TOL
                 || (limit < t_star + TOL
-                    && leaving.is_some_and(|(r, _)| {
-                        self.bland && self.basis[i] < self.basis[r]
-                    }))
+                    && leaving.is_some_and(|(r, _)| self.bland && self.basis[i] < self.basis[r]))
             {
                 t_star = limit;
                 leaving = Some((i, exits_upper));
@@ -265,11 +263,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
 
     // Column layout: structural | slacks | artificials.
-    let n_slack = problem
-        .constraints
-        .iter()
-        .filter(|c| c.rel != Relation::Eq)
-        .count();
+    let n_slack = problem.constraints.iter().filter(|c| c.rel != Relation::Eq).count();
     let n_real = nvars + n_slack;
     let ncols = n_real + m;
 
@@ -350,10 +344,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     let finished = t.optimize(true, max_iter)?;
     debug_assert!(finished, "phase 1 is bounded below by 0");
 
-    let phase1_obj: f64 = (0..t.m)
-        .filter(|&i| t.basis[i] >= n_real)
-        .map(|i| t.rhs[i])
-        .sum();
+    let phase1_obj: f64 = (0..t.m).filter(|&i| t.basis[i] >= n_real).map(|i| t.rhs[i]).sum();
     if phase1_obj > 1e-6 {
         return Ok(LpSolution {
             status: LpStatus::Infeasible,
@@ -411,8 +402,13 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
 
     // ---- Phase 2: real objective over shifted variables. ----
-    let shifted_cost =
-        |j: usize| -> f64 { if j < nvars { problem.cost[j] } else { 0.0 } };
+    let shifted_cost = |j: usize| -> f64 {
+        if j < nvars {
+            problem.cost[j]
+        } else {
+            0.0
+        }
+    };
     for j in 0..t.ncols {
         let mut d = shifted_cost(j);
         for i in 0..t.m {
@@ -457,12 +453,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         );
     }
     let objective = problem.objective_at(&x);
-    Ok(LpSolution {
-        status: LpStatus::Optimal,
-        x,
-        objective,
-        iterations: t.iterations,
-    })
+    Ok(LpSolution { status: LpStatus::Optimal, x, objective, iterations: t.iterations })
 }
 
 #[cfg(test)]
@@ -691,9 +682,8 @@ mod tests {
                 .map(|j| p.add_var(-(2f64.powi((n - 1 - j) as i32)), 0.0, f64::INFINITY))
                 .collect();
             for i in 0..n {
-                let mut terms: Vec<(VarId, f64)> = (0..i)
-                    .map(|j| (vars[j], 2.0 * 2f64.powi((i - j) as i32)))
-                    .collect();
+                let mut terms: Vec<(VarId, f64)> =
+                    (0..i).map(|j| (vars[j], 2.0 * 2f64.powi((i - j) as i32))).collect();
                 terms.push((vars[i], 1.0));
                 p.add_constraint(&terms, Relation::Le, 5f64.powi(i as i32 + 1));
             }
@@ -716,11 +706,7 @@ mod tests {
             let y = p.add_var(-1.0, 0.0, f64::INFINITY);
             for k in 0..60 {
                 let scale = 1.0 + (k % 7) as f64;
-                p.add_constraint(
-                    &[(x, scale), (y, scale)],
-                    Relation::Le,
-                    10.0 * scale,
-                );
+                p.add_constraint(&[(x, scale), (y, scale)], Relation::Le, 10.0 * scale);
             }
             let s = p.solve().unwrap();
             assert_eq!(s.status, LpStatus::Optimal);
@@ -800,8 +786,7 @@ mod tests {
                 if mask.count_ones() as usize != n {
                     continue;
                 }
-                let chosen: Vec<usize> =
-                    (0..f).filter(|&i| mask & (1 << i) != 0).collect();
+                let chosen: Vec<usize> = (0..f).filter(|&i| mask & (1 << i) != 0).collect();
                 let a: Vec<Vec<f64>> = chosen.iter().map(|&i| facets[i].0.clone()).collect();
                 let b: Vec<f64> = chosen.iter().map(|&i| facets[i].1).collect();
                 let Some(x) = solve_dense(a, b) else { continue };

@@ -39,11 +39,8 @@ pub struct EnergyModel {
 
 impl EnergyModel {
     /// The TelosB model measured in the paper.
-    pub const PAPER: EnergyModel = EnergyModel {
-        tx: DEFAULT_TX_J,
-        rx: DEFAULT_RX_J,
-        idle_power: IDLE_POWER_W,
-    };
+    pub const PAPER: EnergyModel =
+        EnergyModel { tx: DEFAULT_TX_J, rx: DEFAULT_RX_J, idle_power: IDLE_POWER_W };
 
     /// Creates a validated energy model.
     pub fn new(tx: f64, rx: f64) -> Result<Self, ModelError> {

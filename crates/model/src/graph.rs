@@ -77,10 +77,7 @@ impl Network {
     /// Finds the edge between `a` and `b`, if present.
     pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
         let (scan, target) = if self.degree(a) <= self.degree(b) { (a, b) } else { (b, a) };
-        self.adj[scan.index()]
-            .iter()
-            .find(|(_, nb)| *nb == target)
-            .map(|(e, _)| *e)
+        self.adj[scan.index()].iter().find(|(_, nb)| *nb == target).map(|(e, _)| *e)
     }
 
     /// Initial energy `I(v)` in joules.
@@ -105,7 +102,10 @@ impl Network {
     /// Fails with [`ModelError::Disconnected`] if the filtered graph no
     /// longer spans all nodes (the paper's AAML evaluation filters out links
     /// with `q < 0.95` and assumes the remainder stays connected).
-    pub fn restrict_edges(&self, mut keep: impl FnMut(&Link) -> bool) -> Result<Network, ModelError> {
+    pub fn restrict_edges(
+        &self,
+        mut keep: impl FnMut(&Link) -> bool,
+    ) -> Result<Network, ModelError> {
         let mut b = NetworkBuilder::new(self.n);
         for (v, &e) in self.energy.iter().enumerate() {
             b.set_energy(NodeId::new(v), e)?;
@@ -267,10 +267,7 @@ mod tests {
         b.add_edge(0, 1, 0.9).unwrap();
         // nodes 2, 3 isolated from 0's component
         b.add_edge(2, 3, 0.9).unwrap();
-        assert_eq!(
-            b.build().unwrap_err(),
-            ModelError::Disconnected { component_of_root: 2, n: 4 }
-        );
+        assert_eq!(b.build().unwrap_err(), ModelError::Disconnected { component_of_root: 2, n: 4 });
     }
 
     #[test]

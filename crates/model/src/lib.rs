@@ -54,7 +54,9 @@ pub use energy::EnergyModel;
 pub use error::ModelError;
 pub use graph::{EdgeId, Network, NetworkBuilder};
 pub use id::NodeId;
-pub use lifetime::{children_bound, network_lifetime, node_lifetime, tightened_bound, LifetimeBound};
+pub use lifetime::{
+    children_bound, network_lifetime, node_lifetime, tightened_bound, LifetimeBound,
+};
 pub use link::{Link, Prr};
 pub use reliability::{edge_cost, tree_cost, tree_reliability, PaperCost};
 pub use tree::AggregationTree;

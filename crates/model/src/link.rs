@@ -232,10 +232,7 @@ mod tests {
 
     #[test]
     fn link_rejects_self_loop() {
-        assert_eq!(
-            Link::new(n(3), n(3), Prr::PERFECT).unwrap_err(),
-            ModelError::SelfLoop(n(3))
-        );
+        assert_eq!(Link::new(n(3), n(3), Prr::PERFECT).unwrap_err(), ModelError::SelfLoop(n(3)));
     }
 
     #[test]

@@ -37,9 +37,7 @@ impl AggregationTree {
         for (i, p) in parents.iter().enumerate() {
             match p {
                 None if i != root.index() => {
-                    return Err(ModelError::NotATree(format!(
-                        "non-root node {i} has no parent"
-                    )));
+                    return Err(ModelError::NotATree(format!("non-root node {i} has no parent")));
                 }
                 None => {}
                 Some(p) => {
@@ -182,10 +180,7 @@ impl AggregationTree {
 
     /// Iterator over the `n − 1` tree edges as `(child, parent)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.parent
-            .iter()
-            .enumerate()
-            .filter_map(|(i, p)| p.map(|p| (NodeId::new(i), p)))
+        self.parent.iter().enumerate().filter_map(|(i, p)| p.map(|p| (NodeId::new(i), p)))
     }
 
     /// True if `{a, b}` is a tree edge (in either orientation).
@@ -438,8 +433,7 @@ mod tests {
 
         fn arb_tree() -> impl Strategy<Value = AggregationTree> {
             (2usize..24).prop_flat_map(|nn| {
-                let parents: Vec<BoxedStrategy<usize>> =
-                    (1..nn).map(|i| (0..i).boxed()).collect();
+                let parents: Vec<BoxedStrategy<usize>> = (1..nn).map(|i| (0..i).boxed()).collect();
                 parents.prop_map(move |ps| {
                     let mut parents: Vec<Option<NodeId>> = vec![None];
                     parents.extend(ps.into_iter().map(|p| Some(NodeId::new(p))));

@@ -7,9 +7,7 @@ use wsn_model::AggregationTree;
 /// This is the quantity Fig. 13 tracks, "less than 10 messages" per update
 /// at n = 16.
 pub fn broadcast_message_count(tree: &AggregationTree) -> usize {
-    (0..tree.n())
-        .filter(|&i| !tree.is_leaf(wsn_model::NodeId::new(i)))
-        .count()
+    (0..tree.n()).filter(|&i| !tree.is_leaf(wsn_model::NodeId::new(i))).count()
 }
 
 #[cfg(test)]

@@ -1,0 +1,370 @@
+//! Fault injection for the control plane: a lossy, duplicating, reordering
+//! channel plus node-crash switches.
+//!
+//! The paper's protocol (§VI-B) is specified over a lossless control
+//! channel; the data plane, by contrast, models every link with a packet
+//! reception ratio `q_e`. This module puts control traffic on the same
+//! footing: a [`LossyChannel`] drops each transmission attempt with a
+//! per-link probability (derived from the network's PRRs, uniform, or
+//! zero), occasionally duplicates a delivery, occasionally holds a frame
+//! back so it arrives *after* the next one (reordering), and swallows all
+//! traffic to or from crashed nodes. Everything is driven by a seeded RNG
+//! so experiments are reproducible.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use wsn_model::{Network, NodeId};
+use wsn_radio::LinkModel;
+
+/// Where per-link loss probabilities come from.
+#[derive(Clone, Debug, Default)]
+pub enum LossModel {
+    /// Every attempt is delivered (the paper's assumption).
+    #[default]
+    Lossless,
+    /// Every link drops with the same probability.
+    Uniform(f64),
+    /// Per-link loss keyed by unordered endpoint pair; pairs not in the
+    /// map fall back to the given default loss.
+    PerLink {
+        /// `(min_label, max_label) → loss probability`.
+        map: HashMap<(u32, u32), f64>,
+        /// Loss for pairs absent from the map.
+        default: f64,
+    },
+}
+
+/// A reproducible description of the faults to inject.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// RNG seed; two channels built from equal plans behave identically.
+    pub seed: u64,
+    /// Per-attempt frame-loss model.
+    pub loss: LossModel,
+    /// Probability a delivered frame arrives twice.
+    pub duplicate_prob: f64,
+    /// Probability a delivered frame is held back and arrives after the
+    /// next frame to the same receiver.
+    pub reorder_prob: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all — the lossless channel the paper assumes.
+    pub fn lossless() -> Self {
+        FaultPlan { seed: 0, loss: LossModel::Lossless, duplicate_prob: 0.0, reorder_prob: 0.0 }
+    }
+
+    /// Uniform per-attempt loss on every link.
+    pub fn uniform(loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
+        FaultPlan { seed: 0, loss: LossModel::Uniform(loss), ..FaultPlan::lossless() }
+    }
+
+    /// Derives per-link loss from the network's own PRRs: a control frame
+    /// crossing link `e` is lost with probability `1 − q_e` — the control
+    /// plane faces exactly the channel the data plane models.
+    pub fn from_network_prr(net: &Network) -> Self {
+        let map = net
+            .edges()
+            .map(|(_, link)| (Self::key(link.u(), link.v()), 1.0 - link.prr().value()))
+            .collect();
+        // Pairs with no physical link cannot carry frames at all.
+        FaultPlan {
+            seed: 0,
+            loss: LossModel::PerLink { map, default: 1.0 },
+            ..FaultPlan::lossless()
+        }
+    }
+
+    /// Like [`FaultPlan::from_network_prr`], but rescales each link's PRR
+    /// to the control-frame length via the radio model: short ack/update
+    /// frames survive better than the 34-byte data packets the PRR was
+    /// estimated with (`wsn_radio::LinkModel::control_frame_prr`).
+    pub fn from_network_ctrl(net: &Network, radio: &LinkModel, ctrl_bytes: usize) -> Self {
+        let map = net
+            .edges()
+            .map(|(_, link)| {
+                let q = radio.control_frame_prr(link.prr(), ctrl_bytes).value();
+                (Self::key(link.u(), link.v()), 1.0 - q)
+            })
+            .collect();
+        FaultPlan {
+            seed: 0,
+            loss: LossModel::PerLink { map, default: 1.0 },
+            ..FaultPlan::lossless()
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the reordering probability.
+    pub fn with_reordering(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.reorder_prob = p;
+        self
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (u32, u32) {
+        let (x, y) = (a.label(), b.label());
+        if x <= y {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+
+    /// Loss probability for one attempt on `(a, b)`.
+    pub fn loss(&self, a: NodeId, b: NodeId) -> f64 {
+        match &self.loss {
+            LossModel::Lossless => 0.0,
+            LossModel::Uniform(l) => *l,
+            LossModel::PerLink { map, default } => *map.get(&Self::key(a, b)).unwrap_or(default),
+        }
+    }
+}
+
+/// Channel-level accounting, kept separately from the per-node frame
+/// counters so Fig. 13-style message accounting can distinguish offered
+/// load from delivered load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Transmission attempts offered to the channel.
+    pub offered: usize,
+    /// Frame copies actually handed to a receiver.
+    pub delivered: usize,
+    /// Attempts dropped by link loss.
+    pub dropped: usize,
+    /// Extra copies injected by duplication.
+    pub duplicated: usize,
+    /// Frames that arrived late (after a newer frame).
+    pub reordered: usize,
+    /// Attempts swallowed because an endpoint had crashed.
+    pub to_crashed: usize,
+}
+
+/// The lossy control channel: applies a [`FaultPlan`] to every
+/// transmission attempt.
+#[derive(Clone, Debug)]
+pub struct LossyChannel {
+    plan: FaultPlan,
+    rng: StdRng,
+    crashed: Vec<bool>,
+    /// One frame per receiver may be "in flight late": it is delivered
+    /// after the next frame addressed to that receiver.
+    held: HashMap<u32, Bytes>,
+    /// Running fault accounting.
+    pub stats: ChannelStats,
+}
+
+impl LossyChannel {
+    /// Builds a channel from a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        LossyChannel {
+            plan,
+            rng,
+            crashed: Vec::new(),
+            held: HashMap::new(),
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// The plan this channel injects.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Marks `v` as crashed: it neither sends nor receives until revived.
+    pub fn crash(&mut self, v: NodeId) {
+        if self.crashed.len() <= v.index() {
+            self.crashed.resize(v.index() + 1, false);
+        }
+        self.crashed[v.index()] = true;
+    }
+
+    /// Brings `v` back (its protocol state is whatever it last held).
+    pub fn revive(&mut self, v: NodeId) {
+        if let Some(c) = self.crashed.get_mut(v.index()) {
+            *c = false;
+        }
+    }
+
+    /// Is `v` currently crashed?
+    pub fn is_crashed(&self, v: NodeId) -> bool {
+        self.crashed.get(v.index()).copied().unwrap_or(false)
+    }
+
+    /// Offers one transmission attempt of `frame` from `from` to `to`.
+    /// Returns the copies `to` actually receives for this attempt, in
+    /// arrival order: possibly none (loss/crash), one, two (duplication),
+    /// or a held-back earlier frame arriving late behind this one.
+    pub fn transmit(&mut self, from: NodeId, to: NodeId, frame: &Bytes) -> Vec<Bytes> {
+        self.stats.offered += 1;
+        if self.is_crashed(from) || self.is_crashed(to) {
+            self.stats.to_crashed += 1;
+            return Vec::new();
+        }
+        let loss = self.plan.loss(from, to);
+        if self.rng.random::<f64>() < loss {
+            self.stats.dropped += 1;
+            return Vec::new();
+        }
+        let mut arrivals = Vec::with_capacity(2);
+        if self.plan.reorder_prob > 0.0 && self.rng.random::<f64>() < self.plan.reorder_prob {
+            // Hold this frame; it arrives behind the next one. If a frame
+            // is already held for this receiver, it is released now (two
+            // holds in a row degenerate to a swap, not unbounded delay).
+            let late = self.held.insert(to.label(), frame.clone());
+            if let Some(old) = late {
+                self.stats.reordered += 1;
+                arrivals.push(old);
+            }
+            self.stats.delivered += arrivals.len();
+            return arrivals;
+        }
+        arrivals.push(frame.clone());
+        if self.plan.duplicate_prob > 0.0 && self.rng.random::<f64>() < self.plan.duplicate_prob {
+            self.stats.duplicated += 1;
+            arrivals.push(frame.clone());
+        }
+        if let Some(old) = self.held.remove(&to.label()) {
+            self.stats.reordered += 1;
+            arrivals.push(old);
+        }
+        self.stats.delivered += arrivals.len();
+        arrivals
+    }
+
+    /// Releases any frame still held back for `to` (end-of-epoch flush).
+    pub fn flush(&mut self, to: NodeId) -> Option<Bytes> {
+        let f = self.held.remove(&to.label());
+        if f.is_some() {
+            self.stats.reordered += 1;
+            self.stats.delivered += 1;
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::NetworkBuilder;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn frame(b: u8) -> Bytes {
+        Bytes::copy_from_slice(&[b; 4])
+    }
+
+    #[test]
+    fn lossless_delivers_everything() {
+        let mut ch = LossyChannel::new(FaultPlan::lossless());
+        for i in 0..100 {
+            assert_eq!(ch.transmit(n(0), n(1), &frame(i as u8)).len(), 1);
+        }
+        assert_eq!(ch.stats.offered, 100);
+        assert_eq!(ch.stats.delivered, 100);
+        assert_eq!(ch.stats.dropped, 0);
+    }
+
+    #[test]
+    fn uniform_loss_drops_about_the_right_fraction() {
+        let mut ch = LossyChannel::new(FaultPlan::uniform(0.3).with_seed(11));
+        let mut got = 0usize;
+        for i in 0..10_000 {
+            got += ch.transmit(n(0), n(1), &frame(i as u8)).len();
+        }
+        let rate = got as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.02, "delivery rate {rate}");
+    }
+
+    #[test]
+    fn per_link_loss_follows_network_prr() {
+        let mut b = NetworkBuilder::new(3);
+        b.add_edge(0, 1, 0.9).unwrap();
+        b.add_edge(1, 2, 0.4).unwrap();
+        let net = b.build().unwrap();
+        let plan = FaultPlan::from_network_prr(&net);
+        assert!((plan.loss(n(0), n(1)) - 0.1).abs() < 1e-12);
+        assert!((plan.loss(n(1), n(0)) - 0.1).abs() < 1e-12, "loss is symmetric");
+        assert!((plan.loss(n(1), n(2)) - 0.6).abs() < 1e-12);
+        // No physical link → no control channel either.
+        assert!((plan.loss(n(0), n(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ctrl_frames_lose_less_than_data_frames() {
+        let mut b = NetworkBuilder::new(2);
+        b.add_edge(0, 1, 0.7).unwrap();
+        let net = b.build().unwrap();
+        let radio = LinkModel::default();
+        let data = FaultPlan::from_network_prr(&net);
+        let ctrl = FaultPlan::from_network_ctrl(&net, &radio, 12);
+        assert!(ctrl.loss(n(0), n(1)) < data.loss(n(0), n(1)));
+    }
+
+    #[test]
+    fn duplication_yields_two_copies() {
+        let mut ch = LossyChannel::new(FaultPlan::lossless().with_duplication(1.0));
+        let got = ch.transmit(n(0), n(1), &frame(7));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], got[1]);
+        assert_eq!(ch.stats.duplicated, 1);
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_frames() {
+        // reorder_prob = 1 would hold every frame; alternate by seeding a
+        // plan where the first draw holds and later draws release.
+        let mut ch = LossyChannel::new(FaultPlan::lossless().with_reordering(1.0));
+        assert!(ch.transmit(n(0), n(1), &frame(1)).is_empty(), "first frame held");
+        // Second frame is held too, releasing the first (swap).
+        let got = ch.transmit(n(0), n(1), &frame(2));
+        assert_eq!(got, vec![frame(1)]);
+        // Flush drains the straggler.
+        assert_eq!(ch.flush(n(1)), Some(frame(2)));
+        assert_eq!(ch.flush(n(1)), None);
+        assert_eq!(ch.stats.reordered, 2);
+    }
+
+    #[test]
+    fn crashed_nodes_are_radio_silent() {
+        let mut ch = LossyChannel::new(FaultPlan::lossless());
+        ch.crash(n(1));
+        assert!(ch.transmit(n(0), n(1), &frame(1)).is_empty());
+        assert!(ch.transmit(n(1), n(0), &frame(2)).is_empty());
+        assert_eq!(ch.stats.to_crashed, 2);
+        ch.revive(n(1));
+        assert_eq!(ch.transmit(n(0), n(1), &frame(3)).len(), 1);
+    }
+
+    #[test]
+    fn seeded_channels_are_deterministic() {
+        let plan = FaultPlan::uniform(0.5).with_seed(42).with_duplication(0.2);
+        let mut a = LossyChannel::new(plan.clone());
+        let mut b = LossyChannel::new(plan);
+        for i in 0..200 {
+            assert_eq!(
+                a.transmit(n(0), n(1), &frame(i as u8)),
+                b.transmit(n(0), n(1), &frame(i as u8))
+            );
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -25,14 +25,28 @@
 //! experiment (random tree-edge degradations, distributed repair vs.
 //! centralized re-runs of IRA).
 
+//! The control plane is additionally hardened against the data plane's own
+//! fault model: [`faults`] injects per-link frame loss (driven by the
+//! network's PRRs), duplication, reordering, and node crashes; [`reliable`]
+//! adds per-hop ack/retry with exponential backoff; and
+//! [`network_sim::DistributedNetwork`] detects replica divergence via
+//! heartbeat digests and repairs it by anti-entropy resync instead of
+//! asserting.
+
 pub mod broadcast;
+pub mod faults;
 pub mod messages;
 pub mod network_sim;
+pub mod reliable;
 pub mod runner;
 pub mod update;
 
 pub use broadcast::broadcast_message_count;
+pub use faults::{ChannelStats, FaultPlan, LossModel, LossyChannel};
 pub use messages::{Message, WireError};
-pub use network_sim::{DistributedNetwork, SensorNode};
+pub use network_sim::{
+    serial_gt, DeliveryReport, DistributedNetwork, RepairReport, ResyncReport, SensorNode,
+};
+pub use reliable::{send_hop, HopReport, RetryPolicy};
 pub use runner::{run_link_dynamics, DynamicsConfig, DynamicsRecord};
-pub use update::{ProtocolState, UpdateOutcome};
+pub use update::{can_accept_child, ProtocolState, UpdateOutcome};

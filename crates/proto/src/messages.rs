@@ -10,6 +10,15 @@
 //!   a sequence number so replicas apply updates exactly once and in
 //!   order.
 //!
+//! Two more support the fault-tolerant control plane (the paper assumes a
+//! lossless channel; `faults`/`reliable` drop that assumption):
+//!
+//! * **Ack** — per-hop acknowledgement carrying the nonce (checksum) of the
+//!   acked frame, so the sender's stop-and-wait retry loop can terminate.
+//! * **Heartbeat** — a digest of the holder's coded-tree state, exchanged
+//!   hop-wise so replica divergence is *detected* (and repaired by an epoch
+//!   re-announce) instead of silently accumulating.
+//!
 //! Frames are tiny by design — the paper's radio payload is 34 bytes, and
 //! the ParentChange frame is 12 bytes, so a single packet carries it. Each
 //! frame ends with a 16-bit one's-complement checksum (IP-style) so
@@ -40,6 +49,20 @@ pub enum Message {
         child: NodeId,
         /// Its new parent.
         new_parent: NodeId,
+    },
+    /// Per-hop acknowledgement of one received frame.
+    Ack {
+        /// The acked frame's nonce (its checksum trailer).
+        nonce: u16,
+    },
+    /// State digest for anti-entropy divergence detection.
+    Heartbeat {
+        /// Epoch of the sender's installed tree.
+        epoch: u16,
+        /// Sender's next expected sequence number.
+        seq: u16,
+        /// FNV-1a digest of the sender's coded state.
+        digest: u64,
     },
 }
 
@@ -78,6 +101,8 @@ impl std::error::Error for WireError {}
 
 const TAG_ANNOUNCE: u8 = 0xA1;
 const TAG_PARENT_CHANGE: u8 = 0xA2;
+const TAG_ACK: u8 = 0xA3;
+const TAG_HEARTBEAT: u8 = 0xA4;
 
 /// IP-style 16-bit one's-complement checksum.
 fn checksum(data: &[u8]) -> u16 {
@@ -115,6 +140,16 @@ impl Message {
                 b.put_u16(*seq);
                 b.put_u16(child.label() as u16);
                 b.put_u16(new_parent.label() as u16);
+            }
+            Message::Ack { nonce } => {
+                b.put_u8(TAG_ACK);
+                b.put_u16(*nonce);
+            }
+            Message::Heartbeat { epoch, seq, digest } => {
+                b.put_u8(TAG_HEARTBEAT);
+                b.put_u16(*epoch);
+                b.put_u16(*seq);
+                b.put_u64(*digest);
             }
         }
         let cs = checksum(&b);
@@ -166,6 +201,21 @@ impl Message {
                 let new_parent = NodeId::from(u32::from(buf.get_u16()));
                 Ok(Message::ParentChange { epoch, seq, child, new_parent })
             }
+            TAG_ACK => {
+                if buf.remaining() != 2 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(Message::Ack { nonce: buf.get_u16() })
+            }
+            TAG_HEARTBEAT => {
+                if buf.remaining() != 12 {
+                    return Err(WireError::Truncated);
+                }
+                let epoch = buf.get_u16();
+                let seq = buf.get_u16();
+                let digest = buf.get_u64();
+                Ok(Message::Heartbeat { epoch, seq, digest })
+            }
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -175,7 +225,19 @@ impl Message {
         match self {
             Message::TreeAnnounce { code, .. } => 1 + 2 + 2 + 2 * code.len() + 2,
             Message::ParentChange { .. } => 1 + 2 + 2 + 2 + 2 + 2,
+            Message::Ack { .. } => 1 + 2 + 2,
+            Message::Heartbeat { .. } => 1 + 2 + 2 + 8 + 2,
         }
+    }
+
+    /// The frame's nonce: its checksum trailer, echoed back in [`Message::Ack`]
+    /// so a sender can match acks to the frame it is retrying.
+    pub fn frame_nonce(frame: &[u8]) -> Option<u16> {
+        if frame.len() < 2 {
+            return None;
+        }
+        let t = &frame[frame.len() - 2..];
+        Some(u16::from_be_bytes([t[0], t[1]]))
     }
 }
 
@@ -205,6 +267,51 @@ mod tests {
     }
 
     #[test]
+    fn ack_roundtrip() {
+        let m = Message::Ack { nonce: 0xBEEF };
+        let frame = m.encode();
+        assert_eq!(frame.len(), m.encoded_len());
+        assert_eq!(Message::decode(&frame).unwrap(), m);
+    }
+
+    #[test]
+    fn heartbeat_roundtrip() {
+        let m = Message::Heartbeat { epoch: 7, seq: 42, digest: 0xDEAD_BEEF_CAFE_F00D };
+        let frame = m.encode();
+        assert_eq!(frame.len(), m.encoded_len());
+        assert_eq!(Message::decode(&frame).unwrap(), m);
+    }
+
+    #[test]
+    fn ack_nonce_matches_frame_trailer() {
+        let data = Message::ParentChange { epoch: 3, seq: 9, child: n(4), new_parent: n(7) };
+        let frame = data.encode();
+        let nonce = Message::frame_nonce(&frame).unwrap();
+        // The nonce is the checksum trailer, so distinct frames get
+        // distinct nonces with overwhelming probability.
+        let other = Message::ParentChange { epoch: 3, seq: 10, child: n(4), new_parent: n(7) };
+        assert_ne!(nonce, Message::frame_nonce(&other.encode()).unwrap());
+        assert_eq!(Message::frame_nonce(&[]), None);
+    }
+
+    #[test]
+    fn control_frames_fit_one_radio_packet() {
+        // The paper's packets are 34 bytes; ack and heartbeat must fit.
+        assert!(Message::Ack { nonce: 0 }.encoded_len() <= 12);
+        assert!(Message::Heartbeat { epoch: 0, seq: 0, digest: 0 }.encoded_len() <= 34);
+    }
+
+    #[test]
+    fn truncated_ack_and_heartbeat_rejected() {
+        for m in [Message::Ack { nonce: 77 }, Message::Heartbeat { epoch: 1, seq: 2, digest: 3 }] {
+            let frame = m.encode();
+            for cut in 0..frame.len() {
+                assert!(Message::decode(&frame[..cut]).is_err(), "cut at {cut} decoded");
+            }
+        }
+    }
+
+    #[test]
     fn parent_change_fits_one_radio_packet() {
         // The paper's packets are 34 bytes; the incremental update must fit
         // with room for MAC headers.
@@ -220,10 +327,7 @@ mod tests {
             let mut corrupted = bytes.clone();
             corrupted[i] ^= 0x40;
             let res = Message::decode(&corrupted);
-            assert!(
-                res != Ok(m.clone()),
-                "flipping byte {i} went unnoticed"
-            );
+            assert!(res != Ok(m.clone()), "flipping byte {i} went unnoticed");
         }
         // Untouched frame still decodes.
         bytes.rotate_left(0);

@@ -59,19 +59,19 @@ pub fn run_link_dynamics(
 ) -> Vec<DynamicsRecord> {
     let mut net = initial_net.clone();
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
-    let mut state = ProtocolState::new(initial_tree, config.lc, model)
-        .expect("initial tree must be codable");
+    let mut state =
+        ProtocolState::new(initial_tree, config.lc, model).expect("initial tree must be codable");
     let mut central_tree = initial_tree.clone();
     let degrade_factor = 2f64.powf(-config.cost_step);
 
     let mut records = Vec::with_capacity(config.rounds + 1);
     let mut total_messages = 0usize;
     let record = |round: usize,
-                      net: &Network,
-                      dist: &AggregationTree,
-                      cent: &AggregationTree,
-                      messages: usize,
-                      total: usize| DynamicsRecord {
+                  net: &Network,
+                  dist: &AggregationTree,
+                  cent: &AggregationTree,
+                  messages: usize,
+                  total: usize| DynamicsRecord {
         round,
         distributed_cost: PaperCost::of_tree(net, dist).0,
         centralized_cost: PaperCost::of_tree(net, cent).0,
@@ -131,8 +131,7 @@ mod tests {
     fn costs_are_monotone_in_expectation_and_protocol_tracks() {
         let (net, tree, lc) = dfl_setup();
         let cfg = DynamicsConfig { rounds: 60, cost_step: 1e-3, seed: 4, lc };
-        let records =
-            run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |n| mst(n).ok());
+        let records = run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |n| mst(n).ok());
         assert_eq!(records.len(), 61);
         let first = &records[0];
         let last = &records[60];
@@ -158,8 +157,7 @@ mod tests {
     fn message_totals_accumulate() {
         let (net, tree, lc) = dfl_setup();
         let cfg = DynamicsConfig { rounds: 40, cost_step: 5e-2, seed: 5, lc };
-        let records =
-            run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |_| None);
+        let records = run_link_dynamics(&net, &tree, EnergyModel::PAPER, &cfg, |_| None);
         let mut running = 0usize;
         for r in &records {
             running += r.messages;

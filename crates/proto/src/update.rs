@@ -15,6 +15,21 @@ pub struct UpdateOutcome {
     pub steps: usize,
 }
 
+/// Can `v` accept one more child while keeping `L(v) ≥ LC`? Decided from
+/// the Prüfer child count (Eq. 23) and `v`'s own energy — exactly the
+/// information a deployed `v` has. Shared by [`ProtocolState`] and the
+/// crash-repair path in `network_sim`.
+pub fn can_accept_child(
+    coded: &CodedTree,
+    net: &Network,
+    v: NodeId,
+    lc: f64,
+    model: &EnergyModel,
+) -> bool {
+    let ch = coded.child_count(v) + 1;
+    lifetime::node_lifetime(net.initial_energy(v), model, ch) >= lc * (1.0 - 1e-12)
+}
+
 /// The network-wide protocol state: the coded tree every sensor replicates,
 /// plus the lifetime bound each node enforces before accepting children.
 #[derive(Clone, Debug)]
@@ -55,12 +70,10 @@ impl ProtocolState {
         &self.coded
     }
 
-    /// Can `v` accept one more child while keeping `L(v) ≥ LC`? Decided
-    /// from the Prüfer child count (Eq. 23) and `v`'s own energy — exactly
-    /// the information a deployed `v` has.
+    /// Can `v` accept one more child while keeping `L(v) ≥ LC`? See the
+    /// free function [`can_accept_child`].
     pub fn can_accept_child(&self, net: &Network, v: NodeId) -> bool {
-        let ch = self.coded.child_count(v) + 1;
-        lifetime::node_lifetime(net.initial_energy(v), &self.model, ch) >= self.lc * (1.0 - 1e-12)
+        can_accept_child(&self.coded, net, v, self.lc, &self.model)
     }
 
     /// §VI-B.1 — a tree link `(child, parent(child))` degraded. The child
@@ -72,10 +85,8 @@ impl ProtocolState {
         let Some(current_parent) = self.coded.parent(child) else {
             return out; // the sink has no parent link
         };
-        let current_q = net
-            .find_edge(child, current_parent)
-            .map(|e| net.link(e).prr().value())
-            .unwrap_or(0.0);
+        let current_q =
+            net.find_edge(child, current_parent).map(|e| net.link(e).prr().value()).unwrap_or(0.0);
 
         let component = self.coded.component_of(child);
         let mut best: Option<(f64, NodeId)> = None;
@@ -139,11 +150,8 @@ impl ProtocolState {
                     .unwrap_or(f64::INFINITY);
                 // The hysteresis margin applies in PRR space; translate it
                 // conservatively into cost space via the smaller PRR.
-                let margin_cost = if self.switch_margin > 0.0 {
-                    -((1.0 - self.switch_margin) as f64).ln()
-                } else {
-                    0.0
-                };
+                let margin_cost =
+                    if self.switch_margin > 0.0 { -(1.0 - self.switch_margin).ln() } else { 0.0 };
                 if new_cost < old_cost - margin_cost - 1e-12
                     && self.can_accept_child(net, parent)
                     && !tree.in_subtree(parent, child)
@@ -301,12 +309,9 @@ mod tests {
         b.add_edge(2, 3, 0.99).unwrap();
         b.add_edge(0, 3, 0.70).unwrap();
         let mut net = b.build().unwrap();
-        let tree = AggregationTree::from_edges(
-            n(0),
-            4,
-            &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))],
-        )
-        .unwrap();
+        let tree =
+            AggregationTree::from_edges(n(0), 4, &[(n(0), n(1)), (n(1), n(2)), (n(2), n(3))])
+                .unwrap();
         let mut state = ProtocolState::new(&tree, 1.0, EnergyModel::PAPER).unwrap();
         // (0, 3) improves to 0.999: node 3 should switch from 2 to 0…
         let e = net.find_edge(n(0), n(3)).unwrap();

@@ -120,10 +120,8 @@ impl PruferCode {
             adj[p.index()].push(c);
         }
         let mut removed = vec![false; n];
-        let mut leaves: BinaryHeap<NodeId> = (0..n)
-            .map(NodeId::new)
-            .filter(|v| degree[v.index()] == 1)
-            .collect();
+        let mut leaves: BinaryHeap<NodeId> =
+            (0..n).map(NodeId::new).filter(|v| degree[v.index()] == 1).collect();
         let mut code = Vec::with_capacity(n - 2);
         for _ in 0..n.saturating_sub(2) {
             let u = leaves.pop().expect("a tree with ≥3 remaining nodes has ≥2 leaves");
@@ -188,13 +186,11 @@ impl PruferCode {
         }
         let mut used = vec![false; n];
         used[0] = true; // the sink is placed implicitly as d_n
-        let mut available: BinaryHeap<NodeId> = (1..n)
-            .map(NodeId::new)
-            .filter(|v| remaining[v.index()] == 0)
-            .collect();
+        let mut available: BinaryHeap<NodeId> =
+            (1..n).map(NodeId::new).filter(|v| remaining[v.index()] == 0).collect();
         let take_largest = |available: &mut BinaryHeap<NodeId>,
-                                used: &mut [bool],
-                                remaining: &[usize]|
+                            used: &mut [bool],
+                            remaining: &[usize]|
          -> Option<NodeId> {
             while let Some(u) = available.pop() {
                 if !used[u.index()] && remaining[u.index()] == 0 {
@@ -226,8 +222,9 @@ impl PruferCode {
         parents[last.index()] = Some(NodeId::SINK);
         sequence.push(NodeId::SINK);
 
-        let tree = AggregationTree::from_parents(NodeId::SINK, parents)
-            .map_err(|e| PruferError::InvalidSplice(format!("decoded edges are not a tree: {e}")))?;
+        let tree = AggregationTree::from_parents(NodeId::SINK, parents).map_err(|e| {
+            PruferError::InvalidSplice(format!("decoded edges are not a tree: {e}"))
+        })?;
         Ok(Decoded { sequence, tree })
     }
 }
@@ -261,9 +258,7 @@ impl CodedTree {
         let d = decoded.sequence;
         debug_assert_eq!(d.len(), n);
         // The decoded tree must equal the input tree edge-for-edge.
-        debug_assert!(tree
-            .edges()
-            .all(|(c, par)| decoded.tree.parent(c) == Some(par)));
+        debug_assert!(tree.edges().all(|(c, par)| decoded.tree.parent(c) == Some(par)));
         Ok(CodedTree { p, d })
     }
 
@@ -287,10 +282,7 @@ impl CodedTree {
         if v == NodeId::SINK {
             return None;
         }
-        self.d
-            .iter()
-            .position(|&x| x == v)
-            .map(|i| self.p[i])
+        self.d.iter().position(|&x| x == v).map(|i| self.p[i])
     }
 
     /// `Ch_T(v)` from the coded state.
@@ -333,11 +325,7 @@ impl CodedTree {
                 break;
             }
         }
-        self.d
-            .iter()
-            .copied()
-            .filter(|w| in_comp[w.index()])
-            .collect()
+        self.d.iter().copied().filter(|w| in_comp[w.index()]).collect()
     }
 
     /// The paper's parent-change splice (§VI-B.1, Fig. 5b): `child` moves
@@ -401,10 +389,7 @@ impl CodedTree {
             new_d.swap(swap_pos, n - 2);
         }
 
-        let new_p: Vec<NodeId> = new_d[..n - 1]
-            .iter()
-            .map(|&c| parent_of[c.index()])
-            .collect();
+        let new_p: Vec<NodeId> = new_d[..n - 1].iter().map(|&c| parent_of[c.index()]).collect();
         self.d = new_d;
         self.p = new_p;
         Ok(())
@@ -443,11 +428,9 @@ mod tests {
 
     #[test]
     fn fig5_decoding_matches_paper() {
-        let code = PruferCode::from_labels(
-            9,
-            [0, 2, 8, 4, 4, 0, 8].iter().map(|&i| n(i)).collect(),
-        )
-        .unwrap();
+        let code =
+            PruferCode::from_labels(9, [0, 2, 8, 4, 4, 0, 8].iter().map(|&i| n(i)).collect())
+                .unwrap();
         let decoded = code.decode().unwrap();
         let want: Vec<NodeId> = [7, 6, 5, 3, 2, 4, 1, 8, 0].iter().map(|&i| n(i)).collect();
         assert_eq!(decoded.sequence, want);
@@ -463,11 +446,7 @@ mod tests {
         let tree = fig5_tree();
         let code = PruferCode::encode(&tree).unwrap();
         for i in 0..9 {
-            assert_eq!(
-                code.child_count(n(i)),
-                tree.num_children(n(i)),
-                "child count of {i}"
-            );
+            assert_eq!(code.child_count(n(i)), tree.num_children(n(i)), "child count of {i}");
         }
         // The paper's observation: 0, 4, 8 appear twice; 2 once.
         assert_eq!(code.occurrences(n(0)), 2);
@@ -567,10 +546,7 @@ mod tests {
         assert!(ct.change_parent(n(4), n(6)).is_err()); // 6 is in 4's subtree
         assert!(ct.change_parent(n(0), n(4)).is_err()); // sink
         assert!(ct.change_parent(n(4), n(4)).is_err()); // self
-        assert!(matches!(
-            ct.change_parent(n(4), n(99)),
-            Err(PruferError::LabelOutOfRange { .. })
-        ));
+        assert!(matches!(ct.change_parent(n(4), n(99)), Err(PruferError::LabelOutOfRange { .. })));
     }
 
     #[test]
@@ -612,8 +588,7 @@ mod tests {
         /// at 0 (and exercises varied shapes).
         fn arb_tree() -> impl Strategy<Value = AggregationTree> {
             (2usize..40).prop_flat_map(|nn| {
-                let parents: Vec<BoxedStrategy<usize>> =
-                    (1..nn).map(|i| (0..i).boxed()).collect();
+                let parents: Vec<BoxedStrategy<usize>> = (1..nn).map(|i| (0..i).boxed()).collect();
                 parents.prop_map(move |ps| {
                     let mut parents: Vec<Option<NodeId>> = vec![None];
                     parents.extend(ps.into_iter().map(|p| Some(NodeId::new(p))));

@@ -25,11 +25,7 @@ mod tests {
         for q in [0.1, 0.5, 0.9, 0.99] {
             let truth = Prr::new(q).unwrap();
             let est = estimate_prr(truth, 100_000, &mut rng);
-            assert!(
-                (est.value() - q).abs() < 0.01,
-                "estimate {} for truth {q}",
-                est.value()
-            );
+            assert!((est.value() - q).abs() < 0.01, "estimate {} for truth {q}", est.value());
         }
     }
 

@@ -32,12 +32,7 @@ pub struct GilbertElliott {
 
 impl Default for GilbertElliott {
     fn default() -> Self {
-        GilbertElliott {
-            good_prr: 0.99,
-            bad_prr: 0.30,
-            p_good_to_bad: 0.02,
-            p_bad_to_good: 0.25,
-        }
+        GilbertElliott { good_prr: 0.99, bad_prr: 0.30, p_good_to_bad: 0.02, p_bad_to_good: 0.25 }
     }
 }
 

@@ -58,6 +58,17 @@ impl LinkModel {
         let snr = tx.dbm - self.pathloss.sample_db(d, rng) - self.noise_floor_dbm;
         self.prr_from_snr_db(snr)
     }
+
+    /// Rescales a measured data-frame PRR to a control frame of `bytes`
+    /// bytes. PRR is per-frame; under the per-bit error model
+    /// `PRR = (1 − p_b)^(8·f)`, a frame of a different length sees the same
+    /// `p_b`, so `PRR_ctrl = PRR_data^(bytes / frame_bytes)`. The protocol's
+    /// 5–15-byte ack/update frames therefore cross a link *more* reliably
+    /// than the 34-byte data packets its PRR was estimated with.
+    pub fn control_frame_prr(&self, data_prr: Prr, bytes: usize) -> Prr {
+        let exponent = bytes as f64 / self.frame_bytes as f64;
+        Prr::clamped(data_prr.value().powf(exponent)).expect("finite arithmetic")
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +144,21 @@ mod tests {
             let p15 = m.mean_prr(d, lvl(15)).value();
             let p19 = m.mean_prr(d, lvl(19)).value();
             assert!(p11 <= p15 + 1e-12 && p15 <= p19 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn control_frames_never_less_reliable_than_data() {
+        let m = LinkModel::default();
+        for q in [0.05, 0.3, 0.6, 0.9, 0.99] {
+            let data = Prr::new(q).unwrap();
+            // The 12-byte ParentChange and 5-byte Ack both beat the 34-byte
+            // data frame; a hypothetical 68-byte frame does worse.
+            assert!(m.control_frame_prr(data, 12).value() >= q);
+            assert!(m.control_frame_prr(data, 5).value() >= m.control_frame_prr(data, 12).value());
+            assert!(m.control_frame_prr(data, 68).value() <= q);
+            // Same length is a fixed point.
+            assert!((m.control_frame_prr(data, 34).value() - q).abs() < 1e-12);
         }
     }
 

@@ -126,9 +126,7 @@ mod tests {
             b.add_edge(i, i + 1, q).unwrap();
         }
         let net = b.build().unwrap();
-        let edges: Vec<_> = (0..k - 1)
-            .map(|i| (NodeId::new(i), NodeId::new(i + 1)))
-            .collect();
+        let edges: Vec<_> = (0..k - 1).map(|i| (NodeId::new(i), NodeId::new(i + 1))).collect();
         let tree = AggregationTree::from_edges(NodeId::SINK, k, &edges).unwrap();
         (net, tree)
     }
@@ -140,10 +138,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ledger = retransmission_ledger(&net, &tree, &model, 2000, 10_000, &mut rng);
         let frac = ledger.retx_fraction();
-        assert!(
-            (frac - 0.9).abs() < 0.01,
-            "retransmission fraction {frac} (paper: 90%)"
-        );
+        assert!((frac - 0.9).abs() < 0.01, "retransmission fraction {frac} (paper: 90%)");
     }
 
     #[test]

@@ -11,10 +11,7 @@ use wsn_model::{AggregationTree, NodeId};
 
 /// Depth of the tree: slots per aggregation round under ideal scheduling.
 pub fn round_latency_slots(tree: &AggregationTree) -> usize {
-    (0..tree.n())
-        .map(|i| tree.depth(NodeId::new(i)))
-        .max()
-        .unwrap_or(0)
+    (0..tree.n()).map(|i| tree.depth(NodeId::new(i))).max().unwrap_or(0)
 }
 
 /// Average over nodes of their hop distance to the sink — the mean

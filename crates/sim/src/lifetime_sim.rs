@@ -25,9 +25,8 @@ pub fn simulate_lifetime(
     let n = net.n();
     // Eq. 1 charges every node Tx plus Rx per child each round (the sink's
     // Tx models its upstream report, matching the paper's accounting).
-    let per_round: Vec<f64> = (0..n)
-        .map(|i| model.round_energy(tree.num_children(NodeId::new(i))))
-        .collect();
+    let per_round: Vec<f64> =
+        (0..n).map(|i| model.round_energy(tree.num_children(NodeId::new(i)))).collect();
     let mut energy: Vec<f64> = (0..n).map(|i| net.initial_energy(NodeId::new(i))).collect();
     let mut rounds = 0u64;
     loop {
@@ -154,7 +153,11 @@ mod tests {
         let tree = AggregationTree::from_edges(
             NodeId::SINK,
             4,
-            &[(NodeId::new(0), NodeId::new(1)), (NodeId::new(1), NodeId::new(2)), (NodeId::new(1), NodeId::new(3))],
+            &[
+                (NodeId::new(0), NodeId::new(1)),
+                (NodeId::new(1), NodeId::new(2)),
+                (NodeId::new(1), NodeId::new(3)),
+            ],
         )
         .unwrap();
         let det = simulate_lifetime(&net, &tree, &model, 1_000_000);

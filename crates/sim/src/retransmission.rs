@@ -15,6 +15,30 @@ pub fn expected_packets_per_round(net: &Network, tree: &AggregationTree) -> f64 
         .sum()
 }
 
+/// The core geometric-retry loop: repeats `attempt` until it reports
+/// success or `cap` tries have been spent. Returns `(attempts, succeeded)`
+/// with `attempts ≥ 1` whenever `cap ≥ 1`.
+///
+/// This is the machinery shared by the data plane (retransmit-until-success,
+/// Fig. 1) and the control plane's reliable-delivery layer in `wsn-proto`
+/// (per-hop ack/retry over a lossy channel).
+pub fn retry_until(cap: usize, mut attempt: impl FnMut() -> bool) -> (usize, bool) {
+    let mut attempts = 0usize;
+    while attempts < cap {
+        attempts += 1;
+        if attempt() {
+            return (attempts, true);
+        }
+    }
+    (attempts, false)
+}
+
+/// Geometric number of attempts until one success with probability `q`,
+/// capped at `cap` (bounds pathological links with 0 PRR).
+pub fn geometric_attempts<R: Rng + ?Sized>(q: f64, cap: usize, rng: &mut R) -> usize {
+    retry_until(cap, || rng.random::<f64>() < q).0
+}
+
 /// Simulates one round: per hop, geometric number of attempts until the
 /// packet is received. `attempt_cap` bounds pathological links (0 PRR).
 pub fn simulate_packets_per_round<R: Rng + ?Sized>(
@@ -23,20 +47,13 @@ pub fn simulate_packets_per_round<R: Rng + ?Sized>(
     attempt_cap: usize,
     rng: &mut R,
 ) -> usize {
-    let mut total = 0usize;
-    for (c, p) in tree.edges() {
-        let e = net.find_edge(c, p).expect("tree edge must exist");
-        let q = net.link(e).prr().value();
-        let mut attempts = 0usize;
-        loop {
-            attempts += 1;
-            if attempts >= attempt_cap || rng.random::<f64>() < q {
-                break;
-            }
-        }
-        total += attempts;
-    }
-    total
+    tree.edges()
+        .map(|(c, p)| {
+            let e = net.find_edge(c, p).expect("tree edge must exist");
+            let q = net.link(e).prr().value();
+            geometric_attempts(q, attempt_cap, rng)
+        })
+        .sum()
 }
 
 /// Average simulated packets per round over `rounds` rounds.
@@ -47,9 +64,8 @@ pub fn average_packets_per_round<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     assert!(rounds > 0);
-    let total: usize = (0..rounds)
-        .map(|_| simulate_packets_per_round(net, tree, 10_000, rng))
-        .sum();
+    let total: usize =
+        (0..rounds).map(|_| simulate_packets_per_round(net, tree, 10_000, rng)).sum();
     total as f64 / rounds as f64
 }
 
@@ -66,9 +82,7 @@ mod tests {
             b.add_edge(i, i + 1, q).unwrap();
         }
         let net = b.build().unwrap();
-        let edges: Vec<_> = (0..n - 1)
-            .map(|i| (NodeId::new(i), NodeId::new(i + 1)))
-            .collect();
+        let edges: Vec<_> = (0..n - 1).map(|i| (NodeId::new(i), NodeId::new(i + 1))).collect();
         let tree = AggregationTree::from_edges(NodeId::SINK, n, &edges).unwrap();
         (net, tree)
     }
@@ -88,10 +102,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let avg = average_packets_per_round(&net, &tree, 20_000, &mut rng);
         let expect = expected_packets_per_round(&net, &tree);
-        assert!(
-            (avg - expect).abs() / expect < 0.02,
-            "simulated {avg} vs expected {expect}"
-        );
+        assert!((avg - expect).abs() / expect < 0.02, "simulated {avg} vs expected {expect}");
     }
 
     #[test]

@@ -30,9 +30,7 @@ pub fn simulate_round<R: Rng + ?Sized>(
     let mut receptions = 0usize;
     let mut transmissions = 0usize;
     for (child, parent) in tree.edges() {
-        let e = net
-            .find_edge(child, parent)
-            .expect("tree edge must exist in the network");
+        let e = net.find_edge(child, parent).expect("tree edge must exist in the network");
         transmissions += 1;
         let ok = rng.random::<f64>() < net.link(e).prr().value();
         edge_ok[child.index()] = ok;
@@ -71,9 +69,7 @@ pub fn estimate_reliability<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> f64 {
     assert!(rounds > 0);
-    let ok = (0..rounds)
-        .filter(|_| simulate_round(net, tree, rng).success)
-        .count();
+    let ok = (0..rounds).filter(|_| simulate_round(net, tree, rng).success).count();
     ok as f64 / rounds as f64
 }
 
@@ -130,10 +126,7 @@ mod tests {
         let q = reliability::tree_reliability(&net, &tree);
         let mut rng = StdRng::seed_from_u64(3);
         let est = estimate_reliability(&net, &tree, 60_000, &mut rng);
-        assert!(
-            (est - q).abs() < 0.01,
-            "estimated {est} vs analytic {q}"
-        );
+        assert!((est - q).abs() < 0.01, "estimated {est} vs analytic {q}");
     }
 
     #[test]
@@ -143,8 +136,7 @@ mod tests {
         b.add_edge(0, 1, 1.0).unwrap();
         b.add_edge(0, 2, 0.0).unwrap();
         let net = b.build().unwrap();
-        let tree =
-            AggregationTree::from_edges(n(0), 3, &[(n(0), n(1)), (n(0), n(2))]).unwrap();
+        let tree = AggregationTree::from_edges(n(0), 3, &[(n(0), n(1)), (n(0), n(2))]).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let o = simulate_round(&net, &tree, &mut rng);
         assert!(!o.success);

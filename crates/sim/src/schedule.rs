@@ -62,10 +62,8 @@ fn conflicts(net: &Network, tree: &AggregationTree, a: NodeId, b: NodeId) -> boo
 /// that slot.
 pub fn greedy_schedule(net: &Network, tree: &AggregationTree) -> TdmaSchedule {
     let n = tree.n();
-    let mut order: Vec<NodeId> = (0..n)
-        .map(NodeId::new)
-        .filter(|&v| tree.parent(v).is_some())
-        .collect();
+    let mut order: Vec<NodeId> =
+        (0..n).map(NodeId::new).filter(|&v| tree.parent(v).is_some()).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(tree.depth(v)));
 
     let mut slot_of: Vec<Option<usize>> = vec![None; n];
@@ -184,11 +182,7 @@ mod tests {
         let tree = AggregationTree::from_edges(n(0), 11, &edges).unwrap();
         let sched = greedy_schedule(&net, &tree);
         assert!(validate_schedule(&net, &tree, &sched));
-        assert!(
-            sched.length() < 10,
-            "two arms must interleave: {} slots",
-            sched.length()
-        );
+        assert!(sched.length() < 10, "two arms must interleave: {} slots", sched.length());
         assert!(sched.length() >= 5, "depth is a hard floor");
     }
 

@@ -66,7 +66,11 @@ impl DflConfig {
 
 /// Builds the DFL network: geometry → radio model → 1000-round beacon
 /// estimates, deterministically from `seed`.
-pub fn dfl_network(config: &DflConfig, model: &LinkModel, seed: u64) -> Result<Network, ModelError> {
+pub fn dfl_network(
+    config: &DflConfig,
+    model: &LinkModel,
+    seed: u64,
+) -> Result<Network, ModelError> {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let pos = config.positions();
     let n = pos.len();
@@ -143,9 +147,7 @@ mod tests {
         // Different seed ⇒ different trace.
         let c = dfl_network(&cfg, &model, 43).unwrap();
         let same = a.num_edges() == c.num_edges()
-            && a.edges()
-                .zip(c.edges())
-                .all(|((_, x), (_, y))| x.prr().value() == y.prr().value());
+            && a.edges().zip(c.edges()).all(|((_, x), (_, y))| x.prr().value() == y.prr().value());
         assert!(!same);
     }
 

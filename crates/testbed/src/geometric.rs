@@ -69,10 +69,8 @@ pub fn geometric_deployment(
         // Sink at the center; sensors uniform over the square.
         let mut positions = vec![(config.side_m / 2.0, config.side_m / 2.0)];
         for _ in 1..config.n {
-            positions.push((
-                rng.random_range(0.0..config.side_m),
-                rng.random_range(0.0..config.side_m),
-            ));
+            positions
+                .push((rng.random_range(0.0..config.side_m), rng.random_range(0.0..config.side_m)));
         }
         let mut b = NetworkBuilder::new(config.n);
         b.set_uniform_energy(config.initial_energy_j)?;
@@ -131,22 +129,14 @@ mod tests {
             .network
             .links()
             .iter()
-            .map(|l| {
-                (
-                    deployment_distance(&dep, l.u(), l.v()),
-                    l.prr().value(),
-                )
-            })
+            .map(|l| (deployment_distance(&dep, l.u(), l.v()), l.prr().value()))
             .collect();
         pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let q = pairs.len() / 4;
         assert!(q >= 2, "need enough links for quartiles");
         let near: f64 = pairs[..q].iter().map(|p| p.1).sum::<f64>() / q as f64;
         let far: f64 = pairs[pairs.len() - q..].iter().map(|p| p.1).sum::<f64>() / q as f64;
-        assert!(
-            near > far + 0.05,
-            "near links ({near:.3}) should beat far links ({far:.3})"
-        );
+        assert!(near > far + 0.05, "near links ({near:.3}) should beat far links ({far:.3})");
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod random;
 pub mod trace;
 
 pub use dfl::{dfl_network, DflConfig};
-pub use geometric::{deployment_distance, geometric_deployment, GeometricConfig, GeometricDeployment};
+pub use geometric::{
+    deployment_distance, geometric_deployment, GeometricConfig, GeometricDeployment,
+};
 pub use random::{random_graph, EnergyDistribution, RandomGraphConfig};
 pub use trace::{read_trace, write_trace};

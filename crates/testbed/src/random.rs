@@ -52,10 +52,7 @@ pub fn random_graph<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Network, ModelError> {
     assert!(config.n >= 2, "need at least two nodes");
-    assert!(
-        (0.0..=1.0).contains(&config.link_probability),
-        "link probability must be in [0, 1]"
-    );
+    assert!((0.0..=1.0).contains(&config.link_probability), "link probability must be in [0, 1]");
     let (qlo, qhi) = config.prr_range;
     assert!(0.0 <= qlo && qlo <= qhi && qhi <= 1.0, "invalid PRR range");
 
@@ -68,11 +65,8 @@ pub fn random_graph<R: Rng + ?Sized>(
             }
             EnergyDistribution::Heterogeneous { lo, hi } => {
                 for v in 0..config.n {
-                    let e = if (hi - lo).abs() < f64::EPSILON {
-                        lo
-                    } else {
-                        rng.random_range(lo..hi)
-                    };
+                    let e =
+                        if (hi - lo).abs() < f64::EPSILON { lo } else { rng.random_range(lo..hi) };
                     b.set_energy(NodeId::new(v), e)?;
                 }
             }
@@ -144,11 +138,8 @@ mod tests {
     #[test]
     fn sparse_graphs_retry_until_connected() {
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = RandomGraphConfig {
-            n: 10,
-            link_probability: 0.25,
-            ..RandomGraphConfig::default()
-        };
+        let cfg =
+            RandomGraphConfig { n: 10, link_probability: 0.25, ..RandomGraphConfig::default() };
         for _ in 0..5 {
             let net = random_graph(&cfg, &mut rng).unwrap();
             assert_eq!(net.n(), 10); // builder guarantees connectivity
@@ -164,10 +155,7 @@ mod tests {
             max_attempts: 5,
             ..RandomGraphConfig::default()
         };
-        assert!(matches!(
-            random_graph(&cfg, &mut rng),
-            Err(ModelError::Disconnected { .. })
-        ));
+        assert!(matches!(random_graph(&cfg, &mut rng), Err(ModelError::Disconnected { .. })));
     }
 
     #[test]

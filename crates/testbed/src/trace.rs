@@ -133,10 +133,7 @@ mod tests {
             assert!((a.prr().value() - b.prr().value()).abs() < 1e-12);
         }
         for v in 0..net.n() {
-            assert_eq!(
-                net.initial_energy(NodeId::new(v)),
-                back.initial_energy(NodeId::new(v))
-            );
+            assert_eq!(net.initial_energy(NodeId::new(v)), back.initial_energy(NodeId::new(v)));
         }
     }
 

@@ -37,7 +37,10 @@ fn main() {
     let ira = solve_ira(&inst, &IraConfig::default()).expect("feasible at L_AAML");
 
     let mut rng = StdRng::seed_from_u64(1);
-    println!("\n{:<6} {:>8} {:>12} {:>12} {:>14}", "tree", "cost", "Q (analytic)", "Q (50k sims)", "lifetime");
+    println!(
+        "\n{:<6} {:>8} {:>12} {:>12} {:>14}",
+        "tree", "cost", "Q (analytic)", "Q (50k sims)", "lifetime"
+    );
     for (label, tree) in [("AAML", &aaml.tree), ("MST", &mst_tree), ("IRA", &ira.tree)] {
         let cost = PaperCost::of_tree(&net, tree).0;
         let q = reliability::tree_reliability(&net, tree);

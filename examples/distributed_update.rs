@@ -53,10 +53,7 @@ fn main() {
 
     let code = PruferCode::encode(&tree).unwrap();
     println!("initial Prüfer code P = {:?}", code.labels());
-    println!(
-        "initial tree cost     = {}",
-        PaperCost::of_tree(&net, &tree)
-    );
+    println!("initial tree cost     = {}", PaperCost::of_tree(&net, &tree));
 
     // Every sensor replicates the same coded state.
     let lc = 1.0e6;

@@ -1,0 +1,129 @@
+//! Fault injection against the distributed update protocol: control frames
+//! are dropped, duplicated and reordered by a lossy channel derived from the
+//! network's own PRRs, a router crashes mid-epoch, and the control plane
+//! heals itself — per-hop ack/retry carries the floods, the sink re-homes
+//! the crash orphans under the lifetime bound, and heartbeat-digest
+//! anti-entropy repairs whatever divergence slipped through.
+//!
+//! ```text
+//! cargo run --example fault_injection
+//! ```
+
+use wsn_model::{EnergyModel, NetworkBuilder, NodeId};
+use wsn_proto::{DistributedNetwork, FaultPlan, LossyChannel, RetryPolicy};
+
+fn n(i: usize) -> NodeId {
+    NodeId::new(i)
+}
+
+fn main() {
+    // The Fig. 5 nine-node tree, embedded in a network with spare links so
+    // crash orphans have somewhere to go.
+    let mut b = NetworkBuilder::new(9);
+    for (u, v, q) in [
+        (0usize, 7usize, 0.99),
+        (0, 4, 0.99),
+        (0, 8, 0.99),
+        (4, 3, 0.98),
+        (4, 2, 0.98),
+        (2, 6, 0.98),
+        (8, 5, 0.98),
+        (8, 1, 0.98),
+        // spares
+        (7, 4, 0.95),
+        (7, 3, 0.93),
+        (0, 2, 0.92),
+        (5, 6, 0.90),
+        (1, 3, 0.90),
+    ] {
+        b.add_edge(u, v, q).unwrap();
+    }
+    let net = b.build().unwrap();
+
+    let tree = wsn_model::AggregationTree::from_edges(
+        n(0),
+        9,
+        &[
+            (n(0), n(7)),
+            (n(0), n(4)),
+            (n(0), n(8)),
+            (n(4), n(3)),
+            (n(4), n(2)),
+            (n(2), n(6)),
+            (n(8), n(5)),
+            (n(8), n(1)),
+        ],
+    )
+    .unwrap();
+
+    // The channel's per-link loss comes from the network's PRRs, degraded
+    // hard (raised to the 8th power) so retries actually happen, plus
+    // duplication and reordering.
+    let mut plan = FaultPlan::from_network_prr(&net).with_seed(2015);
+    if let wsn_proto::LossModel::PerLink { map, .. } = &mut plan.loss {
+        for loss in map.values_mut() {
+            let q = 1.0 - *loss;
+            *loss = 1.0 - q.powi(8);
+        }
+    }
+    let plan = plan.with_duplication(0.05).with_reordering(0.05);
+    println!("fault plan: link (0,4) loss = {:.3}", plan.loss(n(0), n(4)));
+
+    let mut ch = LossyChannel::new(plan);
+    let policy = RetryPolicy::default();
+    let mut wire = DistributedNetwork::new(9);
+
+    // Phase 1: announce the tree over the lossy channel.
+    let d = wire.announce_lossy(&tree, &mut ch, &policy).unwrap();
+    println!(
+        "announce: {} data frames + {} acks over {} slots, {} failed hop(s), unreachable {:?}",
+        d.frames, d.acks, d.slots, d.failed_hops, d.unreachable
+    );
+    let r = wire.resync(&mut ch, &policy, 50);
+    println!(
+        "resync:   converged={} after {} round(s), {} re-announce(s)",
+        r.converged, r.rounds, r.reannounces
+    );
+
+    // Phase 2: a parent change rides the same lossy channel.
+    let d = wire.parent_change_lossy(n(4), n(7), &mut ch, &policy).unwrap();
+    println!(
+        "parent-change 4->7: {} frames + {} acks, {} failed hop(s)",
+        d.frames, d.acks, d.failed_hops
+    );
+    let r = wire.resync(&mut ch, &policy, 50);
+    println!("resync:   converged={} ({} re-announces)", r.converged, r.reannounces);
+
+    // Phase 3: node 8 (a router with two children) crashes mid-epoch.
+    println!("\n*** node 8 crashes ***");
+    ch.crash(n(8));
+    let model = EnergyModel::PAPER;
+    let lc = 1.0; // a loose lifetime bound: any neighbour may adopt
+    let rep = wire.repair_crashed(&net, lc, &model, n(8), &mut ch, &policy).unwrap();
+    for (orphan, parent) in &rep.rehomed {
+        println!("orphan {} re-homed under {}", orphan.index(), parent.index());
+    }
+    if !rep.stranded.is_empty() {
+        println!("stranded: {:?}", rep.stranded);
+    }
+    let r = wire.resync(&mut ch, &policy, 50);
+    println!(
+        "resync:   converged={} after {} round(s), {} re-announce(s)",
+        r.converged, r.rounds, r.reannounces
+    );
+
+    let final_tree = wire.tree();
+    println!("\nfinal tree (live replicas byte-identical: {}):", wire.is_consistent_alive(&ch));
+    for v in 1..9 {
+        if ch.is_crashed(n(v)) {
+            println!("  node {v}: CRASHED");
+        } else {
+            println!("  node {v} -> parent {}", final_tree.parent(n(v)).unwrap().index());
+        }
+    }
+    let s = &ch.stats;
+    println!(
+        "\nchannel: offered {} delivered {} dropped {} duplicated {} reordered {} to-crashed {}",
+        s.offered, s.delivered, s.dropped, s.duplicated, s.reordered, s.to_crashed
+    );
+}

@@ -12,8 +12,8 @@ use wsn_testbed::{dfl_network, DflConfig};
 
 fn main() {
     let seed = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2015);
-    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), seed)
-        .expect("DFL is connected");
+    let net =
+        dfl_network(&DflConfig::default(), &LinkModel::default(), seed).expect("DFL is connected");
     let model = EnergyModel::PAPER;
 
     let bounds = lifetime_bounds(&net, &model).expect("LP feasibility check");

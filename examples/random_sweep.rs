@@ -11,10 +11,7 @@ use wsn_model::PaperCost;
 use wsn_testbed::EnergyDistribution;
 
 fn main() {
-    let instances: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let instances: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
 
     for (label, energy) in [
         ("equal energy (3000 J)", EnergyDistribution::Uniform(3000.0)),
@@ -23,11 +20,7 @@ fn main() {
             EnergyDistribution::Heterogeneous { lo: 1500.0, hi: 5000.0 },
         ),
     ] {
-        let cfg = fig8::Config {
-            instances,
-            energy,
-            ..fig8::Config::default()
-        };
+        let cfg = fig8::Config { instances, energy, ..fig8::Config::default() };
         let rows = fig8::run(&cfg);
         println!("=== {instances} random G(16, 0.7) instances, {label} ===");
         println!("{:>4} {:>8} {:>8} {:>8} {:>10}", "i", "AAML", "IRA", "MST", "IRA rel.");
@@ -41,9 +34,8 @@ fn main() {
                 PaperCost(r.ira_cost).reliability(),
             );
         }
-        let mean = |sel: fn(&fig8::Row) -> f64| {
-            rows.iter().map(sel).sum::<f64>() / rows.len() as f64
-        };
+        let mean =
+            |sel: fn(&fig8::Row) -> f64| rows.iter().map(sel).sum::<f64>() / rows.len() as f64;
         println!(
             "means: AAML {:.1}, IRA {:.1}, MST {:.1} -> IRA spends {:.0}% of AAML's cost\n",
             mean(|r| r.aaml_cost),

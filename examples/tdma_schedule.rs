@@ -12,8 +12,8 @@ use wsn_sim::{greedy_schedule, round_latency_slots, validate_schedule};
 use wsn_testbed::{dfl_network, DflConfig};
 
 fn main() {
-    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 2015)
-        .expect("DFL is connected");
+    let net =
+        dfl_network(&DflConfig::default(), &LinkModel::default(), 2015).expect("DFL is connected");
     let model = EnergyModel::PAPER;
     let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
     let ira = ira_at(&net, model, aaml.lifetime * 0.7).expect("feasible");
@@ -24,10 +24,8 @@ fn main() {
     for (name, tree) in [("IRA", &ira.tree), ("MST", &mst), ("SPT", &spt)] {
         let sched = greedy_schedule(&net, tree);
         assert!(validate_schedule(&net, tree, &sched), "schedule must verify");
-        let busiest = (0..sched.length())
-            .map(|s| sched.transmissions_in(s).len())
-            .max()
-            .unwrap_or(0);
+        let busiest =
+            (0..sched.length()).map(|s| sched.transmissions_in(s).len()).max().unwrap_or(0);
         println!(
             "{name:<6} {:>6} {:>12} {:>10} max/slot",
             round_latency_slots(tree),

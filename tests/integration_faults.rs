@@ -1,0 +1,145 @@
+//! Integration of the fault-tolerant control plane on a real deployment:
+//! announce and parent-change floods over a lossy channel converge every
+//! replica byte-identically via ack/retry; a crashed router's orphans are
+//! re-homed into a valid tree that still meets the `LC` lifetime bound;
+//! and divergence is detected and repaired by anti-entropy, never an
+//! assert.
+
+use wsn_model::{lifetime, EnergyModel, NodeId};
+use wsn_proto::{DistributedNetwork, FaultPlan, LossyChannel, RetryPolicy};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, DflConfig};
+
+fn setup() -> (wsn_model::Network, wsn_model::AggregationTree, f64, EnergyModel) {
+    let net = dfl_network(&DflConfig::default(), &LinkModel::default(), 2015).unwrap();
+    let model = EnergyModel::PAPER;
+    let aaml = wsn_experiments::workloads::aaml_paper_protocol(&net, &model).unwrap();
+    let lc = aaml.lifetime * 0.7;
+    let sol = wsn_experiments::workloads::ira_at(&net, model, lc).unwrap();
+    (net, sol.tree, lc, model)
+}
+
+#[test]
+fn replicas_converge_byte_identically_up_to_30_percent_loss() {
+    let (net, tree, _lc, _model) = setup();
+    let policy = RetryPolicy::default();
+    let mut frames_at = Vec::new();
+    for (i, loss) in [0.0, 0.10, 0.20, 0.30].into_iter().enumerate() {
+        let mut wire = DistributedNetwork::new(net.n());
+        let mut ch = LossyChannel::new(
+            FaultPlan::uniform(loss)
+                .with_seed(40 + i as u64)
+                .with_duplication(0.03)
+                .with_reordering(0.03),
+        );
+        let d = wire.announce_lossy(&tree, &mut ch, &policy).unwrap();
+        let mut frames = d.total_frames();
+        // A couple of legal re-homings read off the sink's view.
+        let view = wire.tree();
+        let mut moved = 0;
+        for v in (1..net.n()).map(NodeId::new) {
+            if moved == 2 {
+                break;
+            }
+            if let Some(&(_, w)) = net
+                .neighbors(v)
+                .iter()
+                .find(|&&(_, w)| Some(w) != view.parent(v) && !view.in_subtree(w, v))
+            {
+                let d = wire.parent_change_lossy(v, w, &mut ch, &policy).unwrap();
+                frames += d.total_frames();
+                moved += 1;
+            }
+        }
+        assert_eq!(moved, 2, "deployment offers at least two legal moves");
+        let r = wire.resync(&mut ch, &policy, 100);
+        frames += r.delivery.total_frames();
+        assert!(r.converged, "loss {loss} never converged");
+        assert!(wire.is_consistent(), "loss {loss} left replicas diverged");
+        assert!(wire.divergent().is_empty());
+        frames_at.push(frames);
+    }
+    // Reliability is paid for in messages: 30% loss costs strictly more
+    // control frames than the lossless run.
+    assert!(frames_at[3] > frames_at[0], "expected overhead growth, got {frames_at:?}");
+}
+
+#[test]
+fn crash_repair_rehomes_orphans_into_a_valid_lc_tree() {
+    let (net, tree, lc, model) = setup();
+    let policy = RetryPolicy::default();
+    let mut wire = DistributedNetwork::new(net.n());
+    let mut ch = LossyChannel::new(FaultPlan::uniform(0.15).with_seed(9));
+    wire.announce_lossy(&tree, &mut ch, &policy).unwrap();
+    assert!(wire.resync(&mut ch, &policy, 100).converged);
+
+    // Crash the non-sink node with the most children.
+    let view = wire.tree();
+    let crashed = (1..net.n()).map(NodeId::new).max_by_key(|&v| view.children(v).len()).unwrap();
+    let orphans = view.children(crashed).len();
+    assert!(orphans > 0, "busiest router has children");
+
+    ch.crash(crashed);
+    let rep = wire.repair_crashed(&net, lc, &model, crashed, &mut ch, &policy).unwrap();
+    assert_eq!(rep.rehomed.len(), orphans, "stranded: {:?}", rep.stranded);
+    assert!(rep.stranded.is_empty());
+    let r = wire.resync(&mut ch, &policy, 100);
+    assert!(r.converged);
+    assert!(wire.is_consistent_alive(&ch));
+
+    let repaired = wire.tree();
+    for (orphan, new_parent) in &rep.rehomed {
+        assert_eq!(repaired.parent(*orphan), Some(*new_parent));
+        assert!(*new_parent != crashed);
+        // The new route to the sink avoids the dead node.
+        let mut v = *orphan;
+        while let Some(p) = repaired.parent(v) {
+            assert!(p != crashed, "orphan {} still routes through the crash", orphan.index());
+            v = p;
+        }
+        assert_eq!(v, NodeId::SINK);
+    }
+    // Every adopting parent still meets the LC lifetime bound (Eq. 23
+    // child counts against the paper's energy model).
+    for v in (0..net.n()).map(NodeId::new) {
+        if v == crashed {
+            continue;
+        }
+        let children = repaired.children(v).len();
+        if children > 0 {
+            let life = lifetime::node_lifetime(net.initial_energy(v), &model, children);
+            assert!(
+                life >= lc * (1.0 - 1e-9),
+                "node {} has {} children, lifetime {} < LC {}",
+                v.index(),
+                children,
+                life,
+                lc
+            );
+        }
+    }
+}
+
+#[test]
+fn divergence_is_recovered_not_asserted() {
+    let (net, tree, _lc, _model) = setup();
+    // A starved retry budget under heavy loss: floods will fail hops and
+    // replicas will diverge. Nothing may panic; the heartbeat sweep must
+    // flag the divergence and anti-entropy must repair it once the
+    // channel calms down.
+    let starved = RetryPolicy { max_attempts: 1, ..RetryPolicy::default() };
+    let mut wire = DistributedNetwork::new(net.n());
+    let mut ch = LossyChannel::new(FaultPlan::uniform(0.6).with_seed(5));
+    let d = wire.announce_lossy(&tree, &mut ch, &starved).unwrap();
+    assert!(d.failed_hops > 0, "60% loss with one attempt must fail hops");
+    assert!(!wire.is_consistent(), "divergence expected under starvation");
+    assert!(!wire.divergent().is_empty());
+
+    // The channel improves; the default policy's retries plus resync
+    // reconcile every replica.
+    let mut calm = LossyChannel::new(FaultPlan::uniform(0.2).with_seed(6));
+    let r = wire.resync(&mut calm, &RetryPolicy::default(), 100);
+    assert!(r.converged);
+    assert!(r.reannounces > 0, "recovery re-announced the epoch");
+    assert!(wire.is_consistent());
+}

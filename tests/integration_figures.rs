@@ -46,10 +46,6 @@ fn headline_result_ira_beats_aaml_reliability_by_a_wide_margin() {
     let aaml = rows.iter().find(|r| r.scheme == "AAML").unwrap();
     let ira = rows.iter().find(|r| r.scheme.starts_with("IRA@1.0")).unwrap();
     let improvement = (ira.reliability - aaml.reliability) / aaml.reliability;
-    assert!(
-        improvement > 0.05,
-        "reliability improvement collapsed: {:.1}%",
-        improvement * 100.0
-    );
+    assert!(improvement > 0.05, "reliability improvement collapsed: {:.1}%", improvement * 100.0);
     assert!(ira.lifetime >= aaml.lifetime * 0.75, "lifetime parity lost");
 }

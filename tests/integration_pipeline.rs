@@ -89,8 +89,12 @@ fn analytic_lifetime_matches_battery_drain() {
     let analytic = lifetime::network_lifetime(&net, &tree, &model);
     let sim = simulate_lifetime(&net, &tree, &model, 1_000_000);
     // Exact up to the boundary round (I/e integral up to FP drift).
-    assert!((sim.rounds as f64 - analytic.floor()).abs() <= 1.0,
-        "simulated {} vs analytic {}", sim.rounds, analytic);
+    assert!(
+        (sim.rounds as f64 - analytic.floor()).abs() <= 1.0,
+        "simulated {} vs analytic {}",
+        sim.rounds,
+        analytic
+    );
 }
 
 #[test]
@@ -105,11 +109,7 @@ fn heterogeneous_instances_protect_the_weakest_node() {
         let net = random_graph(&cfg, &mut rng).unwrap();
         let weakest = (0..net.n())
             .map(NodeId::new)
-            .min_by(|a, b| {
-                net.initial_energy(*a)
-                    .partial_cmp(&net.initial_energy(*b))
-                    .unwrap()
-            })
+            .min_by(|a, b| net.initial_energy(*a).partial_cmp(&net.initial_energy(*b)).unwrap())
             .unwrap();
         // Demand the weakest node survive LC as if it had one child.
         let lc = lifetime::node_lifetime(net.initial_energy(weakest), &model, 1) * 0.9;

@@ -15,11 +15,9 @@ fn distributed_tracks_centralized_ira_under_dynamics() {
     let mst = wsn_baselines::mst(&net).unwrap();
     let lc = wsn_model::lifetime::network_lifetime(&net, &mst, &model) * 0.9;
 
-    let initial = solve_ira(
-        &MrlcInstance::new(net.clone(), model, lc).unwrap(),
-        &IraConfig::default(),
-    )
-    .unwrap();
+    let initial =
+        solve_ira(&MrlcInstance::new(net.clone(), model, lc).unwrap(), &IraConfig::default())
+            .unwrap();
 
     let cfg = DynamicsConfig { rounds: 25, cost_step: 2e-2, seed: 3, lc };
     let records = run_link_dynamics(&net, &initial.tree, model, &cfg, |n| {
@@ -101,7 +99,11 @@ fn frame_level_replay_matches_replicated_state() {
         net.set_prr(e, link.prr().degraded(0.6));
         let current = state.tree();
         let child = if current.contains_edge(link.u(), link.v()) {
-            if current.parent(link.u()) == Some(link.v()) { link.u() } else { link.v() }
+            if current.parent(link.u()) == Some(link.v()) {
+                link.u()
+            } else {
+                link.v()
+            }
         } else {
             continue;
         };

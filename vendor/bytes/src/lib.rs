@@ -1,0 +1,216 @@
+//! Minimal offline stand-in for the `bytes` crate: a cheaply-clonable
+//! immutable byte buffer ([`Bytes`]), a growable builder ([`BytesMut`]),
+//! and big-endian cursor traits ([`Buf`], [`BufMut`]) — only the surface
+//! the wire-protocol code uses.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable reference-counted byte buffer; clones share the allocation.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes { data: Arc::from(&[][..]) }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes { data: Arc::from(data) }
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes { data: Arc::from(v.into_boxed_slice()) }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.data.iter() {
+            write!(f, "{:02x}", b)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Growable byte buffer that freezes into a [`Bytes`].
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Read cursor over a byte source; integer reads are big-endian and panic
+/// when the source is exhausted (callers check [`Buf::remaining`] first).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u16(&mut self) -> u16;
+    fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes([head[0], head[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes([head[0], head[1], head[2], head[3]])
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(head);
+        u64::from_be_bytes(raw)
+    }
+}
+
+/// Write cursor; integer writes are big-endian.
+pub trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+    fn put_slice(&mut self, v: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.extend_from_slice(v);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.put_u8(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.data.put_u16(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.data.put_u32(v);
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.data.put_u64(v);
+    }
+
+    fn put_slice(&mut self, v: &[u8]) {
+        self.data.put_slice(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(0xA1);
+        b.put_u16(0xBEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        let frozen = b.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.remaining(), 11);
+        assert_eq!(cursor.get_u8(), 0xA1);
+        assert_eq!(cursor.get_u16(), 0xBEEF);
+        assert_eq!(cursor.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_clone_is_shallow_and_equal() {
+        let a = Bytes::copy_from_slice(&[1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(&b[..], &[1, 2, 3]);
+    }
+}

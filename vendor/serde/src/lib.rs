@@ -1,0 +1,11 @@
+//! Minimal offline stand-in for `serde`. The workspace only annotates types
+//! with `#[derive(Serialize, Deserialize)]` as forward-looking metadata — no
+//! code path serializes anything yet — so the traits are markers and the
+//! derives expand to nothing.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -7,9 +7,25 @@
 //! point is feasible for the full polytope. Extreme-point status is
 //! preserved: a basic solution of the relaxation that satisfies every
 //! dropped constraint is a basic solution of the full system.
+//!
+//! # Warm starts
+//!
+//! By default the solver keeps **one persistent [`IncrementalLp`]** alive
+//! across cut rounds *and* across `solve` calls. Each cut round appends
+//! its subtour rows to the standing tableau and repairs with a few dual
+//! pivots; each IRA iteration (same node set, shrunken edge/cap sets)
+//! fixes dropped edges to zero via bound tightening and relaxes dropped
+//! caps to a vacuous right-hand side — no rebuild, no phase 1. Whenever a
+//! `solve` call is *not* a shrink of the previous one (new edges, new or
+//! changed caps, different `n`) the state is rebuilt transparently, so
+//! callers need no protocol. [`CutLp::new_cold`] restores the old
+//! rebuild-every-round behavior for comparison benchmarks; both paths
+//! produce optimal extreme points of the same polytope.
 
 use crate::separation::{violated_sets, FracEdge};
-use wsn_lp::{LpProblem, LpStatus, Relation, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+use wsn_lp::{IncrementalLp, LpProblem, LpStatus, Relation, RowId, VarId};
 
 /// Safety valve on cutting-plane rounds (each round adds ≥ 1 new set, and
 /// distinct sets are finite, but numerics deserve a cap).
@@ -68,22 +84,76 @@ impl std::fmt::Display for CutLpError {
 
 impl std::error::Error for CutLpError {}
 
+/// Persistent warm-start state: one live tableau spanning cut rounds and
+/// IRA's shrinking re-solves.
+#[derive(Clone, Debug)]
+struct WarmState {
+    lp: IncrementalLp,
+    n: usize,
+    /// Variable and endpoints per caller tag, in first-solve edge order.
+    vars: BTreeMap<usize, (VarId, usize, usize)>,
+    /// Tags whose variable is still free (upper bound 1).
+    active: BTreeSet<usize>,
+    /// Materialized degree-cap rows: node → (row, β, vacuous rhs).
+    cap_rows: BTreeMap<usize, (RowId, f64, f64)>,
+    /// Cap nodes still enforced (not yet relaxed to the vacuous rhs).
+    active_caps: BTreeSet<usize>,
+    /// How many of the accumulated subtour sets have tableau rows.
+    subtour_rows: usize,
+}
+
 /// Cutting-plane state: accumulated subtour sets survive across IRA
-/// iterations (they remain valid as edges/constraints are removed).
-#[derive(Clone, Debug, Default)]
+/// iterations (they remain valid as edges/constraints are removed), and in
+/// warm mode so does the simplex basis itself.
+#[derive(Clone, Debug)]
 pub struct CutLp {
     subtour_sets: Vec<Vec<usize>>,
-    seen: std::collections::BTreeSet<Vec<usize>>,
+    seen: BTreeSet<Vec<usize>>,
+    warm: bool,
+    state: Option<WarmState>,
     /// Total LP solves performed (statistics).
     pub lp_solves: usize,
     /// Total subtour cuts generated (statistics).
     pub cuts_added: usize,
+    /// Total simplex pivots across all solves (statistics).
+    pub pivots: usize,
+    /// Total cutting-plane rounds across all solves (statistics).
+    pub cut_rounds: usize,
+    /// Wall time spent in the separation oracle (statistics).
+    pub sep_time: Duration,
+}
+
+impl Default for CutLp {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl CutLp {
-    /// Creates an empty cutting-plane state.
+    /// Creates an empty cutting-plane state with warm starts enabled.
     pub fn new() -> Self {
-        Self::default()
+        CutLp {
+            subtour_sets: Vec::new(),
+            seen: BTreeSet::new(),
+            warm: true,
+            state: None,
+            lp_solves: 0,
+            cuts_added: 0,
+            pivots: 0,
+            cut_rounds: 0,
+            sep_time: Duration::ZERO,
+        }
+    }
+
+    /// Creates a state that rebuilds the LP from scratch every round — the
+    /// pre-warm-start behavior, kept for benchmarks and equivalence tests.
+    pub fn new_cold() -> Self {
+        CutLp { warm: false, ..CutLp::new() }
+    }
+
+    /// Whether this instance reuses the simplex basis across solves.
+    pub fn is_warm(&self) -> bool {
+        self.warm
     }
 
     /// Solves `min Σ c_e x_e` over the spanning-tree polytope of the given
@@ -101,6 +171,199 @@ impl CutLp {
         if n == 1 {
             return Ok(CutLpOutcome::Optimal { x: vec![], objective: 0.0 });
         }
+        if self.warm {
+            self.solve_warm(n, edges, caps)
+        } else {
+            self.solve_cold(n, edges, caps)
+        }
+    }
+
+    // ---- warm path ----------------------------------------------------
+
+    /// True when the standing tableau can absorb this call as a shrink:
+    /// same node count, edges a subset of the still-active tags, caps a
+    /// subset of the still-enforced rows with unchanged β.
+    fn compatible(state: &WarmState, n: usize, edges: &[LpEdge], caps: &[(usize, f64)]) -> bool {
+        if state.n != n || edges.len() > state.active.len() {
+            return false;
+        }
+        if !edges.iter().all(|e| state.active.contains(&e.tag)) {
+            return false;
+        }
+        caps.iter().all(|&(node, beta)| match state.cap_rows.get(&node) {
+            Some(&(_, stored_beta, vacuous)) => {
+                // A cap missing from cap_rows because it was vacuous at
+                // build time stays vacuous on a shrunken edge set, so only
+                // materialized rows need to match.
+                state.active_caps.contains(&node) && (stored_beta - beta).abs() < 1e-12
+                    || beta >= vacuous - 1e-12
+            }
+            // Never materialized: fine iff it is (still) vacuous.
+            None => beta >= incident_count(edges, node) as f64 - 1e-12,
+        })
+    }
+
+    /// Builds a fresh incremental tableau for the given instance,
+    /// materializing the accumulated subtour family.
+    fn build_state(&mut self, n: usize, edges: &[LpEdge], caps: &[(usize, f64)]) -> WarmState {
+        let mut lp = IncrementalLp::new();
+        let mut vars = BTreeMap::new();
+        let mut active = BTreeSet::new();
+        let mut all = Vec::with_capacity(edges.len());
+        for e in edges {
+            let v = lp.add_unit_var(e.cost);
+            vars.insert(e.tag, (v, e.u, e.v));
+            active.insert(e.tag);
+            all.push((v, 1.0));
+        }
+        // Eq. 14: x(E(V)) = |V| − 1.
+        lp.add_row(&all, Relation::Eq, n as f64 - 1.0);
+
+        // Eq. 15 as degree caps; vacuous caps are skipped entirely.
+        let mut cap_rows = BTreeMap::new();
+        let mut active_caps = BTreeSet::new();
+        for &(node, beta) in caps {
+            let incident: Vec<(VarId, f64)> = edges
+                .iter()
+                .filter(|e| e.u == node || e.v == node)
+                .map(|e| (vars[&e.tag].0, 1.0))
+                .collect();
+            if incident.is_empty() || beta >= incident.len() as f64 - 1e-12 {
+                continue;
+            }
+            let vacuous = incident.len() as f64;
+            let row = lp.add_row(&incident, Relation::Le, beta);
+            cap_rows.insert(node, (row, beta, vacuous));
+            active_caps.insert(node);
+        }
+
+        let mut state = WarmState { lp, n, vars, active, cap_rows, active_caps, subtour_rows: 0 };
+        for i in 0..self.subtour_sets.len() {
+            Self::materialize_subtour(&mut state, &self.subtour_sets[i]);
+        }
+        state
+    }
+
+    /// Appends the subtour row of `set` (sorted) to the standing tableau.
+    fn materialize_subtour(state: &mut WarmState, set: &[usize]) {
+        let member = |v: usize| set.binary_search(&v).is_ok();
+        let internal: Vec<(VarId, f64)> = state
+            .vars
+            .values()
+            .filter(|&&(_, u, v)| member(u) && member(v))
+            .map(|&(var, _, _)| (var, 1.0))
+            .collect();
+        if internal.len() >= set.len() {
+            state.lp.append_le_row(&internal, set.len() as f64 - 1.0);
+        }
+        state.subtour_rows += 1;
+    }
+
+    fn solve_warm(
+        &mut self,
+        n: usize,
+        edges: &[LpEdge],
+        caps: &[(usize, f64)],
+    ) -> Result<CutLpOutcome, CutLpError> {
+        let reuse = self.state.as_ref().is_some_and(|s| Self::compatible(s, n, edges, caps));
+        if reuse {
+            // Apply the shrink as bound/rhs mutations on the live tableau.
+            let mut state = self.state.take().unwrap();
+            let keep: BTreeSet<usize> = edges.iter().map(|e| e.tag).collect();
+            let dropped: Vec<usize> = state.active.difference(&keep).copied().collect();
+            for tag in dropped {
+                state.lp.set_upper(state.vars[&tag].0, 0.0);
+                state.active.remove(&tag);
+            }
+            let cap_keep: BTreeSet<usize> = caps.iter().map(|&(v, _)| v).collect();
+            let relaxed: Vec<usize> = state.active_caps.difference(&cap_keep).copied().collect();
+            for node in relaxed {
+                let (row, _, vacuous) = state.cap_rows[&node];
+                state.lp.relax_le_rhs(row, vacuous);
+                state.active_caps.remove(&node);
+            }
+            while state.subtour_rows < self.subtour_sets.len() {
+                let set = self.subtour_sets[state.subtour_rows].clone();
+                Self::materialize_subtour(&mut state, &set);
+            }
+            self.state = Some(state);
+        } else {
+            let state = self.build_state(n, edges, caps);
+            self.state = Some(state);
+        }
+
+        for _round in 0..MAX_CUT_ROUNDS {
+            self.lp_solves += 1;
+            self.cut_rounds += 1;
+            let state = self.state.as_mut().unwrap();
+            let sol = state.lp.solve().map_err(CutLpError::Lp)?;
+            self.pivots += sol.iterations;
+            match sol.status {
+                LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
+                LpStatus::Unbounded => {
+                    unreachable!("box-bounded variables cannot be unbounded")
+                }
+                LpStatus::Optimal => {}
+            }
+
+            // Project onto the caller's edge order.
+            let x: Vec<f64> = edges.iter().map(|e| sol.x[state.vars[&e.tag].0.index()]).collect();
+            let frac: Vec<FracEdge> =
+                edges.iter().zip(&x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
+            let sep_start = std::time::Instant::now();
+            let violated = violated_sets(n, &frac, SEP_TOL);
+            self.sep_time += sep_start.elapsed();
+            if violated.is_empty() {
+                return Ok(CutLpOutcome::Optimal { x, objective: sol.objective });
+            }
+            if !self.absorb_cuts(violated) {
+                return Err(CutLpError::StalledCut);
+            }
+            let state = self.state.as_mut().unwrap();
+            while state.subtour_rows < self.subtour_sets.len() {
+                let set = self.subtour_sets[state.subtour_rows].clone();
+                Self::materialize_subtour(state, &set);
+            }
+        }
+        Err(CutLpError::CutRoundLimit)
+    }
+
+    /// Records newly separated sets; returns false if none were new.
+    fn absorb_cuts(&mut self, violated: Vec<Vec<usize>>) -> bool {
+        let mut progressed = false;
+        for set in violated {
+            debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "oracle sets arrive sorted");
+            if self.seen.insert(set.clone()) {
+                self.subtour_sets.push(set);
+                self.cuts_added += 1;
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    // ---- cold path (rebuilds the LP each round) -----------------------
+
+    fn solve_cold(
+        &mut self,
+        n: usize,
+        edges: &[LpEdge],
+        caps: &[(usize, f64)],
+    ) -> Result<CutLpOutcome, CutLpError> {
+        // Incident-edge index per capped node, hoisted out of the round
+        // loop: the edge set is fixed for the whole call.
+        let cap_incident: Vec<(usize, f64, Vec<usize>)> = caps
+            .iter()
+            .map(|&(node, beta)| {
+                let inc: Vec<usize> = edges
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.u == node || e.v == node)
+                    .map(|(i, _)| i)
+                    .collect();
+                (node, beta, inc)
+            })
+            .collect();
 
         for _round in 0..MAX_CUT_ROUNDS {
             let mut lp = LpProblem::new();
@@ -111,21 +374,13 @@ impl CutLp {
             lp.add_constraint(&all, Relation::Eq, n as f64 - 1.0);
 
             // Eq. 15 as degree caps: x(δ(v)) ≤ β_v.
-            for &(node, beta) in caps {
-                let incident: Vec<(VarId, f64)> = edges
-                    .iter()
-                    .zip(&vars)
-                    .filter(|(e, _)| e.u == node || e.v == node)
-                    .map(|(_, &v)| (v, 1.0))
-                    .collect();
-                if incident.is_empty() {
-                    continue;
-                }
+            for (_, beta, inc) in &cap_incident {
                 // A cap at or above the incident count is vacuous.
-                if beta >= incident.len() as f64 - 1e-12 {
+                if inc.is_empty() || *beta >= inc.len() as f64 - 1e-12 {
                     continue;
                 }
-                lp.add_constraint(&incident, Relation::Le, beta);
+                let incident: Vec<(VarId, f64)> = inc.iter().map(|&i| (vars[i], 1.0)).collect();
+                lp.add_constraint(&incident, Relation::Le, *beta);
             }
 
             // Eq. 13 for the accumulated family of subtour sets.
@@ -143,7 +398,9 @@ impl CutLp {
             }
 
             self.lp_solves += 1;
+            self.cut_rounds += 1;
             let sol = lp.solve().map_err(CutLpError::Lp)?;
+            self.pivots += sol.iterations;
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
                 LpStatus::Unbounded => {
@@ -154,25 +411,23 @@ impl CutLp {
 
             let frac: Vec<FracEdge> =
                 edges.iter().zip(&sol.x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
+            let sep_start = std::time::Instant::now();
             let violated = violated_sets(n, &frac, SEP_TOL);
+            self.sep_time += sep_start.elapsed();
             if violated.is_empty() {
                 return Ok(CutLpOutcome::Optimal { x: sol.x, objective: sol.objective });
             }
-            let mut progressed = false;
-            for mut set in violated {
-                set.sort_unstable();
-                if self.seen.insert(set.clone()) {
-                    self.subtour_sets.push(set);
-                    self.cuts_added += 1;
-                    progressed = true;
-                }
-            }
-            if !progressed {
+            if !self.absorb_cuts(violated) {
                 return Err(CutLpError::StalledCut);
             }
         }
         Err(CutLpError::CutRoundLimit)
     }
+}
+
+/// Number of edges incident to `node`.
+fn incident_count(edges: &[LpEdge], node: usize) -> usize {
+    edges.iter().filter(|e| e.u == node || e.v == node).count()
 }
 
 #[cfg(test)]
@@ -325,5 +580,113 @@ mod tests {
         let _ = cut.solve(4, &edges, &[]).unwrap();
         // No *new* cuts should be necessary the second time.
         assert_eq!(cut.cuts_added, cuts_after_first);
+    }
+
+    /// Runs the same solve on a warm and a cold instance and checks the
+    /// outcomes agree (objective within 1e-6, both feasible or both not).
+    fn assert_warm_matches_cold(
+        warm: &mut CutLp,
+        cold: &mut CutLp,
+        n: usize,
+        edges: &[LpEdge],
+        caps: &[(usize, f64)],
+    ) {
+        let a = warm.solve(n, edges, caps).unwrap();
+        let b = cold.solve(n, edges, caps).unwrap();
+        match (a, b) {
+            (
+                CutLpOutcome::Optimal { objective: oa, x },
+                CutLpOutcome::Optimal { objective: ob, .. },
+            ) => {
+                assert!((oa - ob).abs() < 1e-6, "warm {oa} vs cold {ob}");
+                let total: f64 = x.iter().sum();
+                assert!((total - (n as f64 - 1.0)).abs() < 1e-6, "mass {total}");
+            }
+            (CutLpOutcome::Infeasible, CutLpOutcome::Infeasible) => {}
+            (a, b) => panic!("outcome mismatch: warm {a:?} vs cold {b:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_matches_cold_on_shrinking_sequence() {
+        // Emulates IRA: same node set, monotonically shrinking edge and cap
+        // sets. The warm path must track the cold path at every step while
+        // actually reusing its basis.
+        let edges = k5();
+        let caps_full = vec![(0usize, 2.0f64), (1, 3.0), (2, 2.0)];
+        let mut warm = CutLp::new();
+        let mut cold = CutLp::new_cold();
+        assert!(warm.is_warm() && !cold.is_warm());
+        assert_warm_matches_cold(&mut warm, &mut cold, 5, &edges, &caps_full);
+
+        // Drop two edges (keep connectivity) and one cap.
+        let shrunk: Vec<LpEdge> =
+            edges.iter().filter(|e| e.tag != 1 && e.tag != 7).copied().collect();
+        let caps_less = vec![(0usize, 2.0f64), (2, 2.0)];
+        assert_warm_matches_cold(&mut warm, &mut cold, 5, &shrunk, &caps_less);
+
+        // Drop everything but a spanning structure and all caps.
+        let smaller: Vec<LpEdge> =
+            shrunk.iter().filter(|e| e.tag != 2 && e.tag != 8).copied().collect();
+        assert_warm_matches_cold(&mut warm, &mut cold, 5, &smaller, &[]);
+    }
+
+    #[test]
+    fn warm_matches_cold_with_subtour_cuts() {
+        // The two-triangle instance forces subtour cuts; the warm path
+        // appends them to a live tableau instead of rebuilding.
+        let edges = vec![
+            lpe(0, 1, 0.1, 0),
+            lpe(1, 2, 0.1, 1),
+            lpe(0, 2, 0.1, 2),
+            lpe(3, 4, 0.1, 3),
+            lpe(4, 5, 0.1, 4),
+            lpe(3, 5, 0.1, 5),
+            lpe(2, 3, 5.0, 6),
+        ];
+        let mut warm = CutLp::new();
+        let mut cold = CutLp::new_cold();
+        assert_warm_matches_cold(&mut warm, &mut cold, 6, &edges, &[]);
+        assert!(warm.cuts_added > 0);
+        // Re-solve after dropping one triangle edge: cuts carry over and
+        // the basis survives.
+        let shrunk: Vec<LpEdge> = edges.iter().filter(|e| e.tag != 2).copied().collect();
+        assert_warm_matches_cold(&mut warm, &mut cold, 6, &shrunk, &[]);
+    }
+
+    #[test]
+    fn warm_detects_infeasible_like_cold() {
+        let edges = vec![lpe(0, 1, 1.0, 0), lpe(1, 2, 1.0, 1)];
+        let mut warm = CutLp::new();
+        let mut cold = CutLp::new_cold();
+        assert_warm_matches_cold(&mut warm, &mut cold, 3, &edges, &[(1, 1.5)]);
+    }
+
+    #[test]
+    fn incompatible_resolve_rebuilds_transparently() {
+        // Growing the edge set is NOT a shrink — the warm state must
+        // rebuild rather than answer from a stale tableau.
+        let small = vec![lpe(0, 1, 1.0, 0), lpe(1, 2, 1.0, 1)];
+        let full = vec![lpe(0, 1, 1.0, 0), lpe(1, 2, 1.0, 1), lpe(0, 2, 0.5, 2)];
+        let mut warm = CutLp::new();
+        let CutLpOutcome::Optimal { objective: o1, .. } = warm.solve(3, &small, &[]).unwrap()
+        else {
+            panic!()
+        };
+        assert!((o1 - 2.0).abs() < 1e-6);
+        let CutLpOutcome::Optimal { objective: o2, .. } = warm.solve(3, &full, &[]).unwrap() else {
+            panic!()
+        };
+        assert!((o2 - 1.5).abs() < 1e-6, "rebuild must see the new edge: {o2}");
+    }
+
+    #[test]
+    fn counters_track_solver_effort() {
+        let edges = k5();
+        let mut cut = CutLp::new();
+        let _ = cut.solve(5, &edges, &[(0, 2.0)]).unwrap();
+        assert!(cut.lp_solves >= 1);
+        assert_eq!(cut.cut_rounds, cut.lp_solves);
+        assert!(cut.pivots > 0, "simplex work must be recorded");
     }
 }

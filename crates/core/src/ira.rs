@@ -21,11 +21,15 @@ pub struct IraConfig {
     /// by a little violation of lifetime" behaviour near the lifetime
     /// optimum.
     pub fallback_to_lc: bool,
+    /// Keep one warm-started LP tableau alive across cut rounds and outer
+    /// iterations (see [`CutLp`]); `false` rebuilds the LP cold every
+    /// round, for comparison runs.
+    pub warm_lp: bool,
 }
 
 impl Default for IraConfig {
     fn default() -> Self {
-        IraConfig { constrain_sink: true, batch_removal: true, fallback_to_lc: true }
+        IraConfig { constrain_sink: true, batch_removal: true, fallback_to_lc: true, warm_lp: true }
     }
 }
 
@@ -46,6 +50,12 @@ pub struct IraStats {
     pub l_prime: f64,
     /// True if the `L' = LC` fallback was taken.
     pub relaxed_to_lc: bool,
+    /// Simplex pivots across all LP solves.
+    pub pivots: usize,
+    /// Cutting-plane rounds across all LP solves.
+    pub cut_rounds: usize,
+    /// Wall time spent in the separation oracle, in milliseconds.
+    pub sep_ms: f64,
 }
 
 /// Failure modes of IRA.
@@ -190,7 +200,7 @@ fn attempt(
     }
 
     let mut active: Vec<bool> = vec![true; net.num_edges()];
-    let mut cut = CutLp::new();
+    let mut cut = if config.warm_lp { CutLp::new() } else { CutLp::new_cold() };
     let mut stats = IraStats { l_prime: l_used, relaxed_to_lc: relaxed, ..IraStats::default() };
 
     while w_set.iter().any(|&b| b) {
@@ -212,6 +222,9 @@ fn attempt(
         let outcome = cut.solve(n, &edges, &cap_list).map_err(AttemptError::Lp)?;
         stats.lp_solves = cut.lp_solves;
         stats.cuts_added = cut.cuts_added;
+        stats.pivots = cut.pivots;
+        stats.cut_rounds = cut.cut_rounds;
+        stats.sep_ms = cut.sep_time.as_secs_f64() * 1e3;
         let x = match outcome {
             CutLpOutcome::Infeasible => {
                 return Err(AttemptError::Infeasible(format!(
@@ -480,6 +493,30 @@ mod tests {
             solve_ira(&inst, &IraConfig { batch_removal: false, ..IraConfig::default() }).unwrap();
         assert!((batch.cost - single.cost).abs() < 1e-9);
         assert!(single.stats.iterations >= batch.stats.iterations);
+    }
+
+    #[test]
+    fn warm_and_cold_lp_agree_end_to_end() {
+        // The LP optimum can be degenerate, so warm and cold runs may pick
+        // different optimal extreme points and walk to different (equally
+        // valid) trees. What must agree: feasibility, the LC guarantee, and
+        // the paper's cost sandwich OPT(LC) ≤ cost ≤ OPT(L').
+        let net = starry(6);
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 4) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).unwrap();
+        let warm = solve_ira(&inst, &IraConfig::default()).unwrap();
+        let cold = solve_ira(&inst, &IraConfig { warm_lp: false, ..IraConfig::default() }).unwrap();
+        assert_eq!(warm.meets_lc, cold.meets_lc);
+        assert_eq!(warm.stats.relaxed_to_lc, cold.stats.relaxed_to_lc);
+        let opt_lc = brute_opt_cost(&inst, lc).unwrap();
+        for sol in [&warm, &cold] {
+            assert!(sol.cost >= opt_lc - 1e-9, "cost {} below OPT(LC) {}", sol.cost, opt_lc);
+            let opt_lp = brute_opt_cost(&inst, sol.stats.l_prime).unwrap();
+            assert!(sol.cost <= opt_lp + 1e-9, "cost {} above OPT(L') {}", sol.cost, opt_lp);
+        }
+        assert!(warm.stats.pivots > 0 && cold.stats.pivots > 0);
+        assert!(warm.stats.cut_rounds >= warm.stats.lp_solves);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! `bench-perf` — the perf-trajectory suite behind `BENCH_ira.json`.
+//!
+//! Runs IRA on a fixed, seeded scaling ladder (the DFL-16 testbed topology
+//! plus random graphs at n ∈ {20, 40, 80, 120}) and records wall time,
+//! LP solves, simplex pivots, cutting-plane rounds and separation time per
+//! case — for the warm-started solver and, where tractable, the cold
+//! rebuild-every-round path. The JSON file is the machine-readable perf
+//! trajectory CI and humans diff across commits; the rendered table is the
+//! human-readable snapshot.
+//!
+//! The vendored `serde` stub has no real serialization, so the JSON is
+//! hand-rolled — the schema is documented in DESIGN.md §8.
+
+use crate::table::{f, Table};
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wsn_model::{lifetime, EnergyModel};
+use wsn_radio::LinkModel;
+use wsn_testbed::{dfl_network, random_graph, DflConfig, RandomGraphConfig};
+
+/// Suite parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Smoke mode: DFL-16 plus the n = 20 rung only (CI-speed).
+    pub smoke: bool,
+    /// Run the cold comparison up to this node count (the cold path's
+    /// dense rebuilds grow fast; beyond this only warm numbers are
+    /// recorded and `cold` is `null` in the JSON).
+    pub cold_up_to: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { smoke: false, cold_up_to: 80 }
+    }
+}
+
+impl Config {
+    /// The CI preset.
+    pub fn smoke() -> Self {
+        Config { smoke: true, ..Config::default() }
+    }
+}
+
+/// Counters for one solver path on one case.
+#[derive(Clone, Copy, Debug)]
+pub struct PathStats {
+    /// End-to-end IRA wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Inner LP solves.
+    pub lp_solves: usize,
+    /// Simplex pivots across all solves.
+    pub pivots: usize,
+    /// Cutting-plane rounds.
+    pub cut_rounds: usize,
+    /// Separation-oracle wall time, milliseconds.
+    pub sep_ms: f64,
+}
+
+/// One rung of the ladder.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Case label (`dfl-16`, `rand-80`, …).
+    pub name: String,
+    /// Node count.
+    pub n: usize,
+    /// Edge count.
+    pub m: usize,
+    /// Warm-started solver counters.
+    pub warm: PathStats,
+    /// Cold rebuild-every-round counters (skipped above `cold_up_to`).
+    pub cold: Option<PathStats>,
+}
+
+impl CaseResult {
+    /// Cold/warm wall-time ratio, when both ran.
+    pub fn speedup(&self) -> Option<f64> {
+        self.cold.map(|c| c.wall_ms / self.warm.wall_ms.max(1e-9))
+    }
+}
+
+fn run_path(inst: &MrlcInstance, warm: bool) -> PathStats {
+    let cfg = IraConfig { warm_lp: warm, ..IraConfig::default() };
+    let start = Instant::now();
+    let sol = solve_ira(inst, &cfg).expect("bench instance solves");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    PathStats {
+        wall_ms,
+        lp_solves: sol.stats.lp_solves,
+        pivots: sol.stats.pivots,
+        cut_rounds: sol.stats.cut_rounds,
+        sep_ms: sol.stats.sep_ms,
+    }
+}
+
+fn run_case(name: &str, net: wsn_model::Network, lc: f64, with_cold: bool) -> CaseResult {
+    let n = net.n();
+    let m = net.num_edges();
+    let inst = MrlcInstance::new(net, EnergyModel::PAPER, lc).expect("valid instance");
+    let warm = run_path(&inst, true);
+    let cold = with_cold.then(|| run_path(&inst, false));
+    CaseResult { name: name.to_string(), n, m, warm, cold }
+}
+
+/// Runs the ladder.
+pub fn run(config: &Config) -> Vec<CaseResult> {
+    let model = EnergyModel::PAPER;
+    // The scaling.rs pattern: a mild bound, at most 4 children anywhere.
+    let lc = lifetime::node_lifetime(3000.0, &model, 4) * 0.99;
+
+    let mut cases = Vec::new();
+    let dfl =
+        dfl_network(&DflConfig::default(), &LinkModel::default(), 2015).expect("DFL is connected");
+    cases.push(run_case("dfl-16", dfl, lc, true));
+
+    let rungs: &[usize] = if config.smoke { &[20] } else { &[20, 40, 80, 120] };
+    for &n in rungs {
+        // Thin out dense rungs so edge counts (and LP columns) stay sane.
+        let p = if n <= 40 { 0.7 } else { 0.3 };
+        let gcfg = RandomGraphConfig { n, link_probability: p, ..RandomGraphConfig::default() };
+        let mut rng = StdRng::seed_from_u64(4242 + n as u64);
+        let net = random_graph(&gcfg, &mut rng).expect("connected bench instance");
+        cases.push(run_case(&format!("rand-{n}"), net, lc, n <= config.cold_up_to));
+    }
+    cases
+}
+
+fn json_path(p: &PathStats) -> String {
+    format!(
+        "{{\"wall_ms\": {:.3}, \"lp_solves\": {}, \"pivots\": {}, \"cut_rounds\": {}, \"sep_ms\": {:.3}}}",
+        p.wall_ms, p.lp_solves, p.pivots, p.cut_rounds, p.sep_ms
+    )
+}
+
+/// Serializes the results to the `BENCH_ira.json` schema (DESIGN.md §8).
+pub fn to_json(cases: &[CaseResult], smoke: bool) -> String {
+    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"warm\": {}, \"cold\": {}, \"speedup\": {}}}{}\n",
+            c.name,
+            c.n,
+            c.m,
+            json_path(&c.warm),
+            c.cold.as_ref().map_or("null".to_string(), json_path),
+            c.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+            if i + 1 < cases.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the human-readable table.
+pub fn render(cases: &[CaseResult]) -> String {
+    let mut t = Table::new([
+        "case",
+        "n",
+        "m",
+        "warm ms",
+        "cold ms",
+        "speedup",
+        "lp solves",
+        "pivots",
+        "cut rounds",
+        "sep ms",
+    ]);
+    for c in cases {
+        t.push([
+            c.name.clone(),
+            c.n.to_string(),
+            c.m.to_string(),
+            f(c.warm.wall_ms, 1),
+            c.cold.map_or("-".into(), |p| f(p.wall_ms, 1)),
+            c.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
+            c.warm.lp_solves.to_string(),
+            c.warm.pivots.to_string(),
+            c.warm.cut_rounds.to_string(),
+            f(c.warm.sep_ms, 1),
+        ]);
+    }
+    format!("bench-perf — IRA solver trajectory (warm-started LP)\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_suite_runs_and_serializes() {
+        let cases = run(&Config::smoke());
+        assert_eq!(cases.len(), 2);
+        assert_eq!(cases[0].name, "dfl-16");
+        assert_eq!(cases[1].name, "rand-20");
+        for c in &cases {
+            assert!(c.warm.wall_ms > 0.0);
+            assert!(c.warm.lp_solves >= 1);
+            assert!(c.warm.pivots > 0);
+            assert!(c.cold.is_some(), "smoke rungs are all below cold_up_to");
+        }
+        let json = to_json(&cases, true);
+        assert!(json.contains("\"suite\": \"bench-perf\""));
+        assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"name\": \"dfl-16\""));
+        assert!(json.contains("\"pivots\""));
+        // Exactly one trailing comma structure: valid-ish JSON shape.
+        assert!(!json.contains(",]") && !json.contains(",}"));
+        let table = render(&cases);
+        assert!(table.contains("speedup"));
+    }
+
+    #[test]
+    fn counters_are_deterministic() {
+        let a = run(&Config::smoke());
+        let b = run(&Config::smoke());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.m, y.m);
+            assert_eq!(x.warm.lp_solves, y.warm.lp_solves);
+            assert_eq!(x.warm.pivots, y.warm.pivots);
+            assert_eq!(x.warm.cut_rounds, y.warm.cut_rounds);
+        }
+    }
+}

@@ -4,6 +4,7 @@
 //! mrlc-experiments all [--fast]
 //! mrlc-experiments fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13 [--fast]
 //! mrlc-experiments ablation [--fast]
+//! mrlc-experiments bench-perf [--smoke] [--out=PATH]   # writes BENCH_ira.json
 //! ```
 
 use wsn_experiments::*;
@@ -11,6 +12,9 @@ use wsn_experiments::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path =
+        args.iter().find_map(|a| a.strip_prefix("--out=")).unwrap_or("BENCH_ira.json").to_string();
     let which =
         args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
 
@@ -109,10 +113,27 @@ fn main() {
             println!();
             print!("{}", ablation::render_ilu(&ablation::ilu_improving_links(rounds, 77)));
         }
+        "bench-perf" => {
+            let cfg = if smoke || fast {
+                bench_perf::Config::smoke()
+            } else {
+                bench_perf::Config::default()
+            };
+            let cases = bench_perf::run(&cfg);
+            print!("{}", bench_perf::render(&cases));
+            let json = bench_perf::to_json(&cases, cfg.smoke);
+            match std::fs::write(&out_path, &json) {
+                Ok(()) => println!("wrote {out_path}"),
+                Err(e) => {
+                    eprintln!("cannot write {out_path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults] [--fast]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf] [--fast|--smoke] [--out=PATH]"
             );
             std::process::exit(2);
         }

@@ -25,15 +25,20 @@ impl GomoryHuTree {
         assert!(n >= 1);
         let mut parent = vec![0usize; n];
         let mut weight = vec![f64::INFINITY; n];
+        // One reusable network for all n − 1 flows: `reset` restores the
+        // consumed capacities between queries instead of rebuilding the
+        // adjacency structure from scratch.
+        let mut fnet = FlowNetwork::new(n);
+        for &(u, v, c) in edges {
+            fnet.add_undirected_edge(u, v, c);
+        }
+        let mut side = Vec::with_capacity(n);
         for s in 1..n {
             let t = parent[s];
-            let mut fnet = FlowNetwork::new(n);
-            for &(u, v, c) in edges {
-                fnet.add_undirected_edge(u, v, c);
-            }
+            fnet.reset();
             let f = fnet.max_flow(s, t);
             weight[s] = f;
-            let side = fnet.min_cut_source_side(s);
+            fnet.min_cut_source_side_into(s, &mut side);
             for v in s + 1..n {
                 if side[v] && parent[v] == t {
                     parent[v] = s;

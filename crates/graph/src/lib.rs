@@ -22,7 +22,7 @@ pub mod traversal;
 pub mod unionfind;
 
 pub use gomory_hu::GomoryHuTree;
-pub use maxflow::FlowNetwork;
+pub use maxflow::{FlowEdgeId, FlowNetwork};
 pub use mst::{kruskal, mst_tree, prim, WeightedEdge};
 pub use spanning::{bfs_tree, random_spanning_tree, shortest_path_tree};
 pub use traversal::components;

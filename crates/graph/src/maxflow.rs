@@ -11,17 +11,32 @@ const EPS: f64 = 1e-12;
 struct FlowEdge {
     to: usize,
     cap: f64,
+    /// Capacity as originally declared — [`FlowNetwork::reset`] restores it.
+    cap0: f64,
     /// Index of the reverse edge in `edges`.
     rev: usize,
 }
 
+/// Handle to an edge added with [`FlowNetwork::add_edge`] /
+/// [`FlowNetwork::add_undirected_edge`], usable with
+/// [`FlowNetwork::set_cap`] to re-aim a reusable network between solves.
+pub type FlowEdgeId = usize;
+
 /// A directed flow network over dense node indices with `f64` capacities.
+///
+/// The network doubles as a reusable **scratch arena**: after a
+/// [`FlowNetwork::max_flow`] call consumed the capacities,
+/// [`FlowNetwork::reset`] restores them in place (no allocation), so one
+/// network can serve many flow queries — the pattern both the separation
+/// oracle and the Gomory–Hu builder rely on. All working buffers
+/// (BFS level/queue, DFS cursors, cut marks) are preallocated once.
 #[derive(Clone, Debug)]
 pub struct FlowNetwork {
     adj: Vec<Vec<usize>>,
     edges: Vec<FlowEdge>,
     level: Vec<i32>,
     iter: Vec<usize>,
+    queue: Vec<usize>,
 }
 
 impl FlowNetwork {
@@ -32,6 +47,7 @@ impl FlowNetwork {
             edges: Vec::new(),
             level: vec![0; n],
             iter: vec![0; n],
+            queue: Vec::with_capacity(n),
         }
     }
 
@@ -41,37 +57,62 @@ impl FlowNetwork {
     }
 
     /// Adds a directed edge `u → v` with the given capacity (and a zero
-    /// capacity reverse edge).
-    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) {
+    /// capacity reverse edge). Returns a handle for [`FlowNetwork::set_cap`].
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: f64) -> FlowEdgeId {
         debug_assert!(cap >= 0.0 && (cap.is_finite() || cap == f64::INFINITY));
         let e1 = self.edges.len();
-        self.edges.push(FlowEdge { to: v, cap, rev: e1 + 1 });
-        self.edges.push(FlowEdge { to: u, cap: 0.0, rev: e1 });
+        self.edges.push(FlowEdge { to: v, cap, cap0: cap, rev: e1 + 1 });
+        self.edges.push(FlowEdge { to: u, cap: 0.0, cap0: 0.0, rev: e1 });
         self.adj[u].push(e1);
         self.adj[v].push(e1 + 1);
+        e1
     }
 
-    /// Adds an undirected edge (capacity in both directions).
-    pub fn add_undirected_edge(&mut self, u: usize, v: usize, cap: f64) {
+    /// Adds an undirected edge (capacity in both directions). Returns a
+    /// handle for [`FlowNetwork::set_cap`] (forward direction).
+    pub fn add_undirected_edge(&mut self, u: usize, v: usize, cap: f64) -> FlowEdgeId {
         debug_assert!(cap >= 0.0);
         let e1 = self.edges.len();
-        self.edges.push(FlowEdge { to: v, cap, rev: e1 + 1 });
-        self.edges.push(FlowEdge { to: u, cap, rev: e1 });
+        self.edges.push(FlowEdge { to: v, cap, cap0: cap, rev: e1 + 1 });
+        self.edges.push(FlowEdge { to: u, cap, cap0: cap, rev: e1 });
         self.adj[u].push(e1);
         self.adj[v].push(e1 + 1);
+        e1
+    }
+
+    /// Overrides the *current* capacity of edge `id` (forward direction)
+    /// without touching its declared capacity: the next
+    /// [`FlowNetwork::reset`] reverts the override. This is how one
+    /// reusable network serves per-seed queries — declare the seed edges
+    /// with capacity 0, then raise one per solve.
+    pub fn set_cap(&mut self, id: FlowEdgeId, cap: f64) {
+        debug_assert!(cap >= 0.0 && (cap.is_finite() || cap == f64::INFINITY));
+        self.edges[id].cap = cap;
+    }
+
+    /// Restores every edge to its declared capacity, undoing both flow
+    /// consumption and [`FlowNetwork::set_cap`] overrides. O(edges), no
+    /// allocation — the scratch API for solving many flows on one network.
+    pub fn reset(&mut self) {
+        for e in &mut self.edges {
+            e.cap = e.cap0;
+        }
     }
 
     fn bfs(&mut self, s: usize, t: usize) -> bool {
         self.level.fill(-1);
-        let mut queue = std::collections::VecDeque::new();
+        self.queue.clear();
         self.level[s] = 0;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
+        self.queue.push(s);
+        let mut head = 0;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
             for &ei in &self.adj[u] {
                 let e = &self.edges[ei];
                 if e.cap > EPS && self.level[e.to] < 0 {
                     self.level[e.to] = self.level[u] + 1;
-                    queue.push_back(e.to);
+                    self.queue.push(e.to);
                 }
             }
         }
@@ -101,9 +142,9 @@ impl FlowNetwork {
         0.0
     }
 
-    /// Computes the maximum s→t flow. May be called once per network build;
-    /// capacities are consumed (the residual network remains for
-    /// [`FlowNetwork::min_cut_source_side`]).
+    /// Computes the maximum s→t flow. Capacities are consumed (the residual
+    /// network remains for [`FlowNetwork::min_cut_source_side`]); call
+    /// [`FlowNetwork::reset`] to restore them for another query.
     pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
         assert_ne!(s, t, "source and sink must differ");
         let mut flow = 0.0;
@@ -124,19 +165,38 @@ impl FlowNetwork {
     /// cut: all nodes reachable from `s` in the residual network.
     pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
         let mut side = vec![false; self.n()];
-        let mut queue = std::collections::VecDeque::new();
+        let mut queue = Vec::with_capacity(self.n());
+        self.cut_search(s, &mut side, &mut queue);
+        side
+    }
+
+    /// Allocation-free variant of [`FlowNetwork::min_cut_source_side`]:
+    /// marks the source side into the caller's buffer (resized/cleared
+    /// here) and reuses the internal BFS queue.
+    pub fn min_cut_source_side_into(&mut self, s: usize, side: &mut Vec<bool>) {
+        side.clear();
+        side.resize(self.n(), false);
+        let mut queue = std::mem::take(&mut self.queue);
+        self.cut_search(s, side, &mut queue);
+        self.queue = queue;
+    }
+
+    fn cut_search(&self, s: usize, side: &mut [bool], queue: &mut Vec<usize>) {
+        queue.clear();
         side[s] = true;
-        queue.push_back(s);
-        while let Some(u) = queue.pop_front() {
+        queue.push(s);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
             for &ei in &self.adj[u] {
                 let e = &self.edges[ei];
                 if e.cap > EPS && !side[e.to] {
                     side[e.to] = true;
-                    queue.push_back(e.to);
+                    queue.push(e.to);
                 }
             }
         }
-        side
     }
 }
 
@@ -220,6 +280,47 @@ mod tests {
         f.add_edge(0, 1, 0.5); // parallel edge
         f.add_edge(1, 2, 0.6);
         assert!((f.max_flow(0, 2) - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_capacities_for_reuse() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 2.0);
+        f.add_edge(1, 2, 1.0);
+        f.add_edge(2, 3, 2.0);
+        let first = f.max_flow(0, 3);
+        // Residual is consumed: a second run on the same network sees none.
+        assert!(f.max_flow(0, 3) < 1e-12);
+        f.reset();
+        let again = f.max_flow(0, 3);
+        assert!((first - again).abs() < 1e-9, "{first} vs {again}");
+    }
+
+    #[test]
+    fn set_cap_override_is_undone_by_reset() {
+        // Seed-edge pattern: declare with capacity 0, raise per query.
+        let mut f = FlowNetwork::new(3);
+        let seed = f.add_edge(0, 1, 0.0);
+        f.add_edge(1, 2, 5.0);
+        assert_eq!(f.max_flow(0, 2), 0.0);
+        f.reset();
+        f.set_cap(seed, f64::INFINITY);
+        assert!((f.max_flow(0, 2) - 5.0).abs() < 1e-9);
+        f.reset();
+        assert_eq!(f.max_flow(0, 2), 0.0);
+    }
+
+    #[test]
+    fn cut_side_into_matches_allocating_variant() {
+        let mut f = FlowNetwork::new(4);
+        f.add_edge(0, 1, 2.0);
+        f.add_edge(1, 2, 1.0);
+        f.add_edge(2, 3, 2.0);
+        f.max_flow(0, 3);
+        let side = f.min_cut_source_side(0);
+        let mut buf = Vec::new();
+        f.min_cut_source_side_into(0, &mut buf);
+        assert_eq!(side, buf);
     }
 
     #[test]

@@ -38,8 +38,10 @@
 //! assert!((sol.objective + 36.0).abs() < 1e-7); // optimum at (2, 6)
 //! ```
 
+pub mod incremental;
 pub mod problem;
 pub mod simplex;
 
+pub use incremental::{IncrementalLp, RowId};
 pub use problem::{LpProblem, Relation, VarId};
 pub use simplex::{LpError, LpSolution, LpStatus};

@@ -26,6 +26,7 @@ use crate::separation::{violated_sets, FracEdge};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use wsn_lp::{IncrementalLp, LpProblem, LpStatus, Relation, RowId, VarId};
+use wsn_obs::Counter;
 
 /// Safety valve on cutting-plane rounds (each round adds ≥ 1 new set, and
 /// distinct sets are finite, but numerics deserve a cap).
@@ -102,6 +103,45 @@ struct WarmState {
     subtour_rows: usize,
 }
 
+/// Counter handles for one `CutLp`, backed by the metrics registry that was
+/// ambient at construction (or a private detached one, so counter reads
+/// always work — plain unit tests, parallel sweep workers). Registry
+/// counters are cumulative across every solver sharing the registry, so
+/// each handle snapshots its base value at construction and per-instance
+/// statistics are reported as deltas.
+#[derive(Clone, Debug)]
+struct CutLpMetrics {
+    lp_solves: Counter,
+    cuts_added: Counter,
+    pivots: Counter,
+    cut_rounds: Counter,
+    sep_ns: Counter,
+    lp_ns: Counter,
+    base: [u64; 6],
+}
+
+impl CutLpMetrics {
+    fn new() -> Self {
+        let obs = wsn_obs::current_or_detached();
+        let reg = obs.registry();
+        let lp_solves = reg.counter("ira.lp_solves");
+        let cuts_added = reg.counter("ira.cuts_added");
+        let pivots = reg.counter("ira.pivots");
+        let cut_rounds = reg.counter("ira.cut_rounds");
+        let sep_ns = reg.counter("ira.sep_ns");
+        let lp_ns = reg.counter("ira.lp_ns");
+        let base = [
+            lp_solves.get(),
+            cuts_added.get(),
+            pivots.get(),
+            cut_rounds.get(),
+            sep_ns.get(),
+            lp_ns.get(),
+        ];
+        CutLpMetrics { lp_solves, cuts_added, pivots, cut_rounds, sep_ns, lp_ns, base }
+    }
+}
+
 /// Cutting-plane state: accumulated subtour sets survive across IRA
 /// iterations (they remain valid as edges/constraints are removed), and in
 /// warm mode so does the simplex basis itself.
@@ -111,16 +151,7 @@ pub struct CutLp {
     seen: BTreeSet<Vec<usize>>,
     warm: bool,
     state: Option<WarmState>,
-    /// Total LP solves performed (statistics).
-    pub lp_solves: usize,
-    /// Total subtour cuts generated (statistics).
-    pub cuts_added: usize,
-    /// Total simplex pivots across all solves (statistics).
-    pub pivots: usize,
-    /// Total cutting-plane rounds across all solves (statistics).
-    pub cut_rounds: usize,
-    /// Wall time spent in the separation oracle (statistics).
-    pub sep_time: Duration,
+    metrics: CutLpMetrics,
 }
 
 impl Default for CutLp {
@@ -137,11 +168,7 @@ impl CutLp {
             seen: BTreeSet::new(),
             warm: true,
             state: None,
-            lp_solves: 0,
-            cuts_added: 0,
-            pivots: 0,
-            cut_rounds: 0,
-            sep_time: Duration::ZERO,
+            metrics: CutLpMetrics::new(),
         }
     }
 
@@ -154,6 +181,36 @@ impl CutLp {
     /// Whether this instance reuses the simplex basis across solves.
     pub fn is_warm(&self) -> bool {
         self.warm
+    }
+
+    /// LP solves performed by this instance.
+    pub fn lp_solves(&self) -> usize {
+        (self.metrics.lp_solves.get() - self.metrics.base[0]) as usize
+    }
+
+    /// Subtour cuts generated by this instance.
+    pub fn cuts_added(&self) -> usize {
+        (self.metrics.cuts_added.get() - self.metrics.base[1]) as usize
+    }
+
+    /// Simplex pivots across this instance's solves.
+    pub fn pivots(&self) -> usize {
+        (self.metrics.pivots.get() - self.metrics.base[2]) as usize
+    }
+
+    /// Cutting-plane rounds across this instance's solves.
+    pub fn cut_rounds(&self) -> usize {
+        (self.metrics.cut_rounds.get() - self.metrics.base[3]) as usize
+    }
+
+    /// Wall time this instance spent in the separation oracle.
+    pub fn sep_time(&self) -> Duration {
+        Duration::from_nanos(self.metrics.sep_ns.get() - self.metrics.base[4])
+    }
+
+    /// Wall time this instance spent inside the simplex.
+    pub fn lp_time(&self) -> Duration {
+        Duration::from_nanos(self.metrics.lp_ns.get() - self.metrics.base[5])
     }
 
     /// Solves `min Σ c_e x_e` over the spanning-tree polytope of the given
@@ -292,12 +349,17 @@ impl CutLp {
             self.state = Some(state);
         }
 
-        for _round in 0..MAX_CUT_ROUNDS {
-            self.lp_solves += 1;
-            self.cut_rounds += 1;
+        for round in 0..MAX_CUT_ROUNDS {
+            self.metrics.lp_solves.inc();
+            self.metrics.cut_rounds.inc();
             let state = self.state.as_mut().unwrap();
-            let sol = state.lp.solve().map_err(CutLpError::Lp)?;
-            self.pivots += sol.iterations;
+            let lp_start = std::time::Instant::now();
+            let sol = {
+                let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
+                state.lp.solve().map_err(CutLpError::Lp)?
+            };
+            self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
+            self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
                 LpStatus::Unbounded => {
@@ -311,8 +373,11 @@ impl CutLp {
             let frac: Vec<FracEdge> =
                 edges.iter().zip(&x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
             let sep_start = std::time::Instant::now();
-            let violated = violated_sets(n, &frac, SEP_TOL);
-            self.sep_time += sep_start.elapsed();
+            let violated = {
+                let _span = wsn_obs::span_with("separation", vec![wsn_obs::field("round", round)]);
+                violated_sets(n, &frac, SEP_TOL)
+            };
+            self.metrics.sep_ns.add(sep_start.elapsed().as_nanos() as u64);
             if violated.is_empty() {
                 return Ok(CutLpOutcome::Optimal { x, objective: sol.objective });
             }
@@ -335,7 +400,7 @@ impl CutLp {
             debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "oracle sets arrive sorted");
             if self.seen.insert(set.clone()) {
                 self.subtour_sets.push(set);
-                self.cuts_added += 1;
+                self.metrics.cuts_added.inc();
                 progressed = true;
             }
         }
@@ -365,7 +430,7 @@ impl CutLp {
             })
             .collect();
 
-        for _round in 0..MAX_CUT_ROUNDS {
+        for round in 0..MAX_CUT_ROUNDS {
             let mut lp = LpProblem::new();
             let vars: Vec<VarId> = edges.iter().map(|e| lp.add_unit_var(e.cost)).collect();
 
@@ -397,10 +462,15 @@ impl CutLp {
                 }
             }
 
-            self.lp_solves += 1;
-            self.cut_rounds += 1;
-            let sol = lp.solve().map_err(CutLpError::Lp)?;
-            self.pivots += sol.iterations;
+            self.metrics.lp_solves.inc();
+            self.metrics.cut_rounds.inc();
+            let lp_start = std::time::Instant::now();
+            let sol = {
+                let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
+                lp.solve().map_err(CutLpError::Lp)?
+            };
+            self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
+            self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
                 LpStatus::Unbounded => {
@@ -412,8 +482,11 @@ impl CutLp {
             let frac: Vec<FracEdge> =
                 edges.iter().zip(&sol.x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
             let sep_start = std::time::Instant::now();
-            let violated = violated_sets(n, &frac, SEP_TOL);
-            self.sep_time += sep_start.elapsed();
+            let violated = {
+                let _span = wsn_obs::span_with("separation", vec![wsn_obs::field("round", round)]);
+                violated_sets(n, &frac, SEP_TOL)
+            };
+            self.metrics.sep_ns.add(sep_start.elapsed().as_nanos() as u64);
             if violated.is_empty() {
                 return Ok(CutLpOutcome::Optimal { x: sol.x, objective: sol.objective });
             }
@@ -551,7 +624,7 @@ mod tests {
         let CutLpOutcome::Optimal { x, objective } = cut.solve(6, &edges, &[]).unwrap() else {
             panic!()
         };
-        assert!(cut.cuts_added > 0, "subtour cuts must fire");
+        assert!(cut.cuts_added() > 0, "subtour cuts must fire");
         assert_integral_tree(6, &edges, &x);
         // Must include the bridge and drop one edge per triangle.
         assert!((objective - (0.4 + 5.0)).abs() < 1e-6, "got {objective}");
@@ -576,10 +649,10 @@ mod tests {
             vec![lpe(0, 1, 0.1, 0), lpe(1, 2, 0.1, 1), lpe(0, 2, 0.1, 2), lpe(2, 3, 2.0, 3)];
         let mut cut = CutLp::new();
         let _ = cut.solve(4, &edges, &[]).unwrap();
-        let cuts_after_first = cut.cuts_added;
+        let cuts_after_first = cut.cuts_added();
         let _ = cut.solve(4, &edges, &[]).unwrap();
         // No *new* cuts should be necessary the second time.
-        assert_eq!(cut.cuts_added, cuts_after_first);
+        assert_eq!(cut.cuts_added(), cuts_after_first);
     }
 
     /// Runs the same solve on a warm and a cold instance and checks the
@@ -647,7 +720,7 @@ mod tests {
         let mut warm = CutLp::new();
         let mut cold = CutLp::new_cold();
         assert_warm_matches_cold(&mut warm, &mut cold, 6, &edges, &[]);
-        assert!(warm.cuts_added > 0);
+        assert!(warm.cuts_added() > 0);
         // Re-solve after dropping one triangle edge: cuts carry over and
         // the basis survives.
         let shrunk: Vec<LpEdge> = edges.iter().filter(|e| e.tag != 2).copied().collect();
@@ -685,8 +758,32 @@ mod tests {
         let edges = k5();
         let mut cut = CutLp::new();
         let _ = cut.solve(5, &edges, &[(0, 2.0)]).unwrap();
-        assert!(cut.lp_solves >= 1);
-        assert_eq!(cut.cut_rounds, cut.lp_solves);
-        assert!(cut.pivots > 0, "simplex work must be recorded");
+        assert!(cut.lp_solves() >= 1);
+        assert_eq!(cut.cut_rounds(), cut.lp_solves());
+        assert!(cut.pivots() > 0, "simplex work must be recorded");
+    }
+
+    #[test]
+    fn counters_are_deltas_under_a_shared_registry() {
+        // CutLps used in sequence under one ambient registry (the traced
+        // fig8 pattern) each report only the effort since their own
+        // construction, while the registry accumulates the grand total.
+        let obs = wsn_obs::Obs::detached();
+        let _guard = wsn_obs::install(obs.clone());
+        let edges = k5();
+        let mut first = CutLp::new();
+        let _ = first.solve(5, &edges, &[(0, 2.0)]).unwrap();
+        let first_solves = first.lp_solves();
+        assert!(first_solves >= 1);
+        drop(first);
+
+        let mut second = CutLp::new();
+        let _ = second.solve(5, &edges, &[(0, 2.0)]).unwrap();
+        assert_eq!(second.lp_solves(), first_solves, "same instance, same effort");
+        assert_eq!(
+            obs.registry().counter("ira.lp_solves").get(),
+            (first_solves * 2) as u64,
+            "registry holds the shared total"
+        );
     }
 }

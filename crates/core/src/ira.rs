@@ -179,6 +179,13 @@ fn attempt(
     let net = inst.network();
     let model = inst.model();
     let n = net.n();
+    let _span = wsn_obs::span_with(
+        "ira-attempt",
+        vec![wsn_obs::field("n", n), wsn_obs::field("relaxed", relaxed)],
+    );
+    if relaxed {
+        wsn_obs::event("ira.relaxed_to_lc", vec![wsn_obs::field("lc", inst.lc())]);
+    }
 
     // Fractional degree caps β_v at the working bound.
     let mut caps = vec![f64::INFINITY; n];
@@ -220,11 +227,13 @@ fn attempt(
             (0..n).filter(|&i| w_set[i]).map(|i| (i, caps[i])).collect();
 
         let outcome = cut.solve(n, &edges, &cap_list).map_err(AttemptError::Lp)?;
-        stats.lp_solves = cut.lp_solves;
-        stats.cuts_added = cut.cuts_added;
-        stats.pivots = cut.pivots;
-        stats.cut_rounds = cut.cut_rounds;
-        stats.sep_ms = cut.sep_time.as_secs_f64() * 1e3;
+        // Snapshot the registry-backed counters into the Copy struct the
+        // experiment tables consume (fig8 renders these verbatim).
+        stats.lp_solves = cut.lp_solves();
+        stats.cuts_added = cut.cuts_added();
+        stats.pivots = cut.pivots();
+        stats.cut_rounds = cut.cut_rounds();
+        stats.sep_ms = cut.sep_time().as_secs_f64() * 1e3;
         let x = match outcome {
             CutLpOutcome::Infeasible => {
                 return Err(AttemptError::Infeasible(format!(
@@ -251,7 +260,7 @@ fn attempt(
                 deg[l.v().index()] += 1;
             }
         }
-        let mut removed_any = false;
+        let mut removed = 0usize;
         for i in 0..n {
             if !w_set[i] {
                 continue;
@@ -260,13 +269,21 @@ fn attempt(
             let wc = inst.worst_case_lifetime(v, deg[i]);
             if wc >= inst.lc() * (1.0 - 1e-12) {
                 w_set[i] = false;
-                removed_any = true;
+                removed += 1;
                 if !config.batch_removal {
                     break;
                 }
             }
         }
-        if !removed_any {
+        if removed > 0 {
+            wsn_obs::event(
+                "ira.constraints_dropped",
+                vec![
+                    wsn_obs::field("iteration", stats.iterations),
+                    wsn_obs::field("removed", removed),
+                ],
+            );
+        } else {
             // Theorem 2 guarantees a removable vertex under exact
             // arithmetic; numerically, remove the slackest vertex and count
             // the event.
@@ -280,12 +297,21 @@ fn attempt(
                 .expect("W is nonempty inside the loop");
             w_set[slackest] = false;
             stats.guard_removals += 1;
+            wsn_obs::warn(
+                "ira.guard_removal",
+                vec![
+                    wsn_obs::field("iteration", stats.iterations),
+                    wsn_obs::field("node", slackest),
+                ],
+            );
         }
     }
 
     // W = ∅: the LP is the subtour LP whose extreme points are spanning
     // trees (Lemma 1). The minimum spanning tree of the remaining support
     // attains the same optimum and is numerically robust.
+    let decode_start = std::time::Instant::now();
+    let decode_span = wsn_obs::span("decode");
     let wedges: Vec<wsn_graph::WeightedEdge> = net
         .edges()
         .filter(|(e, _)| active[e.index()])
@@ -307,6 +333,10 @@ fn attempt(
     let cost = inst.cost(&tree);
     let reliability = inst.reliability(&tree);
     let lt = inst.lifetime(&tree);
+    drop(decode_span);
+    if let Some(obs) = wsn_obs::current() {
+        obs.registry().counter("ira.decode_ns").add(decode_start.elapsed().as_nanos() as u64);
+    }
     Ok(IraSolution {
         meets_lc: lt >= inst.lc() * (1.0 - 1e-9),
         tree,

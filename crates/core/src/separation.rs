@@ -27,7 +27,31 @@
 //! (a property the proptests pin down).
 
 use wsn_graph::{components, FlowEdgeId, FlowNetwork};
+use wsn_obs::Counter;
 use wsn_util::parallel_map_with;
+
+/// Counter handles for the oracle, resolved from the ambient registry once
+/// per call on the coordinating thread. The handles are plain `Arc`
+/// atomics, so the parallel workers bump them without inheriting (or even
+/// knowing about) the ambient collector — final sums are
+/// schedule-independent, keeping the serial/parallel equivalence intact.
+struct SepMetrics {
+    calls: Counter,
+    min_cut_seeds: Counter,
+    violated: Counter,
+}
+
+impl SepMetrics {
+    fn ambient() -> Option<SepMetrics> {
+        let obs = wsn_obs::current()?;
+        let reg = obs.registry();
+        Some(SepMetrics {
+            calls: reg.counter("sep.calls"),
+            min_cut_seeds: reg.counter("sep.min_cut_seeds"),
+            violated: reg.counter("sep.violated_sets"),
+        })
+    }
+}
 
 /// Node count at which the per-seed min-cuts are worth fanning out.
 const PARALLEL_SEP_THRESHOLD: usize = 32;
@@ -69,6 +93,10 @@ pub fn violated_sets_with(
     tol: f64,
     parallel: bool,
 ) -> Vec<Vec<usize>> {
+    let metrics = SepMetrics::ambient();
+    if let Some(m) = &metrics {
+        m.calls.inc();
+    }
     let mut found: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
 
     // --- Pre-check: components of the support graph. ---
@@ -83,6 +111,9 @@ pub fn violated_sets_with(
             }
         }
         if !found.is_empty() {
+            if let Some(m) = &metrics {
+                m.violated.add(found.len() as u64);
+            }
             return found.into_iter().collect();
         }
     }
@@ -119,6 +150,9 @@ pub fn violated_sets_with(
         SepScratch { net, seed_edges, side: Vec::new() }
     };
     let run_seed = |sc: &mut SepScratch, s: usize| -> Option<Vec<usize>> {
+        if let Some(m) = &metrics {
+            m.min_cut_seeds.inc();
+        }
         sc.net.reset();
         sc.net.set_cap(sc.seed_edges[s], f64::INFINITY);
         let flow = sc.net.max_flow(src, snk);
@@ -143,6 +177,9 @@ pub fn violated_sets_with(
                 found.insert(set);
             }
         }
+    }
+    if let Some(m) = &metrics {
+        m.violated.add(found.len() as u64);
     }
     found.into_iter().collect()
 }

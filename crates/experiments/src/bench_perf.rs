@@ -57,6 +57,13 @@ pub struct PathStats {
     pub cut_rounds: usize,
     /// Separation-oracle wall time, milliseconds.
     pub sep_ms: f64,
+    /// LP-solve wall time, milliseconds (registry `ira.lp_ns`).
+    pub lp_ms: f64,
+    /// Prüfer-decode wall time, milliseconds (registry `ira.decode_ns`).
+    pub decode_ms: f64,
+    /// Warm solves that fell back to a cold rebuild (registry
+    /// `lp.cold_fallbacks`).
+    pub cold_fallbacks: usize,
 }
 
 /// One rung of the ladder.
@@ -82,16 +89,26 @@ impl CaseResult {
 }
 
 fn run_path(inst: &MrlcInstance, warm: bool) -> PathStats {
+    // A private metrics-only registry per path run: the per-stage
+    // breakdown comes from the same counters the whole pipeline publishes,
+    // with no figure-style hand-threading of timings.
+    let obs = wsn_obs::Obs::detached();
+    let _ambient = wsn_obs::install(obs.clone());
     let cfg = IraConfig { warm_lp: warm, ..IraConfig::default() };
     let start = Instant::now();
     let sol = solve_ira(inst, &cfg).expect("bench instance solves");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let reg = obs.registry();
+    let ns_to_ms = |name: &str| reg.counter(name).get() as f64 / 1e6;
     PathStats {
         wall_ms,
         lp_solves: sol.stats.lp_solves,
         pivots: sol.stats.pivots,
         cut_rounds: sol.stats.cut_rounds,
         sep_ms: sol.stats.sep_ms,
+        lp_ms: ns_to_ms("ira.lp_ns"),
+        decode_ms: ns_to_ms("ira.decode_ns"),
+        cold_fallbacks: reg.counter("lp.cold_fallbacks").get() as usize,
     }
 }
 
@@ -129,14 +146,26 @@ pub fn run(config: &Config) -> Vec<CaseResult> {
 
 fn json_path(p: &PathStats) -> String {
     format!(
-        "{{\"wall_ms\": {:.3}, \"lp_solves\": {}, \"pivots\": {}, \"cut_rounds\": {}, \"sep_ms\": {:.3}}}",
-        p.wall_ms, p.lp_solves, p.pivots, p.cut_rounds, p.sep_ms
+        "{{\"wall_ms\": {:.3}, \"lp_solves\": {}, \"pivots\": {}, \"cut_rounds\": {}, \
+         \"sep_ms\": {:.3}, \"lp_ms\": {:.3}, \"decode_ms\": {:.3}, \"cold_fallbacks\": {}}}",
+        p.wall_ms,
+        p.lp_solves,
+        p.pivots,
+        p.cut_rounds,
+        p.sep_ms,
+        p.lp_ms,
+        p.decode_ms,
+        p.cold_fallbacks
     )
 }
 
 /// Serializes the results to the `BENCH_ira.json` schema (DESIGN.md §8).
+///
+/// Schema version 2 adds the per-stage breakdown (`lp_ms`, `decode_ms`,
+/// `cold_fallbacks` — `sep_ms` was already there) per path; every version-1
+/// field is kept so existing diff tooling keeps working.
 pub fn to_json(cases: &[CaseResult], smoke: bool) -> String {
-    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n");
+    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
@@ -199,13 +228,19 @@ mod tests {
             assert!(c.warm.wall_ms > 0.0);
             assert!(c.warm.lp_solves >= 1);
             assert!(c.warm.pivots > 0);
+            assert!(c.warm.lp_ms > 0.0, "registry-backed LP stage timing is populated");
+            assert!(c.warm.lp_ms <= c.warm.wall_ms, "a stage cannot exceed the whole");
             assert!(c.cold.is_some(), "smoke rungs are all below cold_up_to");
         }
         let json = to_json(&cases, true);
         assert!(json.contains("\"suite\": \"bench-perf\""));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"smoke\": true"));
         assert!(json.contains("\"name\": \"dfl-16\""));
         assert!(json.contains("\"pivots\""));
+        assert!(json.contains("\"lp_ms\""));
+        assert!(json.contains("\"decode_ms\""));
+        assert!(json.contains("\"cold_fallbacks\""));
         // Exactly one trailing comma structure: valid-ish JSON shape.
         assert!(!json.contains(",]") && !json.contains(",}"));
         let table = render(&cases);

@@ -7,6 +7,7 @@ use crate::workloads::{aaml_paper_protocol, ira_at, paper_cost};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wsn_model::EnergyModel;
+use wsn_proto::{DistributedNetwork, FaultPlan, LossyChannel, RetryPolicy};
 use wsn_testbed::{random_graph, EnergyDistribution, RandomGraphConfig};
 
 /// Experiment parameters.
@@ -64,33 +65,53 @@ pub struct Row {
     pub sep_ms: f64,
 }
 
-/// Runs the sweep (instances in parallel).
+/// Runs the sweep. Instances run in parallel — unless an observability
+/// collector is installed on this thread ([`wsn_obs::install`]), in which
+/// case they run serially so spans nest deterministically in one trace,
+/// and each instance additionally replays its IRA tree through the
+/// distributed protocol (a lossless announce) so the trace covers the
+/// whole pipeline: LP, separation, decode, and protocol rounds.
 pub fn run(config: &Config) -> Vec<Row> {
     let cfg = *config;
-    parallel_map(cfg.instances, move |i| {
-        let mut rng = StdRng::seed_from_u64(cfg.base_seed + i as u64);
-        let gcfg = RandomGraphConfig {
-            n: cfg.n,
-            link_probability: cfg.link_probability,
-            energy: cfg.energy,
-            ..RandomGraphConfig::default()
-        };
-        let net = random_graph(&gcfg, &mut rng).expect("connected instance");
-        let model = EnergyModel::PAPER;
-        let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
-        let mst = wsn_baselines::mst(&net).expect("connected");
-        let ira = ira_at(&net, model, aaml.lifetime).expect("LC = L_AAML is feasible at LC");
-        Row {
-            instance: i,
-            aaml_cost: paper_cost(&net, &aaml.tree),
-            ira_cost: paper_cost(&net, &ira.tree),
-            mst_cost: paper_cost(&net, &mst),
-            ira_strict: !ira.stats.relaxed_to_lc,
-            pivots: ira.stats.pivots,
-            cut_rounds: ira.stats.cut_rounds,
-            sep_ms: ira.stats.sep_ms,
-        }
-    })
+    if wsn_obs::current().is_some() {
+        return (0..cfg.instances).map(|i| run_instance(&cfg, i, true)).collect();
+    }
+    parallel_map(cfg.instances, move |i| run_instance(&cfg, i, false))
+}
+
+fn run_instance(cfg: &Config, i: usize, replay_protocol: bool) -> Row {
+    let _span = wsn_obs::span_with("fig8-instance", vec![wsn_obs::field("instance", i)]);
+    let mut rng = StdRng::seed_from_u64(cfg.base_seed + i as u64);
+    let gcfg = RandomGraphConfig {
+        n: cfg.n,
+        link_probability: cfg.link_probability,
+        energy: cfg.energy,
+        ..RandomGraphConfig::default()
+    };
+    let net = random_graph(&gcfg, &mut rng).expect("connected instance");
+    let model = EnergyModel::PAPER;
+    let aaml = aaml_paper_protocol(&net, &model).expect("AAML runs");
+    let mst = wsn_baselines::mst(&net).expect("connected");
+    let ira = ira_at(&net, model, aaml.lifetime).expect("LC = L_AAML is feasible at LC");
+    if replay_protocol {
+        // Disseminate the tree the solver just built: one reliable announce
+        // over a lossless channel. Deterministic (seeded, loss-free), and
+        // it exercises the protocol counters/spans under `--trace`.
+        let mut dn = DistributedNetwork::new(cfg.n);
+        let mut ch = LossyChannel::new(FaultPlan::lossless());
+        dn.announce_lossy(&ira.tree, &mut ch, &RetryPolicy::default())
+            .expect("lossless announce succeeds");
+    }
+    Row {
+        instance: i,
+        aaml_cost: paper_cost(&net, &aaml.tree),
+        ira_cost: paper_cost(&net, &ira.tree),
+        mst_cost: paper_cost(&net, &mst),
+        ira_strict: !ira.stats.relaxed_to_lc,
+        pivots: ira.stats.pivots,
+        cut_rounds: ira.stats.cut_rounds,
+        sep_ms: ira.stats.sep_ms,
+    }
 }
 
 /// Renders the per-instance series plus a summary block.

@@ -38,6 +38,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod obs_report;
 pub mod parallel;
 pub mod table;
 pub mod workloads;

@@ -5,18 +5,111 @@
 //! mrlc-experiments fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13 [--fast]
 //! mrlc-experiments ablation [--fast]
 //! mrlc-experiments bench-perf [--smoke] [--out=PATH]   # writes BENCH_ira.json
+//! mrlc-experiments fig8 --trace t.jsonl --metrics m.json   # instrumented run
+//! mrlc-experiments obs-report t.jsonl [--top=N]            # summarize a trace
 //! ```
+//!
+//! `--trace PATH` installs a virtual-clock collector for the run and writes
+//! a deterministic JSONL trace (byte-identical across runs under a fixed
+//! seed); `--metrics PATH` writes the metrics registry as JSON. Both accept
+//! `--flag PATH` and `--flag=PATH` forms and apply to any figure.
 
 use wsn_experiments::*;
 
+/// Parsed command line: positional words plus the handful of flags.
+struct Cli {
+    fast: bool,
+    smoke: bool,
+    out_path: String,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
+    top_k: usize,
+    positional: Vec<String>,
+}
+
+fn parse_cli(raw: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        fast: false,
+        smoke: false,
+        out_path: "BENCH_ira.json".to_string(),
+        trace_path: None,
+        metrics_path: None,
+        top_k: 20,
+        positional: Vec::new(),
+    };
+    let mut i = 0;
+    while i < raw.len() {
+        let arg = &raw[i];
+        // A flag's value may be glued (`--trace=t.jsonl`) or the next word.
+        let value_of = |name: &str, i: &mut usize| -> Result<String, String> {
+            if let Some(v) = arg.strip_prefix(name).and_then(|r| r.strip_prefix('=')) {
+                return Ok(v.to_string());
+            }
+            *i += 1;
+            raw.get(*i).cloned().ok_or_else(|| format!("{name} requires a value"))
+        };
+        if arg == "--fast" {
+            cli.fast = true;
+        } else if arg == "--smoke" {
+            cli.smoke = true;
+        } else if arg == "--out" || arg.starts_with("--out=") {
+            cli.out_path = value_of("--out", &mut i)?;
+        } else if arg == "--trace" || arg.starts_with("--trace=") {
+            cli.trace_path = Some(value_of("--trace", &mut i)?);
+        } else if arg == "--metrics" || arg.starts_with("--metrics=") {
+            cli.metrics_path = Some(value_of("--metrics", &mut i)?);
+        } else if arg == "--top" || arg.starts_with("--top=") {
+            let v = value_of("--top", &mut i)?;
+            cli.top_k = v.parse().map_err(|_| format!("--top expects a number, got `{v}`"))?;
+        } else if arg.starts_with("--") {
+            return Err(format!("unknown flag `{arg}`"));
+        } else {
+            cli.positional.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(cli)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path =
-        args.iter().find_map(|a| a.strip_prefix("--out=")).unwrap_or("BENCH_ira.json").to_string();
-    let which =
-        args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".to_string());
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_cli(&raw) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let fast = cli.fast;
+    let smoke = cli.smoke;
+    let out_path = cli.out_path.clone();
+    let which = cli.positional.first().cloned().unwrap_or_else(|| "all".to_string());
+
+    if which == "obs-report" {
+        let Some(path) = cli.positional.get(1) else {
+            eprintln!("usage: mrlc-experiments obs-report <trace.jsonl> [--top=N]");
+            std::process::exit(2);
+        };
+        match obs_report::run(path, cli.top_k) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `--trace` needs the deterministic virtual clock; `--metrics` alone
+    // only needs counters, so a detached (metrics-only) collector suffices.
+    let obs = if cli.trace_path.is_some() {
+        Some(wsn_obs::Obs::with_trace(wsn_obs::Clock::virtual_ticks()))
+    } else if cli.metrics_path.is_some() {
+        Some(wsn_obs::Obs::detached())
+    } else {
+        None
+    };
+    let ambient = obs.clone().map(wsn_obs::install);
 
     let run_one = |name: &str| match name {
         "fig1" => {
@@ -133,7 +226,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf] [--fast|--smoke] [--out=PATH]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
             );
             std::process::exit(2);
         }
@@ -170,5 +263,24 @@ fn main() {
         }
     } else {
         run_one(&which);
+    }
+
+    // Close every span before exporting (the guard pops the collector).
+    drop(ambient);
+    if let Some(obs) = obs {
+        if let Some(path) = &cli.trace_path {
+            if let Err(e) = std::fs::write(path, obs.trace_jsonl()) {
+                eprintln!("cannot write trace {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote trace {path}");
+        }
+        if let Some(path) = &cli.metrics_path {
+            if let Err(e) = std::fs::write(path, obs.registry().to_json()) {
+                eprintln!("cannot write metrics {path}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("wrote metrics {path}");
+        }
     }
 }

@@ -1,0 +1,58 @@
+//! `obs-report` — validates a JSONL trace written by `--trace` and renders
+//! the human-readable summary (per-span total/self time, hot spans first,
+//! event counts with warnings called out).
+//!
+//! The heavy lifting lives in `wsn_obs::report`; this module is the thin
+//! CLI adapter: read the file, validate strictly (any schema violation is
+//! a hard error so CI can gate on it), render.
+
+/// Reads and validates the trace at `path`, returning the rendered
+/// summary. Errors are strings ready for `eprintln!`.
+pub fn run(path: &str, top_k: usize) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let summary = wsn_obs::validate_trace(&text).map_err(|e| format!("invalid trace: {e}"))?;
+    Ok(wsn_obs::render_summary(&summary, top_k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn reports_a_valid_trace() {
+        let obs = wsn_obs::Obs::with_trace(wsn_obs::Clock::virtual_ticks());
+        {
+            let _g = wsn_obs::install(obs.clone());
+            let _outer = wsn_obs::span("outer");
+            {
+                let _inner = wsn_obs::span("inner");
+            }
+            wsn_obs::event("tick", vec![wsn_obs::field("k", 1u64)]);
+        }
+        let path = write_temp("obs_report_valid.jsonl", &obs.trace_jsonl());
+        let text = run(path.to_str().unwrap(), 10).unwrap();
+        assert!(text.contains("outer"));
+        assert!(text.contains("inner"));
+        assert!(text.contains("tick"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = write_temp("obs_report_garbage.jsonl", "not json\n");
+        let err = run(path.to_str().unwrap(), 10).unwrap_err();
+        assert!(err.contains("invalid trace"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        let err = run("/nonexistent/trace.jsonl", 10).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+}

@@ -180,6 +180,8 @@ pub struct IncrementalLp {
     pivots_total: usize,
     solves_total: usize,
     warm_solves: usize,
+    cold_fallbacks: usize,
+    dual_repair_pivots: usize,
 }
 
 impl IncrementalLp {
@@ -237,6 +239,19 @@ impl IncrementalLp {
     /// Solves that reused the previous basis (vs. cold tableau builds).
     pub fn warm_solves(&self) -> usize {
         self.warm_solves
+    }
+
+    /// Warm solves that had to be redone cold — the mirror check failed or
+    /// the warm path hit its iteration cap. A nonzero rate is a numerical
+    /// health signal, not an error (results stay correct either way).
+    pub fn cold_fallbacks(&self) -> usize {
+        self.cold_fallbacks
+    }
+
+    /// Pivots spent inside dual-simplex repair, across all warm attempts
+    /// (including attempts later abandoned for a cold rebuild).
+    pub fn dual_repair_pivots(&self) -> usize {
+        self.dual_repair_pivots
     }
 
     /// A cold copy of the current constraint set (for fallbacks and
@@ -383,6 +398,14 @@ impl IncrementalLp {
                 return Err(LpError::InvalidBounds);
             }
         }
+        let start = self.pivots_total;
+        let warm_before = self.warm_solves;
+        let result = self.solve_inner();
+        self.publish_solve_metrics(self.pivots_total - start, self.warm_solves > warm_before);
+        result
+    }
+
+    fn solve_inner(&mut self) -> Result<LpSolution, LpError> {
         if !self.solved_once {
             return self.cold_solve();
         }
@@ -394,15 +417,46 @@ impl IncrementalLp {
                     return Ok(sol);
                 }
                 // Numerical drift: rebuild cold (rare; keeps warm == cold).
-                self.warm_solves -= 1;
+                self.record_cold_fallback("mirror_infeasible");
                 self.cold_solve()
             }
             Err(LpError::IterationLimit) => {
-                self.warm_solves -= 1;
+                self.record_cold_fallback("iteration_limit");
                 self.pivots_total = before;
                 self.cold_solve()
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// A warm solve is being abandoned for a cold rebuild: count it and —
+    /// when a trace collector is installed — flag it loudly, so fallback
+    /// storms show up in `bench-perf` and `obs-report` instead of hiding
+    /// as mysteriously slow "warm" runs.
+    fn record_cold_fallback(&mut self, reason: &str) {
+        self.warm_solves -= 1;
+        self.cold_fallbacks += 1;
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("lp.cold_fallbacks").inc();
+            wsn_obs::warn(
+                "lp.cold_fallback",
+                vec![
+                    wsn_obs::field("reason", reason),
+                    wsn_obs::field("rows", self.rows.len()),
+                    wsn_obs::field("solve", self.solves_total),
+                ],
+            );
+        }
+    }
+
+    /// Mirrors this solve's effort into the ambient metrics registry, if
+    /// one is installed (no-op otherwise — detached solvers stay free).
+    fn publish_solve_metrics(&self, pivots: usize, was_warm: bool) {
+        if let Some(obs) = wsn_obs::current() {
+            let reg = obs.registry();
+            reg.counter("lp.solves").inc();
+            reg.counter("lp.pivots").add(pivots as u64);
+            reg.counter("lp.warm_solves").add(u64::from(was_warm));
         }
     }
 
@@ -633,7 +687,10 @@ impl IncrementalLp {
         self.refresh_drow(); // numerical hygiene across long solve chains
         self.bland = false;
         self.degenerate_run = 0;
-        if !self.dual_repair(cap)? {
+        let repair_start = self.pivots_total;
+        let repaired = self.dual_repair(cap);
+        self.dual_repair_pivots += self.pivots_total - repair_start;
+        if !repaired? {
             return Ok(LpSolution {
                 status: LpStatus::Infeasible,
                 x: vec![0.0; self.mirror.num_vars()],

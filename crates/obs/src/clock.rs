@@ -1,0 +1,78 @@
+//! Trace timestamps: wall-clock nanoseconds or a deterministic virtual tick.
+//!
+//! Traces meant for diffing across runs must not embed wall time — two runs
+//! of the same seed would differ on every line. The virtual clock instead
+//! hands out a monotonically increasing tick per `now()` call, so a fixed
+//! seed plus a serial execution path yields a byte-identical trace. Wall
+//! mode reports nanoseconds since the clock was created and is what the
+//! perf tooling (`bench-perf`) wants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Time source for trace timestamps.
+#[derive(Debug)]
+pub enum Clock {
+    /// Nanoseconds since clock construction (not stable across runs).
+    Wall(Instant),
+    /// One tick per observation; byte-stable for deterministic code paths.
+    Virtual(AtomicU64),
+}
+
+impl Clock {
+    /// Wall clock anchored at "now".
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// Deterministic tick counter starting at 1.
+    pub fn virtual_ticks() -> Self {
+        Clock::Virtual(AtomicU64::new(0))
+    }
+
+    /// Current timestamp. Virtual clocks advance by one tick per call.
+    pub fn now(&self) -> u64 {
+        match self {
+            Clock::Wall(base) => u64::try_from(base.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Clock::Virtual(tick) => tick.fetch_add(1, Ordering::Relaxed) + 1,
+        }
+    }
+
+    /// True for the deterministic tick clock.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// Label used in the trace header (`"wall"` / `"virtual"`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Clock::Wall(_) => "wall",
+            Clock::Virtual(_) => "virtual",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_counts_from_one() {
+        let c = Clock::virtual_ticks();
+        assert_eq!(c.now(), 1);
+        assert_eq!(c.now(), 2);
+        assert_eq!(c.now(), 3);
+        assert!(c.is_virtual());
+        assert_eq!(c.kind(), "virtual");
+    }
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = Clock::wall();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+        assert!(!c.is_virtual());
+        assert_eq!(c.kind(), "wall");
+    }
+}

@@ -1,0 +1,32 @@
+//! `wsn-obs` — zero-dependency tracing and metrics for the MRLC workspace.
+//!
+//! Three layers, one crate:
+//!
+//! * **Spans & events** ([`trace`]): nested spans with key-value fields,
+//!   emitted to an ambient per-thread collector installed with
+//!   [`install`]. A [`Clock::virtual_ticks`] clock makes traces byte-stable
+//!   under a fixed seed; [`Clock::wall`] gives real timings.
+//! * **Metrics** ([`metrics`]): a name-keyed registry of counters, gauges,
+//!   and fixed-bucket histograms whose handles are plain `Arc`-atomics —
+//!   cheap enough for the parallel separation workers, which must never
+//!   emit ordered records but may bump schedule-independent sums.
+//! * **Export & reporting** ([`trace::Obs::trace_jsonl`], [`report`]):
+//!   JSONL traces, a strict validator, and the `obs-report` summary
+//!   renderer (per-span self/total time, top-k hot spans).
+//!
+//! The crate is std-only so it works in the offline build environment,
+//! mirroring `wsn-util`.
+
+pub mod clock;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use clock::Clock;
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use report::{render_summary, validate_trace, EventAgg, SpanAgg, TraceSummary};
+pub use trace::{
+    counter, current, current_or_detached, event, field, install, span, span_with, warn,
+    FieldValue, InstallGuard, Level, Obs, SpanGuard, TraceRecord, TRACE_SCHEMA_VERSION,
+};

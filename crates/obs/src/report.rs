@@ -1,0 +1,337 @@
+//! Trace validation and the human-readable summary renderer behind
+//! `mrlc-experiments obs-report`.
+//!
+//! [`validate_trace`] checks a JSONL trace line by line against the schema
+//! emitted by [`crate::trace`] — header first, span ids unique, parents and
+//! ends referencing live spans, levels well-formed — and aggregates spans
+//! by name (count, total time, self time = total minus child spans).
+//! [`render_summary`] prints the top-k hot spans and the event tallies.
+
+use crate::json::{parse, Json};
+use crate::trace::TRACE_SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// Aggregate over every span with the same name.
+#[derive(Clone, Debug)]
+pub struct SpanAgg {
+    pub name: String,
+    pub count: u64,
+    /// Sum of (end − start) over all instances.
+    pub total: u64,
+    /// Total minus time covered by child spans.
+    pub self_time: u64,
+    /// Largest single instance.
+    pub max: u64,
+}
+
+/// Aggregate over every event with the same name.
+#[derive(Clone, Debug)]
+pub struct EventAgg {
+    pub name: String,
+    pub count: u64,
+    pub warns: u64,
+}
+
+/// A validated trace, reduced to per-name aggregates.
+#[derive(Clone, Debug)]
+pub struct TraceSummary {
+    /// `"wall"` (nanoseconds) or `"virtual"` (ticks).
+    pub clock: String,
+    /// Sorted by total time descending, then name.
+    pub spans: Vec<SpanAgg>,
+    /// Sorted by name.
+    pub events: Vec<EventAgg>,
+    /// Record lines validated (header excluded).
+    pub records: usize,
+}
+
+impl TraceSummary {
+    /// Aggregate for one span name, if present.
+    pub fn span(&self, name: &str) -> Option<&SpanAgg> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// Aggregate for one event name, if present.
+    pub fn event(&self, name: &str) -> Option<&EventAgg> {
+        self.events.iter().find(|e| e.name == name)
+    }
+}
+
+struct OpenSpan {
+    name: String,
+    start: u64,
+    parent: Option<u64>,
+    child_time: u64,
+}
+
+/// Validates `text` as a JSONL trace and returns the aggregates.
+/// Every schema violation is an error naming the offending line.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace: missing header line")?;
+    let header = parse(header).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("trace_header") {
+        return Err("line 1: first record must be a trace_header".to_string());
+    }
+    match header.get("schema_version").and_then(Json::as_u64) {
+        Some(TRACE_SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("line 1: unsupported schema_version {v}")),
+        None => return Err("line 1: trace_header missing schema_version".to_string()),
+    }
+    let clock = match header.get("clock").and_then(Json::as_str) {
+        Some(c @ ("wall" | "virtual")) => c.to_string(),
+        Some(c) => return Err(format!("line 1: unknown clock {c:?}")),
+        None => return Err("line 1: trace_header missing clock".to_string()),
+    };
+
+    let mut open: HashMap<u64, OpenSpan> = HashMap::new();
+    let mut seen_ids: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut span_aggs: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut event_aggs: BTreeMap<String, EventAgg> = BTreeMap::new();
+    let mut last_t = 0u64;
+    let mut records = 0usize;
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        if !rec.is_obj() {
+            return Err(format!("line {lineno}: record is not an object"));
+        }
+        let t = rec
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: missing integer \"t\""))?;
+        if t < last_t {
+            return Err(format!("line {lineno}: timestamp {t} goes backwards (last {last_t})"));
+        }
+        last_t = t;
+        if let Some(fields) = rec.get("fields") {
+            if !fields.is_obj() {
+                return Err(format!("line {lineno}: \"fields\" must be an object"));
+            }
+        }
+        match rec.get("type").and_then(Json::as_str) {
+            Some("span_start") => {
+                let id = rec
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_start missing id"))?;
+                if !seen_ids.insert(id) {
+                    return Err(format!("line {lineno}: span id {id} reused"));
+                }
+                let name = rec
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .filter(|n| !n.is_empty())
+                    .ok_or_else(|| format!("line {lineno}: span_start missing name"))?
+                    .to_string();
+                let parent = match rec.get("parent") {
+                    None => None,
+                    Some(p) => {
+                        let pid = p
+                            .as_u64()
+                            .ok_or_else(|| format!("line {lineno}: parent must be an id"))?;
+                        if !open.contains_key(&pid) {
+                            return Err(format!("line {lineno}: parent span {pid} is not open"));
+                        }
+                        Some(pid)
+                    }
+                };
+                open.insert(id, OpenSpan { name, start: t, parent, child_time: 0 });
+            }
+            Some("span_end") => {
+                let id = rec
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("line {lineno}: span_end missing id"))?;
+                let span = open
+                    .remove(&id)
+                    .ok_or_else(|| format!("line {lineno}: span_end for unopened span {id}"))?;
+                let dur = t - span.start;
+                if let Some(pid) = span.parent {
+                    if let Some(parent) = open.get_mut(&pid) {
+                        parent.child_time += dur;
+                    }
+                }
+                let agg = span_aggs.entry(span.name.clone()).or_insert_with(|| SpanAgg {
+                    name: span.name.clone(),
+                    count: 0,
+                    total: 0,
+                    self_time: 0,
+                    max: 0,
+                });
+                agg.count += 1;
+                agg.total += dur;
+                agg.self_time += dur.saturating_sub(span.child_time);
+                agg.max = agg.max.max(dur);
+            }
+            Some("event") => {
+                let name = rec
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .filter(|n| !n.is_empty())
+                    .ok_or_else(|| format!("line {lineno}: event missing name"))?
+                    .to_string();
+                let level = rec
+                    .get("level")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("line {lineno}: event missing level"))?;
+                if !matches!(level, "info" | "warn") {
+                    return Err(format!("line {lineno}: unknown level {level:?}"));
+                }
+                if let Some(sp) = rec.get("span") {
+                    let sid = sp
+                        .as_u64()
+                        .ok_or_else(|| format!("line {lineno}: \"span\" must be an id"))?;
+                    if !open.contains_key(&sid) {
+                        return Err(format!("line {lineno}: event references closed span {sid}"));
+                    }
+                }
+                let agg = event_aggs.entry(name.clone()).or_insert_with(|| EventAgg {
+                    name,
+                    count: 0,
+                    warns: 0,
+                });
+                agg.count += 1;
+                if level == "warn" {
+                    agg.warns += 1;
+                }
+            }
+            Some(other) => return Err(format!("line {lineno}: unknown record type {other:?}")),
+            None => return Err(format!("line {lineno}: record missing \"type\"")),
+        }
+        records += 1;
+    }
+    if !open.is_empty() {
+        let mut ids: Vec<u64> = open.keys().copied().collect();
+        ids.sort_unstable();
+        return Err(format!("trace ends with {} unclosed span(s): ids {ids:?}", ids.len()));
+    }
+
+    let mut spans: Vec<SpanAgg> = span_aggs.into_values().collect();
+    spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
+    let events: Vec<EventAgg> = event_aggs.into_values().collect();
+    Ok(TraceSummary { clock, spans, events, records })
+}
+
+/// Renders the summary as a fixed-width table: top-`top_k` spans by total
+/// time plus every event tally. Deterministic for a deterministic trace.
+pub fn render_summary(summary: &TraceSummary, top_k: usize) -> String {
+    let unit = if summary.clock == "virtual" { "ticks" } else { "ns" };
+    let mut out = String::new();
+    out.push_str(&format!("trace: {} records, {} clock\n\n", summary.records, summary.clock));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>14} {:>14} {:>12}\n",
+        "span",
+        "count",
+        format!("total ({unit})"),
+        format!("self ({unit})"),
+        "max"
+    ));
+    for agg in summary.spans.iter().take(top_k) {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>14} {:>14} {:>12}\n",
+            agg.name, agg.count, agg.total, agg.self_time, agg.max
+        ));
+    }
+    if summary.spans.len() > top_k {
+        out.push_str(&format!("... and {} more span name(s)\n", summary.spans.len() - top_k));
+    }
+    if !summary.events.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>8} {:>8}\n", "event", "count", "warns"));
+        for agg in &summary.events {
+            out.push_str(&format!("{:<28} {:>8} {:>8}\n", agg.name, agg.count, agg.warns));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::trace::{event, field, install, span, span_with, warn, Obs};
+
+    fn sample_trace() -> String {
+        let obs = Obs::with_trace(Clock::virtual_ticks());
+        let guard = install(obs.clone());
+        {
+            let _outer = span("ira-attempt");
+            for i in 0..2usize {
+                let _lp = span_with("lp-solve", vec![field("round", i)]);
+                event("lp.pivot_batch", vec![field("pivots", 3usize)]);
+            }
+            let _sep = span("separation");
+            warn("lp.cold_fallback", vec![field("reason", "drift")]);
+        }
+        drop(guard);
+        obs.trace_jsonl()
+    }
+
+    #[test]
+    fn round_trip_validates_and_aggregates() {
+        let jsonl = sample_trace();
+        let summary = validate_trace(&jsonl).expect("generated trace must validate");
+        assert_eq!(summary.clock, "virtual");
+        let outer = summary.span("ira-attempt").unwrap();
+        assert_eq!(outer.count, 1);
+        let lp = summary.span("lp-solve").unwrap();
+        assert_eq!(lp.count, 2);
+        assert!(outer.total >= lp.total + summary.span("separation").unwrap().total);
+        assert!(outer.self_time < outer.total, "children must subtract from self time");
+        let fallback = summary.event("lp.cold_fallback").unwrap();
+        assert_eq!(fallback.warns, 1);
+    }
+
+    #[test]
+    fn renderer_mentions_spans_and_events() {
+        let summary = validate_trace(&sample_trace()).unwrap();
+        let text = render_summary(&summary, 10);
+        assert!(text.contains("lp-solve"));
+        assert!(text.contains("separation"));
+        assert!(text.contains("lp.cold_fallback"));
+        assert!(text.contains("virtual clock"));
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        let err = validate_trace("{\"type\":\"event\",\"t\":1}\n").unwrap_err();
+        assert!(err.contains("trace_header"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let header = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n";
+        let cases = [
+            ("{\"type\":\"span_end\",\"id\":9,\"t\":1}", "unopened"),
+            ("{\"type\":\"mystery\",\"t\":1}", "unknown record type"),
+            ("{\"type\":\"event\",\"t\":1,\"name\":\"x\",\"level\":\"fatal\"}", "unknown level"),
+            ("{\"type\":\"span_start\",\"id\":1,\"t\":1,\"name\":\"a\",\"parent\":7}", "not open"),
+        ];
+        for (line, want) in cases {
+            let err = validate_trace(&format!("{header}{line}\n")).unwrap_err();
+            assert!(err.contains(want), "{line} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_unclosed_spans() {
+        let text = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n\
+                    {\"type\":\"span_start\",\"id\":1,\"t\":1,\"name\":\"a\"}\n";
+        let err = validate_trace(text).unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn rejects_time_reversal() {
+        let text = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n\
+                    {\"type\":\"span_start\",\"id\":1,\"t\":5,\"name\":\"a\"}\n\
+                    {\"type\":\"span_end\",\"id\":1,\"t\":3}\n";
+        let err = validate_trace(text).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+    }
+}

@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::collections::HashMap;
 use wsn_model::{Network, NodeId};
+use wsn_obs::Counter;
 use wsn_radio::LinkModel;
 
 /// Where per-link loss probabilities come from.
@@ -155,6 +156,36 @@ pub struct ChannelStats {
     pub to_crashed: usize,
 }
 
+/// Registry mirrors of [`ChannelStats`], resolved once at channel
+/// construction when an observability collector is installed on this
+/// thread. The struct fields stay the source of truth for experiment
+/// code; the counters exist so traces and `--metrics` dumps see the same
+/// numbers without hand-threading the stats outward.
+#[derive(Clone, Debug)]
+struct ChannelObs {
+    offered: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    to_crashed: Counter,
+}
+
+impl ChannelObs {
+    fn ambient() -> Option<ChannelObs> {
+        let obs = wsn_obs::current()?;
+        let reg = obs.registry();
+        Some(ChannelObs {
+            offered: reg.counter("proto.frames_offered"),
+            delivered: reg.counter("proto.frames_delivered"),
+            dropped: reg.counter("proto.frames_dropped"),
+            duplicated: reg.counter("proto.frames_duplicated"),
+            reordered: reg.counter("proto.frames_reordered"),
+            to_crashed: reg.counter("proto.frames_to_crashed"),
+        })
+    }
+}
+
 /// The lossy control channel: applies a [`FaultPlan`] to every
 /// transmission attempt.
 #[derive(Clone, Debug)]
@@ -167,6 +198,7 @@ pub struct LossyChannel {
     held: HashMap<u32, Bytes>,
     /// Running fault accounting.
     pub stats: ChannelStats,
+    obs: Option<ChannelObs>,
 }
 
 impl LossyChannel {
@@ -179,6 +211,7 @@ impl LossyChannel {
             crashed: Vec::new(),
             held: HashMap::new(),
             stats: ChannelStats::default(),
+            obs: ChannelObs::ambient(),
         }
     }
 
@@ -213,13 +246,22 @@ impl LossyChannel {
     /// or a held-back earlier frame arriving late behind this one.
     pub fn transmit(&mut self, from: NodeId, to: NodeId, frame: &Bytes) -> Vec<Bytes> {
         self.stats.offered += 1;
+        if let Some(o) = &self.obs {
+            o.offered.inc();
+        }
         if self.is_crashed(from) || self.is_crashed(to) {
             self.stats.to_crashed += 1;
+            if let Some(o) = &self.obs {
+                o.to_crashed.inc();
+            }
             return Vec::new();
         }
         let loss = self.plan.loss(from, to);
         if self.rng.random::<f64>() < loss {
             self.stats.dropped += 1;
+            if let Some(o) = &self.obs {
+                o.dropped.inc();
+            }
             return Vec::new();
         }
         let mut arrivals = Vec::with_capacity(2);
@@ -230,22 +272,38 @@ impl LossyChannel {
             let late = self.held.insert(to.label(), frame.clone());
             if let Some(old) = late {
                 self.stats.reordered += 1;
+                if let Some(o) = &self.obs {
+                    o.reordered.inc();
+                }
                 arrivals.push(old);
             }
-            self.stats.delivered += arrivals.len();
+            self.deliver(arrivals.len());
             return arrivals;
         }
         arrivals.push(frame.clone());
         if self.plan.duplicate_prob > 0.0 && self.rng.random::<f64>() < self.plan.duplicate_prob {
             self.stats.duplicated += 1;
+            if let Some(o) = &self.obs {
+                o.duplicated.inc();
+            }
             arrivals.push(frame.clone());
         }
         if let Some(old) = self.held.remove(&to.label()) {
             self.stats.reordered += 1;
+            if let Some(o) = &self.obs {
+                o.reordered.inc();
+            }
             arrivals.push(old);
         }
-        self.stats.delivered += arrivals.len();
+        self.deliver(arrivals.len());
         arrivals
+    }
+
+    fn deliver(&mut self, copies: usize) {
+        self.stats.delivered += copies;
+        if let Some(o) = &self.obs {
+            o.delivered.add(copies as u64);
+        }
     }
 
     /// Releases any frame still held back for `to` (end-of-epoch flush).
@@ -253,7 +311,10 @@ impl LossyChannel {
         let f = self.held.remove(&to.label());
         if f.is_some() {
             self.stats.reordered += 1;
-            self.stats.delivered += 1;
+            if let Some(o) = &self.obs {
+                o.reordered.inc();
+            }
+            self.deliver(1);
         }
         f
     }

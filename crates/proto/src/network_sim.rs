@@ -403,6 +403,13 @@ impl DistributedNetwork {
     /// transmissions spent.
     pub fn announce(&mut self, tree: &AggregationTree) -> Result<usize, SimError> {
         let frame = self.announce_frame(tree)?;
+        let _round = wsn_obs::span_with(
+            "protocol-round",
+            vec![
+                wsn_obs::field("kind", "announce"),
+                wsn_obs::field("epoch", u64::from(self.epoch)),
+            ],
+        );
         // The sink processes its own frame first (installing state), then
         // floods — but flooding needs the *tree*, which all nodes are about
         // to install; the announce rides the tree being announced.
@@ -421,6 +428,13 @@ impl DistributedNetwork {
         policy: &RetryPolicy,
     ) -> Result<DeliveryReport, SimError> {
         let frame = self.announce_frame(tree)?;
+        let _round = wsn_obs::span_with(
+            "protocol-round",
+            vec![
+                wsn_obs::field("kind", "announce-lossy"),
+                wsn_obs::field("epoch", u64::from(self.epoch)),
+            ],
+        );
         let sink = self.sink;
         let _ = self.nodes[sink.index()].receive(&frame);
         Ok(self.flood_reliable(tree, sink, &frame, channel, policy))
@@ -436,6 +450,14 @@ impl DistributedNetwork {
         // Flood over the *pre-update* tree: that is the structure the
         // forwarding nodes currently agree on.
         let old_tree = state.to_tree();
+        let _round = wsn_obs::span_with(
+            "protocol-round",
+            vec![
+                wsn_obs::field("kind", "parent-change"),
+                wsn_obs::field("child", child.index()),
+                wsn_obs::field("new_parent", new_parent.index()),
+            ],
+        );
         let msg = Message::ParentChange { epoch: self.epoch, seq: self.seq, child, new_parent };
         let frame = msg.encode();
         // The origin applies its own update by processing its own frame;
@@ -462,6 +484,14 @@ impl DistributedNetwork {
             return Err(SimError::NoTree(origin));
         };
         let old_tree = state.to_tree();
+        let _round = wsn_obs::span_with(
+            "protocol-round",
+            vec![
+                wsn_obs::field("kind", "parent-change-lossy"),
+                wsn_obs::field("child", child.index()),
+                wsn_obs::field("new_parent", new_parent.index()),
+            ],
+        );
         let msg = Message::ParentChange {
             epoch: self.nodes[origin.index()].epoch,
             seq: self.nodes[origin.index()].next_seq,
@@ -543,6 +573,7 @@ impl DistributedNetwork {
             if !hop.received() {
                 report.failed_hops += 1;
                 divergence = true; // silence is suspicious
+                Self::note_divergence(child, parent, "silent");
                 continue;
             }
             let parent_digest = self.nodes[parent.index()].digest();
@@ -552,9 +583,26 @@ impl DistributedNetwork {
             });
             if !heard_match {
                 divergence = true;
+                Self::note_divergence(child, parent, "digest-mismatch");
             }
         }
         divergence
+    }
+
+    /// One divergent heartbeat hop: bump the counter and leave a trace
+    /// event naming the edge and why it was flagged.
+    fn note_divergence(child: NodeId, parent: NodeId, cause: &str) {
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("proto.heartbeat_divergences").inc();
+            wsn_obs::event(
+                "proto.heartbeat_divergence",
+                vec![
+                    wsn_obs::field("child", child.index()),
+                    wsn_obs::field("parent", parent.index()),
+                    wsn_obs::field("cause", cause),
+                ],
+            );
+        }
     }
 
     /// Anti-entropy resync: heartbeat sweeps detect replica divergence;
@@ -568,8 +616,15 @@ impl DistributedNetwork {
         max_rounds: usize,
     ) -> ResyncReport {
         let mut report = ResyncReport::default();
-        for _ in 0..max_rounds {
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("proto.resyncs").inc();
+        }
+        for round in 0..max_rounds {
             report.rounds += 1;
+            let _span = wsn_obs::span_with(
+                "protocol-round",
+                vec![wsn_obs::field("kind", "resync"), wsn_obs::field("round", round)],
+            );
             let mut sweep = DeliveryReport::default();
             let diverged = self.heartbeat_sweep(channel, policy, &mut sweep);
             report.delivery.frames += sweep.frames;
@@ -578,14 +633,25 @@ impl DistributedNetwork {
             report.delivery.failed_hops += sweep.failed_hops;
             if !diverged {
                 report.converged = true;
-                return report;
+                break;
             }
             report.reannounces += 1;
+            if let Some(obs) = wsn_obs::current() {
+                obs.registry().counter("proto.resync_reannounces").inc();
+            }
             let tree = self.tree();
             if let Ok(d) = self.announce_lossy(&tree, channel, policy) {
                 report.delivery.absorb(&d);
             }
         }
+        wsn_obs::event(
+            "proto.resync_done",
+            vec![
+                wsn_obs::field("rounds", report.rounds),
+                wsn_obs::field("reannounces", report.reannounces),
+                wsn_obs::field("converged", report.converged),
+            ],
+        );
         report
     }
 
@@ -612,6 +678,13 @@ impl DistributedNetwork {
         if self.nodes[sink.index()].state.is_none() {
             return Err(SimError::NoTree(sink));
         }
+        let _round = wsn_obs::span_with(
+            "protocol-round",
+            vec![
+                wsn_obs::field("kind", "crash-repair"),
+                wsn_obs::field("crashed", crashed.index()),
+            ],
+        );
         let orphans: Vec<NodeId> = self.tree().children(crashed).to_vec();
         for orphan in orphans {
             let (coded, tree) = {
@@ -656,6 +729,19 @@ impl DistributedNetwork {
             report.delivery.absorb(&d);
             report.rehomed.push((orphan, new_parent));
         }
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("proto.crash_repairs").inc();
+            obs.registry().counter("proto.orphans_rehomed").add(report.rehomed.len() as u64);
+            obs.registry().counter("proto.orphans_stranded").add(report.stranded.len() as u64);
+        }
+        wsn_obs::event(
+            "proto.crash_repair",
+            vec![
+                wsn_obs::field("crashed", crashed.index()),
+                wsn_obs::field("rehomed", report.rehomed.len()),
+                wsn_obs::field("stranded", report.stranded.len()),
+            ],
+        );
         Ok(report)
     }
 }

@@ -117,7 +117,40 @@ pub fn send_hop(
     report.attempts = attempts;
     report.acked = acked;
     report.slots = policy.slots_for(attempts);
+    publish_hop(&report, from, to);
     report
+}
+
+/// Attempts-per-hop histogram bucket bounds (inclusive upper edges); the
+/// implicit overflow bucket catches pathological hops past 8 attempts.
+const ATTEMPT_BUCKETS: [u64; 4] = [1, 2, 4, 8];
+
+/// Registry + trace view of one finished hop. Counters sum over every hop
+/// of every flood; the `proto.hop_failed` warn event marks a hop that
+/// exhausted its retry budget without hearing an ack.
+fn publish_hop(report: &HopReport, from: NodeId, to: NodeId) {
+    let Some(obs) = wsn_obs::current() else {
+        return;
+    };
+    let reg = obs.registry();
+    reg.counter("proto.hop_attempts").add(report.attempts as u64);
+    reg.counter("proto.hop_acks").add(report.acks as u64);
+    reg.counter("proto.hop_slots").add(report.slots);
+    // Each transmission occupies one slot; the rest of the budget is backoff.
+    reg.counter("proto.backoff_slots").add(report.slots.saturating_sub(report.attempts as u64));
+    reg.counter("proto.retransmissions").add(report.attempts.saturating_sub(1) as u64);
+    reg.histogram("proto.attempts_per_hop", &ATTEMPT_BUCKETS).observe(report.attempts as u64);
+    if !report.acked {
+        wsn_obs::warn(
+            "proto.hop_failed",
+            vec![
+                wsn_obs::field("from", from.index()),
+                wsn_obs::field("to", to.index()),
+                wsn_obs::field("attempts", report.attempts),
+                wsn_obs::field("received", report.received()),
+            ],
+        );
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,37 @@
+//! A/B harness: IRA wall time on the rand-80 bench rung with and without
+//! an ambient metrics registry installed. Used to bound instrumentation
+//! overhead; not part of the figure suite.
+
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use wsn_model::{lifetime, EnergyModel};
+use wsn_testbed::{random_graph, RandomGraphConfig};
+
+fn main() {
+    let model = EnergyModel::PAPER;
+    let lc = lifetime::node_lifetime(3000.0, &model, 4) * 0.99;
+    let gcfg = RandomGraphConfig { n: 80, link_probability: 0.3, ..RandomGraphConfig::default() };
+    let mut rng = StdRng::seed_from_u64(4242 + 80);
+    let net = random_graph(&gcfg, &mut rng).expect("connected");
+    let inst = MrlcInstance::new(net, model, lc).expect("valid");
+    let cfg = IraConfig::default();
+    let reps = 5;
+    let mut bare = f64::MAX;
+    let mut instrumented = f64::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let _ = solve_ira(&inst, &cfg).unwrap();
+        bare = bare.min(t.elapsed().as_secs_f64() * 1e3);
+        let obs = wsn_obs::Obs::detached();
+        let _g = wsn_obs::install(obs);
+        let t = Instant::now();
+        let _ = solve_ira(&inst, &cfg).unwrap();
+        instrumented = instrumented.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    println!(
+        "bare {bare:.1} ms  instrumented {instrumented:.1} ms  overhead {:+.2}%",
+        (instrumented / bare - 1.0) * 100.0
+    );
+}

@@ -21,8 +21,28 @@
 //! callers need no protocol. [`CutLp::new_cold`] restores the old
 //! rebuild-every-round behavior for comparison benchmarks; both paths
 //! produce optimal extreme points of the same polytope.
+//!
+//! # The cut-pool separation engine
+//!
+//! Each cut round runs through a [`CutPool`] + [`SeedOracle`] pipeline
+//! (DESIGN.md §10). The pool parks every set the oracle ever separated;
+//! a round first *screens* the pool's inactive side against the current
+//! point — one dot product per cut, no maxflow — and re-activates the
+//! top-K most-violated, non-nested members. Only when the pool is clean
+//! does the expensive seeded-min-cut oracle run; its cuts are deepened by
+//! violation-maximizing local search ([`separation::strengthen`]) and its
+//! surplus findings are parked rather than discarded. The pool and the oracle's reusable
+//! scratch networks survive IRA shrink steps and constraint drops
+//! (subtour cuts stay valid on any edge subset). The pre-engine loop —
+//! one cut per round, no pool, no seed pruning — stays available behind
+//! [`SeparationConfig::single_cut`] for A/B benchmarks; both strategies
+//! terminate at an optimum of the same polytope.
 
-use crate::separation::{violated_sets, FracEdge};
+use crate::cutpool::{select_batch, CutPool};
+use crate::separation::{
+    self, CutStrategy, FracEdge, SeedOracle, SepCounters, SeparationConfig, ViolatedSet,
+    PARALLEL_SEP_THRESHOLD,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use wsn_lp::{IncrementalLp, LpProblem, LpStatus, Relation, RowId, VarId};
@@ -69,7 +89,8 @@ pub enum CutLpError {
     Lp(wsn_lp::LpError),
     /// Cutting-plane rounds exceeded the safety cap.
     CutRoundLimit,
-    /// Separation returned a set the LP already contains — numerical stall.
+    /// Separation returned only sets the LP already contains — numerical
+    /// stall.
     StalledCut,
 }
 
@@ -99,7 +120,7 @@ struct WarmState {
     cap_rows: BTreeMap<usize, (RowId, f64, f64)>,
     /// Cap nodes still enforced (not yet relaxed to the vacuous rhs).
     active_caps: BTreeSet<usize>,
-    /// How many of the accumulated subtour sets have tableau rows.
+    /// How many of the pool's activated cuts have tableau rows.
     subtour_rows: usize,
 }
 
@@ -117,19 +138,25 @@ struct CutLpMetrics {
     cut_rounds: Counter,
     sep_ns: Counter,
     lp_ns: Counter,
-    base: [u64; 6],
+    pool_hits: Counter,
+    pool_scans: Counter,
+    cuts_batched: Counter,
+    seeds_pruned: Counter,
+    base: [u64; 10],
 }
 
 impl CutLpMetrics {
-    fn new() -> Self {
-        let obs = wsn_obs::current_or_detached();
-        let reg = obs.registry();
+    fn from_registry(reg: &wsn_obs::Registry) -> Self {
         let lp_solves = reg.counter("ira.lp_solves");
         let cuts_added = reg.counter("ira.cuts_added");
         let pivots = reg.counter("ira.pivots");
         let cut_rounds = reg.counter("ira.cut_rounds");
         let sep_ns = reg.counter("ira.sep_ns");
         let lp_ns = reg.counter("ira.lp_ns");
+        let pool_hits = reg.counter("sep.pool_hits");
+        let pool_scans = reg.counter("sep.pool_scans");
+        let cuts_batched = reg.counter("sep.cuts_batched");
+        let seeds_pruned = reg.counter("sep.seeds_pruned");
         let base = [
             lp_solves.get(),
             cuts_added.get(),
@@ -137,18 +164,37 @@ impl CutLpMetrics {
             cut_rounds.get(),
             sep_ns.get(),
             lp_ns.get(),
+            pool_hits.get(),
+            pool_scans.get(),
+            cuts_batched.get(),
+            seeds_pruned.get(),
         ];
-        CutLpMetrics { lp_solves, cuts_added, pivots, cut_rounds, sep_ns, lp_ns, base }
+        CutLpMetrics {
+            lp_solves,
+            cuts_added,
+            pivots,
+            cut_rounds,
+            sep_ns,
+            lp_ns,
+            pool_hits,
+            pool_scans,
+            cuts_batched,
+            seeds_pruned,
+            base,
+        }
     }
 }
 
-/// Cutting-plane state: accumulated subtour sets survive across IRA
-/// iterations (they remain valid as edges/constraints are removed), and in
-/// warm mode so does the simplex basis itself.
+/// Cutting-plane state. The cut pool and the oracle's scratch networks
+/// survive across IRA iterations (subtour cuts remain valid as
+/// edges/constraints are removed), and in warm mode so does the simplex
+/// basis itself.
 #[derive(Clone, Debug)]
 pub struct CutLp {
-    subtour_sets: Vec<Vec<usize>>,
-    seen: BTreeSet<Vec<usize>>,
+    pool: CutPool,
+    sep: SeparationConfig,
+    oracle: SeedOracle,
+    counters: SepCounters,
     warm: bool,
     state: Option<WarmState>,
     metrics: CutLpMetrics,
@@ -161,21 +207,31 @@ impl Default for CutLp {
 }
 
 impl CutLp {
-    /// Creates an empty cutting-plane state with warm starts enabled.
+    /// Creates an empty cutting-plane state with warm starts and the
+    /// batched cut-pool engine enabled.
     pub fn new() -> Self {
-        CutLp {
-            subtour_sets: Vec::new(),
-            seen: BTreeSet::new(),
-            warm: true,
-            state: None,
-            metrics: CutLpMetrics::new(),
-        }
+        Self::with_config(true, SeparationConfig::default())
     }
 
     /// Creates a state that rebuilds the LP from scratch every round — the
     /// pre-warm-start behavior, kept for benchmarks and equivalence tests.
     pub fn new_cold() -> Self {
-        CutLp { warm: false, ..CutLp::new() }
+        Self::with_config(false, SeparationConfig::default())
+    }
+
+    /// Creates a state with explicit warm-start and separation settings.
+    pub fn with_config(warm: bool, sep: SeparationConfig) -> Self {
+        let obs = wsn_obs::current_or_detached();
+        let reg = obs.registry();
+        CutLp {
+            pool: CutPool::new(),
+            sep,
+            oracle: SeedOracle::new(),
+            counters: SepCounters::from_registry(reg),
+            warm,
+            state: None,
+            metrics: CutLpMetrics::from_registry(reg),
+        }
     }
 
     /// Whether this instance reuses the simplex basis across solves.
@@ -183,12 +239,17 @@ impl CutLp {
         self.warm
     }
 
+    /// The separation settings this instance runs with.
+    pub fn separation_config(&self) -> SeparationConfig {
+        self.sep
+    }
+
     /// LP solves performed by this instance.
     pub fn lp_solves(&self) -> usize {
         (self.metrics.lp_solves.get() - self.metrics.base[0]) as usize
     }
 
-    /// Subtour cuts generated by this instance.
+    /// Subtour cuts activated (given LP rows) by this instance.
     pub fn cuts_added(&self) -> usize {
         (self.metrics.cuts_added.get() - self.metrics.base[1]) as usize
     }
@@ -203,7 +264,8 @@ impl CutLp {
         (self.metrics.cut_rounds.get() - self.metrics.base[3]) as usize
     }
 
-    /// Wall time this instance spent in the separation oracle.
+    /// Wall time this instance spent in separation (pool screening plus
+    /// the min-cut oracle).
     pub fn sep_time(&self) -> Duration {
         Duration::from_nanos(self.metrics.sep_ns.get() - self.metrics.base[4])
     }
@@ -211,6 +273,32 @@ impl CutLp {
     /// Wall time this instance spent inside the simplex.
     pub fn lp_time(&self) -> Duration {
         Duration::from_nanos(self.metrics.lp_ns.get() - self.metrics.base[5])
+    }
+
+    /// Cuts re-activated from the pool instead of re-derived via maxflow.
+    pub fn pool_hits(&self) -> usize {
+        (self.metrics.pool_hits.get() - self.metrics.base[6]) as usize
+    }
+
+    /// Pool screening passes performed before consulting the oracle.
+    pub fn pool_scans(&self) -> usize {
+        (self.metrics.pool_scans.get() - self.metrics.base[7]) as usize
+    }
+
+    /// Cuts added beyond the first of their round — the direct measure of
+    /// multi-cut batching versus the single-cut baseline.
+    pub fn cuts_batched(&self) -> usize {
+        (self.metrics.cuts_batched.get() - self.metrics.base[8]) as usize
+    }
+
+    /// Min-cut seeds skipped by the pruning short-circuits.
+    pub fn seeds_pruned(&self) -> usize {
+        (self.metrics.seeds_pruned.get() - self.metrics.base[9]) as usize
+    }
+
+    /// Total cuts parked in the pool (active and inactive).
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
     }
 
     /// Solves `min Σ c_e x_e` over the spanning-tree polytope of the given
@@ -233,6 +321,109 @@ impl CutLp {
         } else {
             self.solve_cold(n, edges, caps)
         }
+    }
+
+    // ---- separation round (shared by warm and cold paths) -------------
+
+    /// One separation step against the fractional point `frac`: screen the
+    /// pool, then consult the oracle; activate the round's batch. Returns
+    /// the number of cuts activated — 0 means `frac` is feasible for the
+    /// full polytope.
+    fn separate_round(
+        &mut self,
+        n: usize,
+        frac: &[FracEdge],
+        round: usize,
+    ) -> Result<usize, CutLpError> {
+        let k = match self.sep.strategy {
+            CutStrategy::SingleCut => 1,
+            CutStrategy::Batched => self.sep.max_cuts_per_round.max(1),
+        };
+
+        // Pool first: a violated parked cut costs a dot product to find,
+        // the oracle costs one maxflow per seed.
+        if self.sep.use_pool && self.pool.inactive_count() > 0 {
+            self.metrics.pool_scans.inc();
+            let (_screened, violated) = self.pool.screen(frac, SEP_TOL);
+            if !violated.is_empty() {
+                let (picked, _rest) = select_batch(violated, k);
+                let hits = picked.len();
+                for vs in picked {
+                    self.pool.activate(vs.set);
+                    self.metrics.cuts_added.inc();
+                }
+                self.metrics.pool_hits.add(hits as u64);
+                if hits > 1 {
+                    self.metrics.cuts_batched.add(hits as u64 - 1);
+                }
+                wsn_obs::event(
+                    "sep.pool_hit",
+                    vec![wsn_obs::field("round", round), wsn_obs::field("cuts", hits)],
+                );
+                return Ok(hits);
+            }
+        }
+
+        let mut cands = self.oracle.separate(
+            n,
+            frac,
+            SEP_TOL,
+            n >= PARALLEL_SEP_THRESHOLD,
+            self.sep.prune_seeds,
+            &self.counters,
+        );
+        if cands.is_empty() {
+            return Ok(0);
+        }
+        // A set that already has an LP row cannot cut off the current
+        // point again; if the oracle returns nothing else, the loop is
+        // numerically stalled.
+        cands.retain(|vs| !self.pool.is_active(&vs.set));
+        if cands.is_empty() {
+            return Err(CutLpError::StalledCut);
+        }
+        if self.sep.strengthen_cuts {
+            // Deepen each cut, re-deduplicate (strengthened sets can
+            // collide), and keep only sets that still lack an LP row. The
+            // current LP point satisfies every active row, so a set with
+            // positive violation is never active — the retain guards the
+            // degenerate zero-violation corner only.
+            let mut deep: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+            for vs in cands {
+                let set = separation::strengthen(
+                    n,
+                    frac,
+                    &vs.set,
+                    self.sep.strengthen_margin.max(SEP_TOL),
+                );
+                let viol = separation::violation_sorted(frac, &set);
+                let entry = deep.entry(set).or_insert(viol);
+                *entry = entry.max(viol);
+            }
+            cands = deep
+                .into_iter()
+                .filter(|(set, _)| !self.pool.is_active(set))
+                .map(|(set, violation)| ViolatedSet { set, violation })
+                .collect();
+            if cands.is_empty() {
+                return Err(CutLpError::StalledCut);
+            }
+        }
+        let (picked, rest) = select_batch(cands, k);
+        let added = picked.len();
+        for vs in picked {
+            self.pool.activate(vs.set);
+            self.metrics.cuts_added.inc();
+        }
+        if self.sep.use_pool {
+            for vs in rest {
+                self.pool.insert_inactive(vs.set);
+            }
+        }
+        if added > 1 {
+            self.metrics.cuts_batched.add(added as u64 - 1);
+        }
+        Ok(added)
     }
 
     // ---- warm path ----------------------------------------------------
@@ -260,8 +451,23 @@ impl CutLp {
         })
     }
 
+    /// The LP row of `set` (sorted), or `None` when it cannot bind (fewer
+    /// internal edges than the bound).
+    fn subtour_row(
+        vars: &BTreeMap<usize, (VarId, usize, usize)>,
+        set: &[usize],
+    ) -> Option<(Vec<(VarId, f64)>, f64)> {
+        let member = |v: usize| set.binary_search(&v).is_ok();
+        let internal: Vec<(VarId, f64)> = vars
+            .values()
+            .filter(|&&(_, u, v)| member(u) && member(v))
+            .map(|&(var, _, _)| (var, 1.0))
+            .collect();
+        (internal.len() >= set.len()).then_some((internal, set.len() as f64 - 1.0))
+    }
+
     /// Builds a fresh incremental tableau for the given instance,
-    /// materializing the accumulated subtour family.
+    /// materializing the pool's activated cuts.
     fn build_state(&mut self, n: usize, edges: &[LpEdge], caps: &[(usize, f64)]) -> WarmState {
         let mut lp = IncrementalLp::new();
         let mut vars = BTreeMap::new();
@@ -295,25 +501,35 @@ impl CutLp {
         }
 
         let mut state = WarmState { lp, n, vars, active, cap_rows, active_caps, subtour_rows: 0 };
-        for i in 0..self.subtour_sets.len() {
-            Self::materialize_subtour(&mut state, &self.subtour_sets[i]);
+        let mut rows = Vec::new();
+        while state.subtour_rows < self.pool.active_count() {
+            if let Some(row) =
+                Self::subtour_row(&state.vars, self.pool.active_set(state.subtour_rows))
+            {
+                rows.push(row);
+            }
+            state.subtour_rows += 1;
         }
+        state.lp.append_le_rows(&rows);
         state
     }
 
-    /// Appends the subtour row of `set` (sorted) to the standing tableau.
-    fn materialize_subtour(state: &mut WarmState, set: &[usize]) {
-        let member = |v: usize| set.binary_search(&v).is_ok();
-        let internal: Vec<(VarId, f64)> = state
-            .vars
-            .values()
-            .filter(|&&(_, u, v)| member(u) && member(v))
-            .map(|&(var, _, _)| (var, 1.0))
-            .collect();
-        if internal.len() >= set.len() {
-            state.lp.append_le_row(&internal, set.len() as f64 - 1.0);
+    /// Appends tableau rows for pool cuts activated since the last
+    /// materialization — one batched append, one dual repair.
+    fn materialize_pending(&mut self) {
+        let state = self.state.as_mut().expect("warm state exists inside the solve loop");
+        let mut rows = Vec::new();
+        while state.subtour_rows < self.pool.active_count() {
+            if let Some(row) =
+                Self::subtour_row(&state.vars, self.pool.active_set(state.subtour_rows))
+            {
+                rows.push(row);
+            }
+            state.subtour_rows += 1;
         }
-        state.subtour_rows += 1;
+        if !rows.is_empty() {
+            state.lp.append_le_rows(&rows);
+        }
     }
 
     fn solve_warm(
@@ -339,11 +555,8 @@ impl CutLp {
                 state.lp.relax_le_rhs(row, vacuous);
                 state.active_caps.remove(&node);
             }
-            while state.subtour_rows < self.subtour_sets.len() {
-                let set = self.subtour_sets[state.subtour_rows].clone();
-                Self::materialize_subtour(&mut state, &set);
-            }
             self.state = Some(state);
+            self.materialize_pending();
         } else {
             let state = self.build_state(n, edges, caps);
             self.state = Some(state);
@@ -373,38 +586,17 @@ impl CutLp {
             let frac: Vec<FracEdge> =
                 edges.iter().zip(&x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
             let sep_start = std::time::Instant::now();
-            let violated = {
+            let added = {
                 let _span = wsn_obs::span_with("separation", vec![wsn_obs::field("round", round)]);
-                violated_sets(n, &frac, SEP_TOL)
+                self.separate_round(n, &frac, round)?
             };
             self.metrics.sep_ns.add(sep_start.elapsed().as_nanos() as u64);
-            if violated.is_empty() {
+            if added == 0 {
                 return Ok(CutLpOutcome::Optimal { x, objective: sol.objective });
             }
-            if !self.absorb_cuts(violated) {
-                return Err(CutLpError::StalledCut);
-            }
-            let state = self.state.as_mut().unwrap();
-            while state.subtour_rows < self.subtour_sets.len() {
-                let set = self.subtour_sets[state.subtour_rows].clone();
-                Self::materialize_subtour(state, &set);
-            }
+            self.materialize_pending();
         }
         Err(CutLpError::CutRoundLimit)
-    }
-
-    /// Records newly separated sets; returns false if none were new.
-    fn absorb_cuts(&mut self, violated: Vec<Vec<usize>>) -> bool {
-        let mut progressed = false;
-        for set in violated {
-            debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "oracle sets arrive sorted");
-            if self.seen.insert(set.clone()) {
-                self.subtour_sets.push(set);
-                self.metrics.cuts_added.inc();
-                progressed = true;
-            }
-        }
-        progressed
     }
 
     // ---- cold path (rebuilds the LP each round) -----------------------
@@ -448,8 +640,9 @@ impl CutLp {
                 lp.add_constraint(&incident, Relation::Le, *beta);
             }
 
-            // Eq. 13 for the accumulated family of subtour sets.
-            for set in &self.subtour_sets {
+            // Eq. 13 for the pool's activated cuts.
+            for i in 0..self.pool.active_count() {
+                let set = self.pool.active_set(i);
                 let member = |v: usize| set.binary_search(&v).is_ok();
                 let internal: Vec<(VarId, f64)> = edges
                     .iter()
@@ -482,16 +675,13 @@ impl CutLp {
             let frac: Vec<FracEdge> =
                 edges.iter().zip(&sol.x).map(|(e, &x)| FracEdge { u: e.u, v: e.v, x }).collect();
             let sep_start = std::time::Instant::now();
-            let violated = {
+            let added = {
                 let _span = wsn_obs::span_with("separation", vec![wsn_obs::field("round", round)]);
-                violated_sets(n, &frac, SEP_TOL)
+                self.separate_round(n, &frac, round)?
             };
             self.metrics.sep_ns.add(sep_start.elapsed().as_nanos() as u64);
-            if violated.is_empty() {
+            if added == 0 {
                 return Ok(CutLpOutcome::Optimal { x: sol.x, objective: sol.objective });
-            }
-            if !self.absorb_cuts(violated) {
-                return Err(CutLpError::StalledCut);
             }
         }
         Err(CutLpError::CutRoundLimit)
@@ -502,7 +692,6 @@ impl CutLp {
 fn incident_count(edges: &[LpEdge], node: usize) -> usize {
     edges.iter().filter(|e| e.u == node || e.v == node).count()
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,5 +974,89 @@ mod tests {
             (first_solves * 2) as u64,
             "registry holds the shared total"
         );
+    }
+
+    /// Three disjoint cheap triangles joined by two expensive bridges: the
+    /// first LP solve saturates at least two triangles at once, so
+    /// separation yields multiple disjoint violated sets in one round.
+    fn three_triangles() -> Vec<LpEdge> {
+        let mut edges = Vec::new();
+        let mut tag = 0;
+        for base in [0usize, 3, 6] {
+            for (u, v) in [(base, base + 1), (base + 1, base + 2), (base, base + 2)] {
+                edges.push(lpe(u, v, 0.1 + tag as f64 * 1e-4, tag));
+                tag += 1;
+            }
+        }
+        edges.push(lpe(2, 3, 5.0, tag));
+        edges.push(lpe(5, 6, 5.0, tag + 1));
+        edges
+    }
+
+    #[test]
+    fn batched_rounds_record_batching() {
+        let edges = three_triangles();
+        let mut cut = CutLp::new();
+        let CutLpOutcome::Optimal { x, .. } = cut.solve(9, &edges, &[]).unwrap() else { panic!() };
+        assert_integral_tree(9, &edges, &x);
+        assert!(cut.cuts_added() >= 2, "multiple triangle cuts must fire");
+        assert!(cut.cuts_batched() >= 1, "at least one round must add several cuts");
+    }
+
+    #[test]
+    fn pool_reactivation_counts_hits() {
+        // Cap the batch at one cut per round: surplus violated sets are
+        // parked in the pool and must come back via screening (a pool hit)
+        // rather than a fresh maxflow run.
+        let edges = three_triangles();
+        let sep = SeparationConfig { max_cuts_per_round: 1, ..SeparationConfig::default() };
+        let mut cut = CutLp::with_config(true, sep);
+        let CutLpOutcome::Optimal { x, .. } = cut.solve(9, &edges, &[]).unwrap() else { panic!() };
+        assert_integral_tree(9, &edges, &x);
+        assert!(cut.pool_scans() >= 1, "rounds after the first parked cut must screen");
+        assert!(cut.pool_hits() >= 1, "a parked cut must be re-activated from the pool");
+        assert_eq!(cut.cuts_batched(), 0, "K = 1 never batches");
+        assert!(cut.pool_size() >= cut.cuts_added());
+    }
+
+    #[test]
+    fn single_cut_baseline_agrees_with_batched() {
+        // The A/B toggle: the pre-engine loop (one cut per round, no pool,
+        // no pruning) must land on the same optimum, spending at least as
+        // many cut rounds.
+        let edges = three_triangles();
+        let mut batched = CutLp::new();
+        let mut single = CutLp::with_config(true, SeparationConfig::single_cut());
+        let CutLpOutcome::Optimal { objective: ob, x: xb } = batched.solve(9, &edges, &[]).unwrap()
+        else {
+            panic!()
+        };
+        let CutLpOutcome::Optimal { objective: os, x: xs } = single.solve(9, &edges, &[]).unwrap()
+        else {
+            panic!()
+        };
+        assert!((ob - os).abs() < 1e-6, "batched {ob} vs single {os}");
+        for (a, b) in xb.iter().zip(&xs) {
+            assert!((a - b).abs() < 1e-6, "distinct costs force a unique optimum");
+        }
+        assert!(single.cut_rounds() >= batched.cut_rounds());
+        assert_eq!(single.pool_scans(), 0, "single-cut mode never consults the pool");
+        assert_eq!(single.seeds_pruned(), 0, "single-cut mode never prunes seeds");
+    }
+
+    #[test]
+    fn pool_survives_shrinking_resolves() {
+        // IRA drops edges between solves; pooled cuts must persist so the
+        // shrunken re-solve starts from the accumulated polytope knowledge.
+        let edges = three_triangles();
+        let mut cut = CutLp::new();
+        let _ = cut.solve(9, &edges, &[]).unwrap();
+        let pooled = cut.pool_size();
+        assert!(pooled >= 2);
+        // Drop one edge of the first triangle (keep connectivity).
+        let shrunk: Vec<LpEdge> = edges.iter().filter(|e| e.tag != 2).copied().collect();
+        let CutLpOutcome::Optimal { x, .. } = cut.solve(9, &shrunk, &[]).unwrap() else { panic!() };
+        assert_integral_tree(9, &shrunk, &x);
+        assert!(cut.pool_size() >= pooled, "shrink must not evict pooled cuts");
     }
 }

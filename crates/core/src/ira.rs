@@ -2,6 +2,7 @@
 
 use crate::formulation::{CutLp, CutLpError, CutLpOutcome, LpEdge};
 use crate::problem::MrlcInstance;
+use crate::separation::SeparationConfig;
 use wsn_model::{lifetime, AggregationTree, ModelError, NodeId};
 
 /// Edge values at or below this are treated as `x_e = 0` (Alg. 1 line 6).
@@ -25,11 +26,22 @@ pub struct IraConfig {
     /// iterations (see [`CutLp`]); `false` rebuilds the LP cold every
     /// round, for comparison runs.
     pub warm_lp: bool,
+    /// Separation-engine settings: cut batching, pool reuse, seed pruning
+    /// (see [`SeparationConfig`]). The default runs the batched cut-pool
+    /// engine; [`SeparationConfig::single_cut`] restores the pre-engine
+    /// one-cut-per-round loop for A/B benchmarks.
+    pub separation: SeparationConfig,
 }
 
 impl Default for IraConfig {
     fn default() -> Self {
-        IraConfig { constrain_sink: true, batch_removal: true, fallback_to_lc: true, warm_lp: true }
+        IraConfig {
+            constrain_sink: true,
+            batch_removal: true,
+            fallback_to_lc: true,
+            warm_lp: true,
+            separation: SeparationConfig::default(),
+        }
     }
 }
 
@@ -56,6 +68,17 @@ pub struct IraStats {
     pub cut_rounds: usize,
     /// Wall time spent in the separation oracle, in milliseconds.
     pub sep_ms: f64,
+    /// Cuts re-activated from the pool by a dot-product screen instead of a
+    /// fresh min-cut run.
+    pub pool_hits: usize,
+    /// Pool screening passes performed before consulting the oracle.
+    pub pool_scans: usize,
+    /// Cuts added beyond the first of their round (the batching win over
+    /// the single-cut baseline).
+    pub cuts_batched: usize,
+    /// Min-cut seeds skipped by the component-bound and covered-seed
+    /// pruning short-circuits.
+    pub seeds_pruned: usize,
 }
 
 /// Failure modes of IRA.
@@ -207,7 +230,7 @@ fn attempt(
     }
 
     let mut active: Vec<bool> = vec![true; net.num_edges()];
-    let mut cut = if config.warm_lp { CutLp::new() } else { CutLp::new_cold() };
+    let mut cut = CutLp::with_config(config.warm_lp, config.separation);
     let mut stats = IraStats { l_prime: l_used, relaxed_to_lc: relaxed, ..IraStats::default() };
 
     while w_set.iter().any(|&b| b) {
@@ -234,6 +257,10 @@ fn attempt(
         stats.pivots = cut.pivots();
         stats.cut_rounds = cut.cut_rounds();
         stats.sep_ms = cut.sep_time().as_secs_f64() * 1e3;
+        stats.pool_hits = cut.pool_hits();
+        stats.pool_scans = cut.pool_scans();
+        stats.cuts_batched = cut.cuts_batched();
+        stats.seeds_pruned = cut.seeds_pruned();
         let x = match outcome {
             CutLpOutcome::Infeasible => {
                 return Err(AttemptError::Infeasible(format!(
@@ -622,6 +649,47 @@ mod tests {
             })
         }
 
+        /// Like [`arb_instance`], but with a per-edge jitter on the
+        /// quantized PRRs so edge costs are pairwise distinct. Generic
+        /// costs give the LP a unique optimum at every IRA iteration, so
+        /// every terminating separation strategy must walk the same
+        /// support sequence and decode the exact same tree — the property
+        /// the engine A/B proptest pins.
+        fn arb_generic_instance() -> impl Strategy<Value = (MrlcInstance, f64)> {
+            (4usize..7).prop_flat_map(|n| {
+                let spine_q = proptest::collection::vec(50u32..100, n - 1);
+                let extra = proptest::collection::vec((0usize..6, 0usize..6, 50u32..100), 0..6);
+                let energy = proptest::collection::vec(1000u32..5000, n);
+                let frac = 1u32..95u32;
+                (Just(n), spine_q, extra, energy, frac).prop_map(
+                    |(n, spine, extra, energy, frac)| {
+                        let mut b = NetworkBuilder::new(n);
+                        let mut serial = 0u32;
+                        let mut jitter = |k: u32| {
+                            serial += 1;
+                            // ≤ 2e-4 of skew: never crosses the 1e-2 PRR
+                            // quantum, always separates equal quanta.
+                            k as f64 / 100.0 + serial as f64 * 1e-5
+                        };
+                        for (i, q) in spine.iter().enumerate() {
+                            b.add_edge(i, i + 1, jitter(*q)).unwrap();
+                        }
+                        for (u, v, q) in extra {
+                            if u < n && v < n && u != v {
+                                let _ = b.add_edge(u, v, jitter(q));
+                            }
+                        }
+                        for (i, e) in energy.iter().enumerate() {
+                            b.set_energy(NodeId::new(i), *e as f64).unwrap();
+                        }
+                        let net = b.build().unwrap();
+                        let inst = MrlcInstance::new(net, EnergyModel::PAPER, 1.0).unwrap();
+                        (inst, frac as f64 / 100.0)
+                    },
+                )
+            })
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(40))]
             #[test]
@@ -653,6 +721,43 @@ mod tests {
                     .unwrap_or(f64::INFINITY);
                 prop_assert!(sol.cost <= opt_lp + 1e-7,
                     "cost {} above OPT(L') {}", sol.cost, opt_lp);
+            }
+
+            #[test]
+            fn pooled_engine_reproduces_single_cut_trees(
+                (inst0, frac) in arb_generic_instance()
+            ) {
+                let max_l = brute_max_lifetime(&inst0);
+                prop_assume!(max_l.is_finite() && max_l > 0.0);
+                let lc = max_l * frac;
+                let inst = MrlcInstance::new(
+                    inst0.network().clone(), *inst0.model(), lc).unwrap();
+                let engine = IraConfig::default();
+                let single = IraConfig {
+                    separation: SeparationConfig::single_cut(),
+                    ..IraConfig::default()
+                };
+                match (solve_ira(&inst, &engine), solve_ira(&inst, &single)) {
+                    (Ok(a), Ok(b)) => {
+                        let n = inst.network().n();
+                        let pa: Vec<Option<NodeId>> =
+                            (0..n).map(|v| a.tree.parent(NodeId::new(v))).collect();
+                        let pb: Vec<Option<NodeId>> =
+                            (0..n).map(|v| b.tree.parent(NodeId::new(v))).collect();
+                        prop_assert_eq!(pa, pb, "engine and single-cut trees differ");
+                        prop_assert!((a.cost - b.cost).abs() < 1e-9);
+                        prop_assert!((a.reliability - b.reliability).abs() < 1e-9);
+                        prop_assert!((a.lifetime - b.lifetime).abs() < 1e-9);
+                        prop_assert_eq!(a.meets_lc, b.meets_lc);
+                    }
+                    (Err(IraError::LifetimeUnachievable { .. }),
+                     Err(IraError::LifetimeUnachievable { .. })) => {}
+                    (a, b) => {
+                        return Err(TestCaseError::fail(format!(
+                            "outcome mismatch: engine {:?} vs single-cut {:?}",
+                            a.map(|s| s.cost), b.map(|s| s.cost))));
+                    }
+                }
             }
         }
     }

@@ -46,6 +46,7 @@
 //! ```
 
 pub mod bounds;
+pub mod cutpool;
 pub mod exact;
 pub mod formulation;
 pub mod ira;
@@ -56,10 +57,12 @@ pub mod separation;
 pub mod verify;
 
 pub use bounds::{lifetime_bounds, LifetimeBounds};
+pub use cutpool::CutPool;
 pub use exact::{solve_exact, ExactConfig, ExactOutcome};
 pub use formulation::{CutLp, CutLpOutcome};
 pub use ira::{solve_ira, IraConfig, IraError, IraSolution, IraStats};
 pub use lagrangian::{lagrangian_dbmst, LagrangianConfig, LagrangianResult};
 pub use pareto::{dominant_points, pareto_frontier, ParetoPoint};
 pub use problem::MrlcInstance;
+pub use separation::{CutStrategy, SeparationConfig};
 pub use verify::{verify_tree, Verification};

@@ -14,47 +14,62 @@
 //! exactly 0 under the cardinality equality, so any value below `−tol`
 //! certifies a genuine violation (Theorem 1 / \[12\]).
 //!
-//! Two cheap pre-checks run first: disconnected support (some component
-//! must violate) and dense pairs/components (`x(E(S))` summed directly).
+//! # The separation engine
 //!
-//! The per-seed min-cuts are independent, so [`violated_sets_with`] can fan
-//! them across cores with one reusable [`FlowNetwork`] per worker thread:
-//! the auxiliary network is built **once** per thread, each seed query
-//! flips a single pre-declared `src → s` edge to infinite capacity via
-//! [`FlowNetwork::set_cap`] and a [`FlowNetwork::reset`] undoes the
-//! residual state — no per-seed allocation. Results are merged through a
-//! `BTreeSet`, so the parallel and serial paths return **identical** output
-//! (a property the proptests pin down).
+//! [`SeedOracle`] is the stateful engine behind both entry points. The
+//! auxiliary network's *topology* depends only on the instance `(n, edges)`
+//! — the fractional point affects capacities alone — so the oracle keeps
+//! its built networks in a shared scratch store across calls. Each call
+//! re-declares only the capacities that drifted beyond [`CAP_EPS`]
+//! (delta updates via [`FlowNetwork::set_base_cap_undirected`]) instead of
+//! rebuilding one network per worker thread per call; a seed query then
+//! flips a single pre-declared `src → s` edge to infinite capacity and a
+//! [`FlowNetwork::reset`] undoes the residual state — no per-seed
+//! allocation. Worker threads lease scratches from the store and return
+//! them on drop, so serial (traced) and parallel (untraced) calls share
+//! the same networks. Results are merged through a `BTreeMap`, so the
+//! parallel and serial paths return **identical** output (a property the
+//! proptests pin down).
+//!
+//! With pruning enabled ([`SeparationConfig::prune_seeds`]) three
+//! sound short-circuits cut the per-call min-cut count well below `n`:
+//!
+//! * **component pre-check bound** — a violated set within a support
+//!   component `C` needs `x(E(S)) > |S| − 1 ≥ 1`, and any violated set
+//!   spanning several components implies a violated set inside one of
+//!   them; components with `x(E(C)) ≤ 1 + tol` (singletons included:
+//!   their mass is 0) therefore contain no violated set and all their
+//!   seeds are skipped;
+//! * **dense-pair shortcut** — a vertex pair whose aggregated edge mass
+//!   exceeds `1 + tol` is itself a violated set and is reported without
+//!   any min-cut;
+//! * **covered-seed skip** — seeds already contained in a violated set
+//!   found earlier this call are skipped. Seeds are processed in
+//!   fixed-width waves of [`SEED_CHUNK`] so the serial and parallel paths
+//!   skip exactly the same seeds.
+//!
+//! Skipping a covered seed can suppress *additional* violated sets, never
+//! all of them: whenever a violated set exists, one within a single heavy
+//! component exists, and that component's first uncovered seed finds a
+//! violated set (or is covered because one was already found). The oracle
+//! therefore still returns a nonempty result iff the point is infeasible.
 
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
 use wsn_graph::{components, FlowEdgeId, FlowNetwork};
-use wsn_obs::Counter;
+use wsn_obs::{Counter, Registry};
 use wsn_util::parallel_map_with;
 
-/// Counter handles for the oracle, resolved from the ambient registry once
-/// per call on the coordinating thread. The handles are plain `Arc`
-/// atomics, so the parallel workers bump them without inheriting (or even
-/// knowing about) the ambient collector — final sums are
-/// schedule-independent, keeping the serial/parallel equivalence intact.
-struct SepMetrics {
-    calls: Counter,
-    min_cut_seeds: Counter,
-    violated: Counter,
-}
-
-impl SepMetrics {
-    fn ambient() -> Option<SepMetrics> {
-        let obs = wsn_obs::current()?;
-        let reg = obs.registry();
-        Some(SepMetrics {
-            calls: reg.counter("sep.calls"),
-            min_cut_seeds: reg.counter("sep.min_cut_seeds"),
-            violated: reg.counter("sep.violated_sets"),
-        })
-    }
-}
-
 /// Node count at which the per-seed min-cuts are worth fanning out.
-const PARALLEL_SEP_THRESHOLD: usize = 32;
+pub(crate) const PARALLEL_SEP_THRESHOLD: usize = 32;
+
+/// Seeds are processed in waves of this width; violated sets found by
+/// earlier waves veto covered seeds in later ones. A fixed constant keeps
+/// the serial and parallel paths output-identical.
+const SEED_CHUNK: usize = 16;
+
+/// Capacity drift below which a delta sync leaves an edge untouched.
+const CAP_EPS: f64 = 1e-12;
 
 /// An edge of the current LP together with its fractional value.
 #[derive(Clone, Copy, Debug)]
@@ -67,6 +82,105 @@ pub struct FracEdge {
     pub x: f64,
 }
 
+/// A violated subtour set together with its violation amount.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ViolatedSet {
+    /// Member nodes, sorted ascending.
+    pub set: Vec<usize>,
+    /// `x(E(S)) − (|S| − 1) > tol`.
+    pub violation: f64,
+}
+
+/// How `CutLp` turns separated sets into LP rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutStrategy {
+    /// Add exactly one (most violated) cut per round — the classical
+    /// textbook loop, kept as the A/B baseline for benchmarks.
+    SingleCut,
+    /// Add the top-K most violated, non-nested cuts per round and park the
+    /// rest in the cut pool for later reactivation.
+    Batched,
+}
+
+/// Tuning knobs for the cut-pool separation engine (DESIGN.md §10).
+#[derive(Clone, Copy, Debug)]
+pub struct SeparationConfig {
+    /// Row-addition policy per cut round.
+    pub strategy: CutStrategy,
+    /// Cap on cuts activated per round under [`CutStrategy::Batched`].
+    pub max_cuts_per_round: usize,
+    /// Keep separated-but-unactivated cuts in a pool and screen the pool
+    /// against `x` (a dot-product scan, no maxflow) before calling the
+    /// oracle.
+    pub use_pool: bool,
+    /// Enable the seed-pruning short-circuits (component pre-check bound,
+    /// dense-pair shortcut, covered-seed skip).
+    pub prune_seeds: bool,
+    /// Deepen each oracle cut by violation-maximizing local search
+    /// ([`strengthen`]) before batching it.
+    pub strengthen_cuts: bool,
+    /// Minimum violation gain a strengthening move must bring. Small
+    /// margins absorb everything marginally attached and can bloat cuts;
+    /// larger margins keep only decisive moves.
+    pub strengthen_margin: f64,
+}
+
+impl Default for SeparationConfig {
+    fn default() -> Self {
+        SeparationConfig {
+            strategy: CutStrategy::Batched,
+            max_cuts_per_round: 64,
+            use_pool: true,
+            prune_seeds: true,
+            strengthen_cuts: true,
+            strengthen_margin: 0.25,
+        }
+    }
+}
+
+impl SeparationConfig {
+    /// The pre-engine baseline: one cut per round, no pool, no pruning,
+    /// no strengthening.
+    pub fn single_cut() -> Self {
+        SeparationConfig {
+            strategy: CutStrategy::SingleCut,
+            use_pool: false,
+            prune_seeds: false,
+            strengthen_cuts: false,
+            ..SeparationConfig::default()
+        }
+    }
+}
+
+/// Counter handles for the oracle. The owner (`CutLp`, or the free
+/// functions below) resolves these once from a metrics registry and the
+/// engine bumps them from whatever thread runs a seed — the handles are
+/// plain `Arc` atomics, so parallel workers need not inherit (or even know
+/// about) an ambient collector and final sums are schedule-independent.
+#[derive(Clone, Debug)]
+pub struct SepCounters {
+    pub(crate) calls: Counter,
+    pub(crate) min_cut_seeds: Counter,
+    pub(crate) violated: Counter,
+    pub(crate) seeds_pruned: Counter,
+}
+
+impl SepCounters {
+    /// Resolves the `sep.*` handles from `reg`.
+    pub fn from_registry(reg: &Registry) -> Self {
+        SepCounters {
+            calls: reg.counter("sep.calls"),
+            min_cut_seeds: reg.counter("sep.min_cut_seeds"),
+            violated: reg.counter("sep.violated_sets"),
+            seeds_pruned: reg.counter("sep.seeds_pruned"),
+        }
+    }
+
+    fn ambient_or_detached() -> Self {
+        SepCounters::from_registry(wsn_obs::current_or_detached().registry())
+    }
+}
+
 /// Returns violated subtour sets (each as a sorted node list), or empty if
 /// `x` satisfies every subtour constraint within `tol`.
 ///
@@ -76,112 +190,376 @@ pub fn violated_sets(n: usize, edges: &[FracEdge], tol: f64) -> Vec<Vec<usize>> 
     violated_sets_with(n, edges, tol, n >= PARALLEL_SEP_THRESHOLD)
 }
 
-/// Per-thread scratch for the seeded min-cut oracle: the auxiliary network
-/// plus one pre-declared zero-capacity `src → s` edge per seed.
-struct SepScratch {
-    net: FlowNetwork,
-    seed_edges: Vec<FlowEdgeId>,
-    side: Vec<bool>,
-}
-
 /// As [`violated_sets`], with explicit control over parallel fan-out of
 /// the per-seed min-cuts. Output is identical either way: every returned
-/// set is sorted, and the collection order is canonical (`BTreeSet`).
+/// set is sorted, and the collection order is canonical (`BTreeMap`).
+///
+/// This is a convenience wrapper that runs a throwaway [`SeedOracle`]
+/// without seed pruning; long-lived callers (the cutting-plane loop) keep
+/// their own oracle so the scratch networks survive between calls.
 pub fn violated_sets_with(
     n: usize,
     edges: &[FracEdge],
     tol: f64,
     parallel: bool,
 ) -> Vec<Vec<usize>> {
-    let metrics = SepMetrics::ambient();
-    if let Some(m) = &metrics {
-        m.calls.inc();
-    }
-    let mut found: std::collections::BTreeSet<Vec<usize>> = std::collections::BTreeSet::new();
+    let counters = SepCounters::ambient_or_detached();
+    let mut oracle = SeedOracle::new();
+    oracle
+        .separate(n, edges, tol, parallel, false, &counters)
+        .into_iter()
+        .map(|vs| vs.set)
+        .collect()
+}
 
-    // --- Pre-check: components of the support graph. ---
-    let support: Vec<(usize, usize)> =
-        edges.iter().filter(|e| e.x > tol).map(|e| (e.u, e.v)).collect();
-    let (labels, k) = components(n, support.iter().copied());
-    if k > 1 {
-        for comp in 0..k {
-            let set: Vec<usize> = (0..n).filter(|&v| labels[v] == comp).collect();
-            if set.len() >= 2 && violation(edges, &set) > tol {
-                found.insert(set);
-            }
-        }
-        if !found.is_empty() {
-            if let Some(m) = &metrics {
-                m.violated.add(found.len() as u64);
-            }
-            return found.into_iter().collect();
-        }
-    }
+/// One reusable auxiliary network plus the edge ids needed to delta-update
+/// and query it.
+#[derive(Debug)]
+struct SeedScratch {
+    net: FlowNetwork,
+    /// Per node `v`: `src → v` edge carrying `max(−w(v), 0)`.
+    node_src: Vec<FlowEdgeId>,
+    /// Per node `v`: `v → snk` edge carrying `max(w(v), 0)`.
+    node_snk: Vec<FlowEdgeId>,
+    /// Per instance edge: undirected edge carrying `x_e / 2`.
+    graph_edges: Vec<FlowEdgeId>,
+    /// Per seed `s`: `src → s` edge at 0, flipped to ∞ for one query.
+    seed_edges: Vec<FlowEdgeId>,
+    /// The fractional point the capacities currently encode.
+    last_x: Vec<f64>,
+    last_w: Vec<f64>,
+    side: Vec<bool>,
+}
 
-    // --- Exact oracle: one min-cut per forced seed. ---
-    // Node weights w(v) = 1 − x(δ(v))/2.
-    let mut half_deg = vec![0.0f64; n];
-    for e in edges {
-        half_deg[e.u] += e.x / 2.0;
-        half_deg[e.v] += e.x / 2.0;
-    }
-    let w: Vec<f64> = (0..n).map(|v| 1.0 - half_deg[v]).collect();
-    let p_neg: f64 = w.iter().filter(|&&x| x < 0.0).sum();
-
-    let src = n;
-    let snk = n + 1;
-    // Project-selection network, built once per worker; seed edges start at
-    // capacity 0 so each query only flips one of them to ∞.
-    let make_scratch = || {
+impl SeedScratch {
+    fn build(n: usize, edges: &[FracEdge], w: &[f64]) -> Self {
+        let src = n;
+        let snk = n + 1;
         let mut net = FlowNetwork::new(n + 2);
-        for (v, &wv) in w.iter().enumerate() {
-            if wv < 0.0 {
-                net.add_edge(src, v, -wv);
-            } else if wv > 0.0 {
-                net.add_edge(v, snk, wv);
-            }
-        }
-        for e in edges {
-            if e.x > 0.0 {
-                net.add_undirected_edge(e.u, e.v, e.x / 2.0);
-            }
-        }
+        // Both directions of every node weight are pre-declared (at most
+        // one is nonzero at a time) so later sign flips of w(v) are plain
+        // capacity updates, not topology changes.
+        let node_src: Vec<FlowEdgeId> =
+            (0..n).map(|v| net.add_edge(src, v, (-w[v]).max(0.0))).collect();
+        let node_snk: Vec<FlowEdgeId> =
+            (0..n).map(|v| net.add_edge(v, snk, w[v].max(0.0))).collect();
+        // Every instance edge is declared even at x_e = 0: zero-capacity
+        // edges carry no flow, and keeping them makes a later x_e > 0 a
+        // capacity update too.
+        let graph_edges: Vec<FlowEdgeId> =
+            edges.iter().map(|e| net.add_undirected_edge(e.u, e.v, (e.x / 2.0).max(0.0))).collect();
         let seed_edges: Vec<FlowEdgeId> = (0..n).map(|s| net.add_edge(src, s, 0.0)).collect();
-        SepScratch { net, seed_edges, side: Vec::new() }
-    };
-    let run_seed = |sc: &mut SepScratch, s: usize| -> Option<Vec<usize>> {
-        if let Some(m) = &metrics {
-            m.min_cut_seeds.inc();
+        SeedScratch {
+            net,
+            node_src,
+            node_snk,
+            graph_edges,
+            seed_edges,
+            last_x: edges.iter().map(|e| e.x).collect(),
+            last_w: w.to_vec(),
+            side: Vec::new(),
         }
-        sc.net.reset();
-        sc.net.set_cap(sc.seed_edges[s], f64::INFINITY);
-        let flow = sc.net.max_flow(src, snk);
-        let min_f = p_neg + flow - 1.0;
-        if min_f >= -tol {
-            return None;
-        }
-        let side = &mut sc.side;
-        sc.net.min_cut_source_side_into(src, side);
-        let set: Vec<usize> = (0..n).filter(|&v| side[v]).collect();
-        (set.len() >= 2 && set.len() < n && violation(edges, &set) > tol).then_some(set)
-    };
+    }
 
-    if parallel {
-        for set in parallel_map_with(n, make_scratch, run_seed).into_iter().flatten() {
-            found.insert(set);
+    /// Re-declares only the capacities that moved beyond [`CAP_EPS`].
+    fn sync(&mut self, edges: &[FracEdge], w: &[f64]) {
+        for (i, e) in edges.iter().enumerate() {
+            if (e.x - self.last_x[i]).abs() > CAP_EPS {
+                self.net.set_base_cap_undirected(self.graph_edges[i], (e.x / 2.0).max(0.0));
+                self.last_x[i] = e.x;
+            }
         }
-    } else {
-        let mut sc = make_scratch();
-        for s in 0..n {
-            if let Some(set) = run_seed(&mut sc, s) {
-                found.insert(set);
+        for (v, &wv) in w.iter().enumerate() {
+            if (wv - self.last_w[v]).abs() > CAP_EPS {
+                self.net.set_base_cap(self.node_src[v], (-wv).max(0.0));
+                self.net.set_base_cap(self.node_snk[v], wv.max(0.0));
+                self.last_w[v] = wv;
             }
         }
     }
-    if let Some(m) = &metrics {
-        m.violated.add(found.len() as u64);
+}
+
+/// RAII lease on a scratch network: returns it to the oracle's shared
+/// store on drop, so worker threads recycle networks across calls instead
+/// of rebuilding per thread.
+struct ScratchLease<'a> {
+    store: &'a Mutex<Vec<SeedScratch>>,
+    sc: Option<SeedScratch>,
+}
+
+impl ScratchLease<'_> {
+    fn get(&mut self) -> &mut SeedScratch {
+        self.sc.as_mut().expect("lease holds a scratch until drop")
     }
-    found.into_iter().collect()
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        if let Some(sc) = self.sc.take() {
+            self.store.lock().expect("scratch store poisoned").push(sc);
+        }
+    }
+}
+
+/// The stateful separation engine: a store of reusable auxiliary networks
+/// keyed to one instance topology, plus the pruned seeded-min-cut sweep.
+///
+/// Owned by `CutLp` so the networks survive across cut rounds and IRA
+/// shrink steps; a call with a different topology retargets transparently.
+#[derive(Debug, Default)]
+pub struct SeedOracle {
+    n: usize,
+    /// Edge endpoints of the instance the cached scratches were built for.
+    sig: Vec<(usize, usize)>,
+    store: Mutex<Vec<SeedScratch>>,
+}
+
+impl Clone for SeedOracle {
+    fn clone(&self) -> Self {
+        // Scratches are an allocation cache, not state: clones start cold.
+        SeedOracle { n: self.n, sig: self.sig.clone(), store: Mutex::new(Vec::new()) }
+    }
+}
+
+impl SeedOracle {
+    /// Creates an engine with no cached networks.
+    pub fn new() -> Self {
+        SeedOracle::default()
+    }
+
+    /// Number of cached scratch networks (test/diagnostic hook).
+    pub fn cached_scratches(&self) -> usize {
+        self.store.lock().expect("scratch store poisoned").len()
+    }
+
+    /// Drops cached scratches if the instance topology changed.
+    fn retarget(&mut self, n: usize, edges: &[FracEdge]) {
+        let matches = self.n == n
+            && self.sig.len() == edges.len()
+            && self.sig.iter().zip(edges).all(|(&(u, v), e)| u == e.u && v == e.v);
+        if !matches {
+            self.n = n;
+            self.sig = edges.iter().map(|e| (e.u, e.v)).collect();
+            self.store.lock().expect("scratch store poisoned").clear();
+        }
+    }
+
+    fn lease<'a>(&'a self, edges: &[FracEdge], w: &[f64]) -> ScratchLease<'a> {
+        let cached = self.store.lock().expect("scratch store poisoned").pop();
+        let sc = match cached {
+            Some(mut sc) => {
+                sc.sync(edges, w);
+                sc
+            }
+            None => SeedScratch::build(self.n, edges, w),
+        };
+        ScratchLease { store: &self.store, sc: Some(sc) }
+    }
+
+    /// Runs the separation oracle against the fractional point `edges`,
+    /// reusing (and delta-updating) the cached networks.
+    ///
+    /// Returns every violated set found — sorted members, canonical
+    /// collection order, verified violation — or empty iff `x` satisfies
+    /// all subtour constraints within `tol`. `prune` enables the seed
+    /// short-circuits described in the module docs; they never change the
+    /// empty/nonempty verdict, only how many distinct sets one call
+    /// reports.
+    pub fn separate(
+        &mut self,
+        n: usize,
+        edges: &[FracEdge],
+        tol: f64,
+        parallel: bool,
+        prune: bool,
+        counters: &SepCounters,
+    ) -> Vec<ViolatedSet> {
+        counters.calls.inc();
+        self.retarget(n, edges);
+        let mut found: BTreeMap<Vec<usize>, f64> = BTreeMap::new();
+
+        // --- Pre-check: components of the support graph. ---
+        let support: Vec<(usize, usize)> =
+            edges.iter().filter(|e| e.x > tol).map(|e| (e.u, e.v)).collect();
+        let (labels, k) = components(n, support.iter().copied());
+        let mut comp_mass = vec![0.0f64; k];
+        let mut comp_size = vec![0usize; k];
+        for e in edges {
+            if labels[e.u] == labels[e.v] {
+                comp_mass[labels[e.u]] += e.x;
+            }
+        }
+        for v in 0..n {
+            comp_size[labels[v]] += 1;
+        }
+        if k > 1 {
+            for comp in 0..k {
+                let viol = comp_mass[comp] - (comp_size[comp] as f64 - 1.0);
+                if comp_size[comp] >= 2 && viol > tol {
+                    let set: Vec<usize> = (0..n).filter(|&v| labels[v] == comp).collect();
+                    found.insert(set, viol);
+                }
+            }
+            if !found.is_empty() {
+                counters.violated.add(found.len() as u64);
+                return collect(found);
+            }
+        }
+
+        // --- Pruning pre-passes. ---
+        let mut covered = vec![false; n];
+        let mut pruned = 0u64;
+        if prune {
+            // Dense pairs: aggregated mass above 1 + tol is a violation of
+            // the two-element subtour bound, no min-cut needed.
+            let mut pair_mass: HashMap<(usize, usize), f64> = HashMap::new();
+            for e in edges {
+                if e.u != e.v {
+                    *pair_mass.entry((e.u.min(e.v), e.u.max(e.v))).or_insert(0.0) += e.x;
+                }
+            }
+            for (&(u, v), &m) in &pair_mass {
+                if m > 1.0 + tol {
+                    found.insert(vec![u, v], m - 1.0);
+                    covered[u] = true;
+                    covered[v] = true;
+                }
+            }
+        }
+
+        // --- Exact oracle: one min-cut per surviving seed. ---
+        // Node weights w(v) = 1 − x(δ(v))/2.
+        let mut half_deg = vec![0.0f64; n];
+        for e in edges {
+            half_deg[e.u] += e.x / 2.0;
+            half_deg[e.v] += e.x / 2.0;
+        }
+        let w: Vec<f64> = (0..n).map(|v| 1.0 - half_deg[v]).collect();
+        let p_neg: f64 = w.iter().filter(|&&x| x < 0.0).sum();
+
+        let src = n;
+        let snk = n + 1;
+        let run_seed = |sc: &mut SeedScratch, s: usize| -> Option<ViolatedSet> {
+            counters.min_cut_seeds.inc();
+            sc.net.reset();
+            sc.net.set_cap(sc.seed_edges[s], f64::INFINITY);
+            let flow = sc.net.max_flow(src, snk);
+            let min_f = p_neg + flow - 1.0;
+            if min_f >= -tol {
+                return None;
+            }
+            let side = &mut sc.side;
+            sc.net.min_cut_source_side_into(src, side);
+            let set: Vec<usize> = (0..n).filter(|&v| side[v]).collect();
+            if set.len() < 2 || set.len() >= n {
+                return None;
+            }
+            let viol = violation(edges, &set);
+            (viol > tol).then_some(ViolatedSet { set, violation: viol })
+        };
+
+        let mut chunk = Vec::with_capacity(SEED_CHUNK);
+        for base in (0..n).step_by(SEED_CHUNK) {
+            chunk.clear();
+            for s in base..(base + SEED_CHUNK).min(n) {
+                let skip = prune && (comp_mass[labels[s]] <= 1.0 + tol || covered[s]);
+                if skip {
+                    pruned += 1;
+                } else {
+                    chunk.push(s);
+                }
+            }
+            if chunk.is_empty() {
+                continue;
+            }
+            let wave: Vec<Option<ViolatedSet>> = if parallel && chunk.len() > 1 {
+                parallel_map_with(
+                    chunk.len(),
+                    || self.lease(edges, &w),
+                    |lease, i| run_seed(lease.get(), chunk[i]),
+                )
+            } else {
+                let mut lease = self.lease(edges, &w);
+                chunk.iter().map(|&s| run_seed(lease.get(), s)).collect()
+            };
+            for vs in wave.into_iter().flatten() {
+                for &v in &vs.set {
+                    covered[v] = true;
+                }
+                found.insert(vs.set, vs.violation);
+            }
+        }
+        counters.violated.add(found.len() as u64);
+        counters.seeds_pruned.add(pruned);
+        collect(found)
+    }
+}
+
+fn collect(found: BTreeMap<Vec<usize>, f64>) -> Vec<ViolatedSet> {
+    found.into_iter().map(|(set, violation)| ViolatedSet { set, violation }).collect()
+}
+
+/// Violation-maximizing local strengthening of a separated set.
+///
+/// Every `S ⊆ V` yields a valid subtour row, so a separated set may be
+/// traded for any deeper one. Greedy moves with strictly positive gain:
+/// absorbing `v ∉ S` changes the violation by `x(v : S) − 1`, shedding
+/// `v ∈ S` by `1 − x(v : S∖{v})` — the pass applies the best move until
+/// none gains more than `eps`. Deeper cuts stay violated across more LP
+/// reoptimizations, which is what lets the batched engine retire the
+/// cutting loop in fewer rounds (DESIGN.md §10). Violation never
+/// decreases, so a violated input stays violated. Returns the sorted set.
+pub fn strengthen(n: usize, edges: &[FracEdge], set: &[usize], eps: f64) -> Vec<usize> {
+    let mut in_set = vec![false; n];
+    for &v in set {
+        in_set[v] = true;
+    }
+    let mut size = set.len();
+    // mass[v] = Σ x_e over edges between v and S∖{v}.
+    let mut mass = vec![0.0f64; n];
+    for e in edges {
+        if e.u != e.v {
+            if in_set[e.v] {
+                mass[e.u] += e.x;
+            }
+            if in_set[e.u] {
+                mass[e.v] += e.x;
+            }
+        }
+    }
+    // Each applied move raises the violation by at least `eps`, and the
+    // violation is bounded by the total edge mass, so this terminates; the
+    // explicit cap is belt-and-braces against float drift.
+    for _ in 0..2 * n {
+        let mut best = eps;
+        let mut pick: Option<(usize, bool)> = None; // (node, absorb?)
+        for v in 0..n {
+            if in_set[v] {
+                if size > 2 && 1.0 - mass[v] > best {
+                    best = 1.0 - mass[v];
+                    pick = Some((v, false));
+                }
+            } else if mass[v] - 1.0 > best {
+                best = mass[v] - 1.0;
+                pick = Some((v, true));
+            }
+        }
+        let Some((v, absorb)) = pick else { break };
+        in_set[v] = absorb;
+        size = if absorb { size + 1 } else { size - 1 };
+        for e in edges {
+            if e.u == e.v {
+                continue;
+            }
+            let delta = if absorb { e.x } else { -e.x };
+            if e.u == v {
+                mass[e.v] += delta;
+            } else if e.v == v {
+                mass[e.u] += delta;
+            }
+        }
+    }
+    (0..n).filter(|&v| in_set[v]).collect()
 }
 
 /// `x(E(S)) − (|S| − 1)`: positive means `S` violates the subtour bound.
@@ -192,12 +570,27 @@ pub fn violation(edges: &[FracEdge], set: &[usize]) -> f64 {
     internal - (set.len() as f64 - 1.0)
 }
 
+/// As [`violation`], for a **sorted** set, via binary search — the
+/// allocation-free form the cut pool's screening scan uses.
+pub fn violation_sorted(edges: &[FracEdge], set: &[usize]) -> f64 {
+    debug_assert!(set.windows(2).all(|w| w[0] < w[1]), "set must be sorted");
+    let member = |v: usize| set.binary_search(&v).is_ok();
+    let internal: f64 = edges.iter().filter(|e| member(e.u) && member(e.v)).map(|e| e.x).sum();
+    internal - (set.len() as f64 - 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn fe(u: usize, v: usize, x: f64) -> FracEdge {
         FracEdge { u, v, x }
+    }
+
+    fn detached_counters() -> (std::sync::Arc<wsn_obs::Obs>, SepCounters) {
+        let obs = wsn_obs::Obs::detached();
+        let counters = SepCounters::from_registry(obs.registry());
+        (obs, counters)
     }
 
     #[test]
@@ -254,6 +647,149 @@ mod tests {
         let edges = vec![fe(0, 1, 0.9), fe(1, 2, 0.9), fe(0, 2, 0.9)];
         assert!((violation(&edges, &[0, 1, 2]) - 0.7).abs() < 1e-12);
         assert!((violation(&edges, &[0, 1]) - (-0.1)).abs() < 1e-12);
+        assert!((violation_sorted(&edges, &[0, 1, 2]) - 0.7).abs() < 1e-12);
+        assert!((violation_sorted(&edges, &[0, 1]) - (-0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engine_reports_violation_amounts() {
+        let (_obs, counters) = detached_counters();
+        let edges = vec![fe(0, 1, 0.9), fe(1, 2, 0.9), fe(0, 2, 0.9), fe(0, 3, 0.3)];
+        let mut oracle = SeedOracle::new();
+        let sets = oracle.separate(4, &edges, 1e-7, false, false, &counters);
+        let tri = sets.iter().find(|vs| vs.set == vec![0, 1, 2]).expect("triangle separated");
+        assert!((tri.violation - 0.7).abs() < 1e-9, "got {}", tri.violation);
+    }
+
+    #[test]
+    fn scratch_store_survives_and_retargets() {
+        let (_obs, counters) = detached_counters();
+        let edges = vec![fe(0, 1, 0.9), fe(1, 2, 0.9), fe(0, 2, 0.9), fe(0, 3, 0.3)];
+        let mut oracle = SeedOracle::new();
+        let first = oracle.separate(4, &edges, 1e-7, false, false, &counters);
+        assert_eq!(oracle.cached_scratches(), 1, "serial call leaves one cached network");
+
+        // Same topology, different point: the cached network is reused via
+        // delta updates and must answer exactly like a fresh oracle.
+        let moved = vec![fe(0, 1, 0.75), fe(1, 2, 0.75), fe(0, 2, 0.75), fe(0, 3, 0.75)];
+        let warm = oracle.separate(4, &moved, 1e-7, false, false, &counters);
+        let fresh = SeedOracle::new().separate(4, &moved, 1e-7, false, false, &counters);
+        assert_eq!(warm, fresh);
+        assert_ne!(warm, first);
+
+        // New topology: the store retargets (old networks dropped).
+        let other = vec![fe(0, 1, 1.0), fe(1, 2, 1.0)];
+        let _ = oracle.separate(3, &other, 1e-7, false, false, &counters);
+        assert_eq!(oracle.cached_scratches(), 1);
+    }
+
+    #[test]
+    fn component_bound_prunes_light_components_and_singletons() {
+        let (obs, counters) = detached_counters();
+        // No support component is violated *as a whole* (so the
+        // disconnected-support pre-check falls through), but component
+        // {0,1,2,3} hides a violated triangle. The light pendant pair
+        // {4,5} (mass 0.8 ≤ 1) and the singleton {6} (mass 0) are pruned
+        // by the component bound without a single min-cut.
+        let edges = vec![
+            fe(0, 1, 0.9),
+            fe(1, 2, 0.9),
+            fe(0, 2, 0.9),
+            fe(2, 3, 0.2), // component mass 2.9 ≤ |C| − 1 = 3: not violated
+            fe(4, 5, 0.8),
+        ];
+        let mut oracle = SeedOracle::new();
+        let sets = oracle.separate(7, &edges, 1e-7, false, true, &counters);
+        assert!(sets.iter().any(|vs| vs.set == vec![0, 1, 2]));
+        // Seeds 4, 5 (light component) and 6 (singleton) pruned; all seven
+        // seeds fit one wave, so the four heavy-component seeds all run.
+        assert_eq!(obs.registry().counter("sep.seeds_pruned").get(), 3);
+        assert_eq!(obs.registry().counter("sep.min_cut_seeds").get(), 4);
+    }
+
+    #[test]
+    fn dense_pair_shortcut_avoids_min_cuts_for_its_nodes() {
+        let (obs, counters) = detached_counters();
+        // Connected support (single component, so the component pre-check
+        // does not intercept). Aggregated (0,1) mass 1.2 > 1 triggers the
+        // dense-pair shortcut; seeds 0 and 1 are covered by the found set
+        // and only seed 2 runs a min-cut.
+        let edges = vec![fe(0, 1, 0.6), fe(0, 1, 0.6), fe(1, 2, 0.8)];
+        let mut oracle = SeedOracle::new();
+        let sets = oracle.separate(3, &edges, 1e-7, false, true, &counters);
+        assert!(sets.iter().any(|vs| vs.set == vec![0, 1]));
+        let pair = sets.iter().find(|vs| vs.set == vec![0, 1]).unwrap();
+        assert!((pair.violation - 0.2).abs() < 1e-9);
+        assert_eq!(obs.registry().counter("sep.min_cut_seeds").get(), 1);
+        assert_eq!(obs.registry().counter("sep.seeds_pruned").get(), 2);
+    }
+
+    #[test]
+    fn dense_pair_shortcut_needs_strict_excess() {
+        let (_obs, counters) = detached_counters();
+        // Pair mass exactly 1.0 is tight, not violated.
+        let edges = vec![fe(0, 1, 0.5), fe(0, 1, 0.5), fe(1, 2, 1.0)];
+        let mut oracle = SeedOracle::new();
+        let sets = oracle.separate(3, &edges, 1e-7, false, true, &counters);
+        assert!(sets.is_empty(), "tight pair must not be reported: {sets:?}");
+    }
+
+    #[test]
+    fn covered_seed_skip_crosses_waves() {
+        let (obs, counters) = detached_counters();
+        // One connected component spanning 18 nodes (> SEED_CHUNK), with a
+        // heavy triangle at {15,16,17}. Wave 1 (seeds 0..16) finds the
+        // triangle via seed 15; wave 2's seeds 16 and 17 are covered and
+        // skipped. The connecting path is light (0.1) so the component
+        // stays heavy only through the triangle.
+        let mut edges: Vec<FracEdge> = (0..15).map(|v| fe(v, v + 1, 0.1)).collect();
+        edges.push(fe(15, 16, 0.9));
+        edges.push(fe(16, 17, 0.9));
+        edges.push(fe(15, 17, 0.9));
+        let mut oracle = SeedOracle::new();
+        let sets = oracle.separate(18, &edges, 1e-7, false, true, &counters);
+        assert!(sets.iter().any(|vs| vs.set == vec![15, 16, 17]));
+        assert_eq!(obs.registry().counter("sep.seeds_pruned").get(), 2, "wave-2 seeds covered");
+        assert_eq!(obs.registry().counter("sep.min_cut_seeds").get(), 16);
+    }
+
+    #[test]
+    fn strengthening_absorbs_a_heavily_attached_neighbor() {
+        // Triangle {0,1,2} at x = 1 plus node 3 attached with mass 1.8:
+        // absorbing it gains 0.8 > margin, raising the violation 1.0 → 1.8.
+        let edges = vec![fe(0, 1, 1.0), fe(1, 2, 1.0), fe(0, 2, 1.0), fe(0, 3, 0.9), fe(1, 3, 0.9)];
+        let deep = strengthen(4, &edges, &[0, 1, 2], 0.25);
+        assert_eq!(deep, vec![0, 1, 2, 3]);
+        assert!((violation(&edges, &deep) - 1.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn strengthening_sheds_a_weakly_attached_member() {
+        // Node 3 hangs off the violated triangle by mass 0.3: shedding it
+        // gains 0.7, and the pendant edge to node 4 never matters.
+        let edges = vec![fe(0, 1, 1.0), fe(1, 2, 1.0), fe(0, 2, 1.0), fe(2, 3, 0.3), fe(3, 4, 0.4)];
+        let deep = strengthen(5, &edges, &[0, 1, 2, 3], 0.25);
+        assert_eq!(deep, vec![0, 1, 2]);
+        assert!(violation(&edges, &deep) > violation(&edges, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn strengthening_with_no_gaining_move_is_identity() {
+        // Every outside node is attached by well under 1 + margin and every
+        // member holds more than 1 − margin inside: no move fires.
+        let edges = vec![fe(0, 1, 1.0), fe(1, 2, 1.0), fe(0, 2, 1.0), fe(2, 3, 0.5)];
+        assert_eq!(strengthen(4, &edges, &[0, 1, 2], 0.25), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn strengthening_never_shrinks_below_a_pair() {
+        // A violated pair with nothing worth absorbing stays a pair even
+        // though both members hold less than 1 − margin... they cannot:
+        // the shed guard requires |S| > 2.
+        let edges = vec![fe(0, 1, 0.6), fe(0, 1, 0.6), fe(1, 2, 0.8)];
+        let deep = strengthen(3, &edges, &[0, 1], 0.25);
+        assert!(deep.len() >= 2);
+        assert!(violation(&edges, &deep) >= violation(&edges, &[0, 1]) - 1e-12);
     }
 
     mod proptests {
@@ -271,6 +807,29 @@ mod tests {
             })
         }
 
+        /// Normalizes raw proptest edge tuples into a point with total mass
+        /// `n − 1` (the cardinality equality the oracle assumes); `None`
+        /// when the draw can't be normalized into [0, 1] values.
+        fn normalized(n: usize, raw: Vec<(usize, usize, u32)>) -> Option<Vec<FracEdge>> {
+            let mut edges: Vec<FracEdge> = raw
+                .into_iter()
+                .filter(|&(u, v, _)| u != v)
+                .map(|(u, v, x)| fe(u.min(v), u.max(v), x as f64 / 100.0))
+                .collect();
+            if edges.is_empty() {
+                return None;
+            }
+            let mass: f64 = edges.iter().map(|e| e.x).sum();
+            if mass <= 1e-6 {
+                return None;
+            }
+            let scale = (n as f64 - 1.0) / mass;
+            for e in &mut edges {
+                e.x *= scale;
+            }
+            edges.iter().all(|e| e.x <= 1.0 + 1e-9).then_some(edges)
+        }
+
         proptest! {
             #![proptest_config(ProptestConfig::with_cases(48))]
             #[test]
@@ -278,25 +837,7 @@ mod tests {
                 raw in proptest::collection::vec((0usize..6, 0usize..6, 0u32..=100), 5..14)
             ) {
                 let n = 6;
-                // Build an edge set and normalize total mass to n−1 so the
-                // cardinality equality holds (the oracle's S=V argument
-                // assumes it).
-                let mut edges: Vec<FracEdge> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .map(|(u, v, x)| fe(u.min(v), u.max(v), x as f64 / 100.0))
-                    .collect();
-                prop_assume!(!edges.is_empty());
-                let mass: f64 = edges.iter().map(|e| e.x).sum();
-                prop_assume!(mass > 1e-6);
-                let scale = (n as f64 - 1.0) / mass;
-                for e in &mut edges {
-                    e.x *= scale;
-                }
-                // Keep x_e within [0, 1] after scaling (else skip the case —
-                // the LP would never produce it).
-                prop_assume!(edges.iter().all(|e| e.x <= 1.0 + 1e-9));
-
+                let Some(edges) = normalized(n, raw) else { return Ok(()) };
                 let tol = 1e-6;
                 let sets = violated_sets(n, &edges, tol);
                 let brute = brute_violated(n, &edges, tol);
@@ -310,27 +851,60 @@ mod tests {
             }
 
             #[test]
+            fn pruned_oracle_matches_brute_force_verdict(
+                raw in proptest::collection::vec((0usize..6, 0usize..6, 0u32..=100), 5..14)
+            ) {
+                let n = 6;
+                let Some(edges) = normalized(n, raw) else { return Ok(()) };
+                let tol = 1e-6;
+                let (_obs, counters) = detached_counters();
+                let sets = SeedOracle::new().separate(n, &edges, tol, false, true, &counters);
+                let brute = brute_violated(n, &edges, tol);
+                prop_assert_eq!(!sets.is_empty(), brute,
+                    "pruning changed the feasibility verdict");
+                for vs in &sets {
+                    prop_assert!(violation(&edges, &vs.set) > tol, "bogus set {:?}", vs.set);
+                    prop_assert!((violation(&edges, &vs.set) - vs.violation).abs() < 1e-9);
+                }
+            }
+
+            #[test]
             fn parallel_separation_identical_to_serial(
                 raw in proptest::collection::vec((0usize..9, 0usize..9, 0u32..=100), 8..24)
             ) {
                 let n = 9;
-                let mut edges: Vec<FracEdge> = raw
-                    .into_iter()
-                    .filter(|&(u, v, _)| u != v)
-                    .map(|(u, v, x)| fe(u.min(v), u.max(v), x as f64 / 100.0))
-                    .collect();
-                prop_assume!(!edges.is_empty());
-                let mass: f64 = edges.iter().map(|e| e.x).sum();
-                prop_assume!(mass > 1e-6);
-                let scale = (n as f64 - 1.0) / mass;
-                for e in &mut edges {
-                    e.x *= scale;
-                }
-                prop_assume!(edges.iter().all(|e| e.x <= 1.0 + 1e-9));
-
+                let Some(edges) = normalized(n, raw) else { return Ok(()) };
                 let serial = violated_sets_with(n, &edges, 1e-6, false);
                 let parallel = violated_sets_with(n, &edges, 1e-6, true);
                 prop_assert_eq!(serial, parallel);
+
+                // The pruned engine is wave-chunked precisely so this holds
+                // with pruning too.
+                let (_obs, counters) = detached_counters();
+                let ser = SeedOracle::new().separate(n, &edges, 1e-6, false, true, &counters);
+                let par = SeedOracle::new().separate(n, &edges, 1e-6, true, true, &counters);
+                prop_assert_eq!(ser, par);
+            }
+
+            #[test]
+            fn strengthening_is_monotone_and_well_formed(
+                raw in proptest::collection::vec((0usize..7, 0usize..7, 0u32..=100), 6..18),
+                mask in 3u32..(1 << 7),
+                margin in 1u32..50,
+            ) {
+                let n = 7;
+                let Some(edges) = normalized(n, raw) else { return Ok(()) };
+                let set: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+                if set.len() < 2 {
+                    return Ok(());
+                }
+                let deep = strengthen(n, &edges, &set, margin as f64 / 100.0);
+                prop_assert!(deep.len() >= 2);
+                prop_assert!(deep.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+                prop_assert!(
+                    violation(&edges, &deep) >= violation(&edges, &set) - 1e-9,
+                    "strengthening lowered the violation: {set:?} -> {deep:?}"
+                );
             }
         }
     }

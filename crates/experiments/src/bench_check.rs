@@ -1,0 +1,321 @@
+//! `bench-check` — CI gate over two `BENCH_ira.json` files.
+//!
+//! Compares a freshly generated bench-perf run against the committed
+//! baseline and fails on regressions:
+//!
+//! - **Deterministic counters** (`lp_solves`, `pivots`, `cut_rounds` of the
+//!   warm engine path) are seeded and machine-independent, so any growth
+//!   beyond 25% over the baseline is a hard failure — a real algorithmic
+//!   regression, not noise.
+//! - **Wall time** varies with the host, so it only warns — unless the
+//!   current run is over 4× the baseline, which no shared-runner jitter
+//!   explains. Cases whose baseline wall is under a few tens of
+//!   milliseconds never fail on ratio alone: scheduler jitter can exceed
+//!   4× of a ~1 ms case.
+//! - **Answer identity**: every case must report `same_tree: true`.
+//! - **Acceptance floor** (evaluated on the current file alone): every
+//!   case at n ≥ 160 whose single-cut baseline ran must show the engine
+//!   win the tentpole claims — ≥ 3× fewer cut rounds and ≥ 2× wall-clock
+//!   speedup versus the single-cut path.
+//!
+//! Cases present in only one file are reported but not failed, so the
+//! ladder can grow without invalidating old baselines.
+
+use wsn_obs::json::{parse, Json};
+
+/// Growth in a deterministic counter beyond this ratio fails the check.
+const COUNTER_TOLERANCE: f64 = 1.25;
+
+/// Wall-clock growth beyond this ratio fails even on noisy runners.
+const WALL_GROSS_RATIO: f64 = 4.0;
+
+/// Below this baseline wall time the gross ratio never fails — a few
+/// milliseconds of scheduler jitter on a shared runner can alone exceed
+/// 4× of a ~1 ms case.
+const WALL_NOISE_FLOOR_MS: f64 = 50.0;
+
+/// Acceptance floor: engine cut rounds must beat single-cut by this factor
+/// at n ≥ 160.
+const MIN_ROUND_RATIO: f64 = 3.0;
+
+/// Acceptance floor: engine wall time must beat single-cut by this factor
+/// at n ≥ 160.
+const MIN_SINGLE_SPEEDUP: f64 = 2.0;
+
+/// Node count from which the acceptance floor applies.
+const ACCEPTANCE_N: f64 = 160.0;
+
+/// Outcome of the comparison.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Human-readable findings, one per line.
+    pub lines: Vec<String>,
+    /// Hard failures (non-empty fails the command).
+    pub failures: Vec<String>,
+}
+
+impl CheckReport {
+    /// True when no hard failure was found.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the report, failures last.
+    pub fn render(&self) -> String {
+        let mut out = String::from("bench-check — current run vs committed baseline\n");
+        for l in &self.lines {
+            out.push_str("  ");
+            out.push_str(l);
+            out.push('\n');
+        }
+        if self.failures.is_empty() {
+            out.push_str("PASS\n");
+        } else {
+            for f in &self.failures {
+                out.push_str("FAIL: ");
+                out.push_str(f);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn counter(case: &Json, path: &str, field: &str) -> Option<f64> {
+    case.get(path)?.get(field)?.as_f64()
+}
+
+fn case_name(case: &Json) -> &str {
+    case.get("name").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn cases(doc: &Json) -> Vec<&Json> {
+    doc.get("cases").and_then(Json::as_arr).map(|a| a.iter().collect()).unwrap_or_default()
+}
+
+/// Compares a current bench document against a baseline document.
+pub fn check(baseline: &Json, current: &Json) -> CheckReport {
+    let mut report = CheckReport { lines: Vec::new(), failures: Vec::new() };
+    let base_cases = cases(baseline);
+    let cur_cases = cases(current);
+    if cur_cases.is_empty() {
+        report.failures.push("current file has no cases".to_string());
+        return report;
+    }
+
+    for cur in &cur_cases {
+        let name = case_name(cur);
+        let Some(base) = base_cases.iter().find(|b| case_name(b) == name) else {
+            report.lines.push(format!("{name}: new case, no baseline (skipped)"));
+            continue;
+        };
+
+        // Deterministic warm-path counters: hard gate.
+        for field in ["lp_solves", "pivots", "cut_rounds"] {
+            match (counter(base, "warm", field), counter(cur, "warm", field)) {
+                (Some(b), Some(c)) if b > 0.0 && c > b * COUNTER_TOLERANCE => {
+                    report.failures.push(format!(
+                        "{name}: warm.{field} regressed {b:.0} -> {c:.0} \
+                         (limit {:.0})",
+                        b * COUNTER_TOLERANCE
+                    ));
+                }
+                (Some(b), Some(c)) => {
+                    report.lines.push(format!("{name}: warm.{field} {b:.0} -> {c:.0} ok"));
+                }
+                _ => {
+                    report.lines.push(format!("{name}: warm.{field} missing (skipped)"));
+                }
+            }
+        }
+
+        // Wall clock: warn-only within the gross ratio.
+        if let (Some(b), Some(c)) =
+            (counter(base, "warm", "wall_ms"), counter(cur, "warm", "wall_ms"))
+        {
+            let ratio = if b > 0.0 { c / b } else { 1.0 };
+            if ratio > WALL_GROSS_RATIO && b >= WALL_NOISE_FLOOR_MS {
+                report
+                    .failures
+                    .push(format!("{name}: warm wall {b:.1} ms -> {c:.1} ms ({ratio:.1}x)"));
+            } else if ratio > COUNTER_TOLERANCE {
+                report.lines.push(format!(
+                    "{name}: warm wall {b:.1} ms -> {c:.1} ms ({ratio:.1}x, warn only)"
+                ));
+            }
+        }
+    }
+
+    // Answer identity and the acceptance floor — current file only.
+    for cur in &cur_cases {
+        let name = case_name(cur);
+        if cur.get("same_tree") == Some(&Json::Bool(false)) {
+            report.failures.push(format!("{name}: comparison paths decoded different trees"));
+        }
+        let n = cur.get("n").and_then(Json::as_f64).unwrap_or(0.0);
+        if n < ACCEPTANCE_N || cur.get("single").is_none_or(|s| !s.is_obj()) {
+            continue;
+        }
+        match cur.get("round_ratio").and_then(Json::as_f64) {
+            Some(r) if r >= MIN_ROUND_RATIO => {
+                report.lines.push(format!("{name}: round_ratio {r:.2} >= {MIN_ROUND_RATIO}"));
+            }
+            Some(r) => {
+                report.failures.push(format!(
+                    "{name}: round_ratio {r:.2} below acceptance floor {MIN_ROUND_RATIO}"
+                ));
+            }
+            None => report.failures.push(format!("{name}: round_ratio missing")),
+        }
+        match cur.get("single_speedup").and_then(Json::as_f64) {
+            Some(s) if s >= MIN_SINGLE_SPEEDUP => {
+                report.lines.push(format!("{name}: single_speedup {s:.2} >= {MIN_SINGLE_SPEEDUP}"));
+            }
+            Some(s) => {
+                report.failures.push(format!(
+                    "{name}: single_speedup {s:.2} below acceptance floor {MIN_SINGLE_SPEEDUP}"
+                ));
+            }
+            None => report.failures.push(format!("{name}: single_speedup missing")),
+        }
+    }
+
+    report
+}
+
+/// Reads both files, runs the comparison, and returns the rendered report
+/// plus the pass verdict.
+pub fn run(baseline_path: &str, current_path: &str) -> Result<(String, bool), String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let baseline =
+        parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: invalid JSON: {e}"))?;
+    let current =
+        parse(&read(current_path)?).map_err(|e| format!("{current_path}: invalid JSON: {e}"))?;
+    let report = check(&baseline, &current);
+    Ok((report.render(), report.passed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(cases: &str) -> Json {
+        parse(&format!(
+            "{{\"suite\": \"bench-perf\", \"schema_version\": 3, \"smoke\": false, \
+             \"cases\": [{cases}]}}"
+        ))
+        .unwrap()
+    }
+
+    fn case(name: &str, n: usize, warm: (u64, u64, u64, f64), extra: &str) -> String {
+        let (solves, pivots, rounds, wall) = warm;
+        format!(
+            "{{\"name\": \"{name}\", \"n\": {n}, \"m\": 100, \
+             \"warm\": {{\"wall_ms\": {wall}, \"lp_solves\": {solves}, \"pivots\": {pivots}, \
+             \"cut_rounds\": {rounds}}}, \"same_tree\": true{extra}}}"
+        )
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let report = check(&b, &b);
+        assert!(report.passed(), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn counter_regression_fails() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let c = doc(&case("rand-20", 20, (5, 200, 6, 10.0), ""));
+        let report = check(&b, &c);
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("pivots"), "{:?}", report.failures);
+    }
+
+    #[test]
+    fn counter_growth_within_tolerance_passes() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let c = doc(&case("rand-20", 20, (6, 120, 7, 10.0), ""));
+        assert!(check(&b, &c).passed());
+    }
+
+    #[test]
+    fn wall_clock_noise_warns_but_gross_blowup_fails() {
+        let b = doc(&case("rand-80", 80, (5, 100, 6, 100.0), ""));
+        let noisy = doc(&case("rand-80", 80, (5, 100, 6, 250.0), ""));
+        let report = check(&b, &noisy);
+        assert!(report.passed(), "2.5x wall is runner noise: {:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("warn only")));
+        let gross = doc(&case("rand-80", 80, (5, 100, 6, 1000.0), ""));
+        assert!(!check(&b, &gross).passed(), "10x wall cannot be noise");
+    }
+
+    #[test]
+    fn tiny_baseline_walls_never_fail_on_ratio_alone() {
+        // A ~1 ms case can blow past 4x from scheduler jitter alone; below
+        // the noise floor the gross ratio downgrades to a warning.
+        let b = doc(&case("dfl-16", 16, (2, 83, 2, 1.0), ""));
+        let jittery = doc(&case("dfl-16", 16, (2, 83, 2, 9.0), ""));
+        let report = check(&b, &jittery);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("warn only")));
+    }
+
+    #[test]
+    fn new_cases_are_skipped_not_failed() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let c = doc(&format!(
+            "{}, {}",
+            case("rand-20", 20, (5, 100, 6, 10.0), ""),
+            case("rand-40", 40, (9, 400, 12, 40.0), "")
+        ));
+        let report = check(&b, &c);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("no baseline")));
+    }
+
+    #[test]
+    fn acceptance_floor_applies_from_160() {
+        let good = ", \"single\": {\"wall_ms\": 99.0, \"cut_rounds\": 60}, \
+                    \"round_ratio\": 5.00, \"single_speedup\": 3.10";
+        let b = doc(&case("rand-160", 160, (5, 100, 12, 30.0), good));
+        assert!(check(&b, &b).passed());
+
+        let weak = ", \"single\": {\"wall_ms\": 33.0, \"cut_rounds\": 14}, \
+                    \"round_ratio\": 1.17, \"single_speedup\": 1.10";
+        let c = doc(&case("rand-160", 160, (5, 100, 12, 30.0), weak));
+        let report = check(&b, &c);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("round_ratio")));
+        assert!(report.failures.iter().any(|f| f.contains("single_speedup")));
+    }
+
+    #[test]
+    fn small_cases_are_exempt_from_the_floor() {
+        let weak = ", \"single\": {\"wall_ms\": 10.0, \"cut_rounds\": 6}, \
+                    \"round_ratio\": 1.00, \"single_speedup\": 1.00";
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), weak));
+        assert!(check(&b, &b).passed(), "n = 20 has no acceptance floor");
+    }
+
+    #[test]
+    fn tree_mismatch_fails() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let bad = case("rand-20", 20, (5, 100, 6, 10.0), "")
+            .replace("\"same_tree\": true", "\"same_tree\": false");
+        let report = check(&b, &doc(&bad));
+        assert!(!report.passed());
+        assert!(report.failures[0].contains("different trees"));
+    }
+
+    #[test]
+    fn v2_baseline_without_pool_fields_still_checks() {
+        // A pre-engine baseline (schema 2) has no single/pool fields; the
+        // deterministic counters still gate.
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let cur_extra = ", \"single\": {\"wall_ms\": 30.0, \"cut_rounds\": 18}, \
+                        \"round_ratio\": 3.00, \"single_speedup\": 3.00";
+        let c = doc(&case("rand-20", 20, (5, 100, 6, 10.0), cur_extra));
+        assert!(check(&b, &c).passed());
+    }
+}

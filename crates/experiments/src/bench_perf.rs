@@ -1,22 +1,28 @@
 //! `bench-perf` — the perf-trajectory suite behind `BENCH_ira.json`.
 //!
 //! Runs IRA on a fixed, seeded scaling ladder (the DFL-16 testbed topology
-//! plus random graphs at n ∈ {20, 40, 80, 120}) and records wall time,
-//! LP solves, simplex pivots, cutting-plane rounds and separation time per
-//! case — for the warm-started solver and, where tractable, the cold
-//! rebuild-every-round path. The JSON file is the machine-readable perf
-//! trajectory CI and humans diff across commits; the rendered table is the
-//! human-readable snapshot.
+//! plus random graphs at n ∈ {20, 40, 80, 160, 320}) and records wall
+//! time, LP solves, simplex pivots, cutting-plane rounds, separation time
+//! and the cut-pool engine's counters per case — for the warm-started
+//! batched engine and, where tractable, two comparison paths: the cold
+//! rebuild-every-round solver and the single-cut-per-round separation
+//! baseline (`SeparationConfig::single_cut`). The JSON file is the
+//! machine-readable perf trajectory CI and humans diff across commits
+//! (see `bench-check`); the rendered table is the human-readable snapshot.
+//!
+//! Every comparison path must decode the **same tree** as the engine path
+//! (distinct seeded costs ⇒ unique LP optimum); `same_tree` records that
+//! check per case so a perf win can never silently change answers.
 //!
 //! The vendored `serde` stub has no real serialization, so the JSON is
 //! hand-rolled — the schema is documented in DESIGN.md §8.
 
 use crate::table::{f, Table};
-use mrlc_core::{solve_ira, IraConfig, MrlcInstance};
+use mrlc_core::{solve_ira, IraConfig, MrlcInstance, SeparationConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
-use wsn_model::{lifetime, EnergyModel};
+use wsn_model::{lifetime, EnergyModel, NodeId};
 use wsn_radio::LinkModel;
 use wsn_testbed::{dfl_network, random_graph, DflConfig, RandomGraphConfig};
 
@@ -29,11 +35,14 @@ pub struct Config {
     /// dense rebuilds grow fast; beyond this only warm numbers are
     /// recorded and `cold` is `null` in the JSON).
     pub cold_up_to: usize,
+    /// Run the single-cut separation baseline up to this node count (one
+    /// cut round per violated set makes it the slowest path at scale).
+    pub single_up_to: usize,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { smoke: false, cold_up_to: 80 }
+        Config { smoke: false, cold_up_to: 80, single_up_to: 160 }
     }
 }
 
@@ -55,7 +64,7 @@ pub struct PathStats {
     pub pivots: usize,
     /// Cutting-plane rounds.
     pub cut_rounds: usize,
-    /// Separation-oracle wall time, milliseconds.
+    /// Separation wall time (pool screening + oracle), milliseconds.
     pub sep_ms: f64,
     /// LP-solve wall time, milliseconds (registry `ira.lp_ns`).
     pub lp_ms: f64,
@@ -64,6 +73,34 @@ pub struct PathStats {
     /// Warm solves that fell back to a cold rebuild (registry
     /// `lp.cold_fallbacks`).
     pub cold_fallbacks: usize,
+    /// Cuts re-activated from the pool instead of re-derived by maxflow.
+    pub pool_hits: usize,
+    /// Pool screening passes.
+    pub pool_scans: usize,
+    /// Cuts added beyond the first of their round.
+    pub cuts_batched: usize,
+    /// Min-cut seeds skipped by the pruning short-circuits.
+    pub seeds_pruned: usize,
+}
+
+/// The solution fingerprint used to prove paths agree: parent vector plus
+/// the paper's two tree metrics.
+#[derive(Clone, Debug, PartialEq)]
+struct TreeSig {
+    parents: Vec<Option<usize>>,
+    reliability: f64,
+    lifetime: f64,
+}
+
+impl TreeSig {
+    fn matches(&self, other: &TreeSig) -> bool {
+        self.parents == other.parents && self.metrics_match(other)
+    }
+
+    fn metrics_match(&self, other: &TreeSig) -> bool {
+        (self.reliability - other.reliability).abs() < 1e-9
+            && (self.lifetime - other.lifetime).abs() < 1e-9
+    }
 }
 
 /// One rung of the ladder.
@@ -75,10 +112,16 @@ pub struct CaseResult {
     pub n: usize,
     /// Edge count.
     pub m: usize,
-    /// Warm-started solver counters.
+    /// Warm-started batched-engine counters (the production path).
     pub warm: PathStats,
     /// Cold rebuild-every-round counters (skipped above `cold_up_to`).
     pub cold: Option<PathStats>,
+    /// Single-cut separation baseline (skipped above `single_up_to`).
+    pub single: Option<PathStats>,
+    /// True when every comparison path that ran agreed with the engine
+    /// path: identical Q(T)/L(T) everywhere, and identical parent vectors
+    /// for the single-cut baseline (which shares the warm tableau).
+    pub same_tree: bool,
 }
 
 impl CaseResult {
@@ -86,21 +129,32 @@ impl CaseResult {
     pub fn speedup(&self) -> Option<f64> {
         self.cold.map(|c| c.wall_ms / self.warm.wall_ms.max(1e-9))
     }
+
+    /// Single-cut/engine wall-time ratio, when the baseline ran.
+    pub fn single_speedup(&self) -> Option<f64> {
+        self.single.map(|s| s.wall_ms / self.warm.wall_ms.max(1e-9))
+    }
+
+    /// Single-cut/engine cut-round ratio — the batching win, when the
+    /// baseline ran.
+    pub fn round_ratio(&self) -> Option<f64> {
+        self.single.map(|s| s.cut_rounds as f64 / self.warm.cut_rounds.max(1) as f64)
+    }
 }
 
-fn run_path(inst: &MrlcInstance, warm: bool) -> PathStats {
+fn run_path(inst: &MrlcInstance, warm: bool, sep: SeparationConfig) -> (PathStats, TreeSig) {
     // A private metrics-only registry per path run: the per-stage
     // breakdown comes from the same counters the whole pipeline publishes,
     // with no figure-style hand-threading of timings.
     let obs = wsn_obs::Obs::detached();
     let _ambient = wsn_obs::install(obs.clone());
-    let cfg = IraConfig { warm_lp: warm, ..IraConfig::default() };
+    let cfg = IraConfig { warm_lp: warm, separation: sep, ..IraConfig::default() };
     let start = Instant::now();
     let sol = solve_ira(inst, &cfg).expect("bench instance solves");
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let reg = obs.registry();
     let ns_to_ms = |name: &str| reg.counter(name).get() as f64 / 1e6;
-    PathStats {
+    let stats = PathStats {
         wall_ms,
         lp_solves: sol.stats.lp_solves,
         pivots: sol.stats.pivots,
@@ -109,16 +163,48 @@ fn run_path(inst: &MrlcInstance, warm: bool) -> PathStats {
         lp_ms: ns_to_ms("ira.lp_ns"),
         decode_ms: ns_to_ms("ira.decode_ns"),
         cold_fallbacks: reg.counter("lp.cold_fallbacks").get() as usize,
-    }
+        pool_hits: sol.stats.pool_hits,
+        pool_scans: sol.stats.pool_scans,
+        cuts_batched: sol.stats.cuts_batched,
+        seeds_pruned: sol.stats.seeds_pruned,
+    };
+    let n = inst.network().n();
+    let sig = TreeSig {
+        parents: (0..n).map(|v| sol.tree.parent(NodeId::new(v)).map(|p| p.index())).collect(),
+        reliability: sol.reliability,
+        lifetime: sol.lifetime,
+    };
+    (stats, sig)
 }
 
-fn run_case(name: &str, net: wsn_model::Network, lc: f64, with_cold: bool) -> CaseResult {
+fn run_case(
+    name: &str,
+    net: wsn_model::Network,
+    lc: f64,
+    with_cold: bool,
+    with_single: bool,
+) -> CaseResult {
     let n = net.n();
     let m = net.num_edges();
     let inst = MrlcInstance::new(net, EnergyModel::PAPER, lc).expect("valid instance");
-    let warm = run_path(&inst, true);
-    let cold = with_cold.then(|| run_path(&inst, false));
-    CaseResult { name: name.to_string(), n, m, warm, cold }
+    let (warm, warm_sig) = run_path(&inst, true, SeparationConfig::default());
+    let mut same_tree = true;
+    let cold = with_cold.then(|| {
+        let (stats, sig) = run_path(&inst, false, SeparationConfig::default());
+        // Warm and cold tableaus may break exact cost ties differently on
+        // quantized instances (DFL-16 has duplicate PRRs), so the cold
+        // comparison is held to metric equality; the single-cut baseline
+        // below shares the warm tableau and must reproduce the tree
+        // exactly.
+        same_tree &= sig.metrics_match(&warm_sig);
+        stats
+    });
+    let single = with_single.then(|| {
+        let (stats, sig) = run_path(&inst, true, SeparationConfig::single_cut());
+        same_tree &= sig.matches(&warm_sig);
+        stats
+    });
+    CaseResult { name: name.to_string(), n, m, warm, cold, single, same_tree }
 }
 
 /// Runs the ladder.
@@ -130,16 +216,27 @@ pub fn run(config: &Config) -> Vec<CaseResult> {
     let mut cases = Vec::new();
     let dfl =
         dfl_network(&DflConfig::default(), &LinkModel::default(), 2015).expect("DFL is connected");
-    cases.push(run_case("dfl-16", dfl, lc, true));
+    cases.push(run_case("dfl-16", dfl, lc, true, true));
 
-    let rungs: &[usize] = if config.smoke { &[20] } else { &[20, 40, 80, 120] };
+    let rungs: &[usize] = if config.smoke { &[20] } else { &[20, 40, 80, 160, 320] };
     for &n in rungs {
         // Thin out dense rungs so edge counts (and LP columns) stay sane.
-        let p = if n <= 40 { 0.7 } else { 0.3 };
+        let p = match n {
+            _ if n <= 40 => 0.7,
+            _ if n <= 80 => 0.3,
+            _ if n <= 160 => 0.15,
+            _ => 0.06,
+        };
         let gcfg = RandomGraphConfig { n, link_probability: p, ..RandomGraphConfig::default() };
         let mut rng = StdRng::seed_from_u64(4242 + n as u64);
         let net = random_graph(&gcfg, &mut rng).expect("connected bench instance");
-        cases.push(run_case(&format!("rand-{n}"), net, lc, n <= config.cold_up_to));
+        cases.push(run_case(
+            &format!("rand-{n}"),
+            net,
+            lc,
+            n <= config.cold_up_to,
+            n <= config.single_up_to,
+        ));
     }
     cases
 }
@@ -147,7 +244,8 @@ pub fn run(config: &Config) -> Vec<CaseResult> {
 fn json_path(p: &PathStats) -> String {
     format!(
         "{{\"wall_ms\": {:.3}, \"lp_solves\": {}, \"pivots\": {}, \"cut_rounds\": {}, \
-         \"sep_ms\": {:.3}, \"lp_ms\": {:.3}, \"decode_ms\": {:.3}, \"cold_fallbacks\": {}}}",
+         \"sep_ms\": {:.3}, \"lp_ms\": {:.3}, \"decode_ms\": {:.3}, \"cold_fallbacks\": {}, \
+         \"pool_hits\": {}, \"pool_scans\": {}, \"cuts_batched\": {}, \"seeds_pruned\": {}}}",
         p.wall_ms,
         p.lp_solves,
         p.pivots,
@@ -155,27 +253,43 @@ fn json_path(p: &PathStats) -> String {
         p.sep_ms,
         p.lp_ms,
         p.decode_ms,
-        p.cold_fallbacks
+        p.cold_fallbacks,
+        p.pool_hits,
+        p.pool_scans,
+        p.cuts_batched,
+        p.seeds_pruned
     )
+}
+
+fn json_ratio(r: Option<f64>) -> String {
+    r.map_or("null".to_string(), |s| format!("{s:.2}"))
 }
 
 /// Serializes the results to the `BENCH_ira.json` schema (DESIGN.md §8).
 ///
-/// Schema version 2 adds the per-stage breakdown (`lp_ms`, `decode_ms`,
-/// `cold_fallbacks` — `sep_ms` was already there) per path; every version-1
-/// field is kept so existing diff tooling keeps working.
+/// Schema version 3 adds the cut-pool engine counters (`pool_hits`,
+/// `pool_scans`, `cuts_batched`, `seeds_pruned`) per path, the `single`
+/// baseline block with its `single_speedup` / `round_ratio` comparisons,
+/// and the `same_tree` answer-identity check; every version-2 field is
+/// kept so existing diff tooling keeps working.
 pub fn to_json(cases: &[CaseResult], smoke: bool) -> String {
-    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n  \"schema_version\": 2,\n");
+    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n  \"schema_version\": 3,\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"warm\": {}, \"cold\": {}, \"speedup\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"n\": {}, \"m\": {}, \"warm\": {}, \"cold\": {}, \
+             \"single\": {}, \"speedup\": {}, \"single_speedup\": {}, \"round_ratio\": {}, \
+             \"same_tree\": {}}}{}\n",
             c.name,
             c.n,
             c.m,
             json_path(&c.warm),
             c.cold.as_ref().map_or("null".to_string(), json_path),
-            c.speedup().map_or("null".to_string(), |s| format!("{s:.2}")),
+            c.single.as_ref().map_or("null".to_string(), json_path),
+            json_ratio(c.speedup()),
+            json_ratio(c.single_speedup()),
+            json_ratio(c.round_ratio()),
+            c.same_tree,
             if i + 1 < cases.len() { "," } else { "" },
         ));
     }
@@ -191,11 +305,14 @@ pub fn render(cases: &[CaseResult]) -> String {
         "m",
         "warm ms",
         "cold ms",
-        "speedup",
-        "lp solves",
-        "pivots",
-        "cut rounds",
-        "sep ms",
+        "1-cut ms",
+        "vs 1-cut",
+        "rounds",
+        "1-cut rnds",
+        "pool hits",
+        "batched",
+        "pruned",
+        "same tree",
     ]);
     for c in cases {
         t.push([
@@ -204,14 +321,17 @@ pub fn render(cases: &[CaseResult]) -> String {
             c.m.to_string(),
             f(c.warm.wall_ms, 1),
             c.cold.map_or("-".into(), |p| f(p.wall_ms, 1)),
-            c.speedup().map_or("-".into(), |s| format!("{s:.2}x")),
-            c.warm.lp_solves.to_string(),
-            c.warm.pivots.to_string(),
+            c.single.map_or("-".into(), |p| f(p.wall_ms, 1)),
+            c.single_speedup().map_or("-".into(), |s| format!("{s:.2}x")),
             c.warm.cut_rounds.to_string(),
-            f(c.warm.sep_ms, 1),
+            c.single.map_or("-".into(), |p| p.cut_rounds.to_string()),
+            c.warm.pool_hits.to_string(),
+            c.warm.cuts_batched.to_string(),
+            c.warm.seeds_pruned.to_string(),
+            if c.same_tree { "yes".into() } else { "NO".into() },
         ]);
     }
-    format!("bench-perf — IRA solver trajectory (warm-started LP)\n{}", t.render())
+    format!("bench-perf — IRA solver trajectory (warm LP + cut-pool engine)\n{}", t.render())
 }
 
 #[cfg(test)]
@@ -231,20 +351,32 @@ mod tests {
             assert!(c.warm.lp_ms > 0.0, "registry-backed LP stage timing is populated");
             assert!(c.warm.lp_ms <= c.warm.wall_ms, "a stage cannot exceed the whole");
             assert!(c.cold.is_some(), "smoke rungs are all below cold_up_to");
+            assert!(c.single.is_some(), "smoke rungs are all below single_up_to");
+            assert!(c.same_tree, "{}: all paths must decode the same tree", c.name);
+            let single = c.single.unwrap();
+            assert!(single.cut_rounds >= c.warm.cut_rounds, "batching cannot add rounds");
+            assert_eq!(single.pool_hits, 0, "the baseline never consults the pool");
         }
         let json = to_json(&cases, true);
         assert!(json.contains("\"suite\": \"bench-perf\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"smoke\": true"));
         assert!(json.contains("\"name\": \"dfl-16\""));
         assert!(json.contains("\"pivots\""));
         assert!(json.contains("\"lp_ms\""));
         assert!(json.contains("\"decode_ms\""));
         assert!(json.contains("\"cold_fallbacks\""));
+        assert!(json.contains("\"pool_hits\""));
+        assert!(json.contains("\"cuts_batched\""));
+        assert!(json.contains("\"seeds_pruned\""));
+        assert!(json.contains("\"single_speedup\""));
+        assert!(json.contains("\"round_ratio\""));
+        assert!(json.contains("\"same_tree\": true"));
         // Exactly one trailing comma structure: valid-ish JSON shape.
         assert!(!json.contains(",]") && !json.contains(",}"));
         let table = render(&cases);
-        assert!(table.contains("speedup"));
+        assert!(table.contains("1-cut"));
+        assert!(table.contains("pool hits"));
     }
 
     #[test]
@@ -256,6 +388,10 @@ mod tests {
             assert_eq!(x.warm.lp_solves, y.warm.lp_solves);
             assert_eq!(x.warm.pivots, y.warm.pivots);
             assert_eq!(x.warm.cut_rounds, y.warm.cut_rounds);
+            assert_eq!(x.warm.pool_hits, y.warm.pool_hits);
+            assert_eq!(x.warm.pool_scans, y.warm.pool_scans);
+            assert_eq!(x.warm.cuts_batched, y.warm.cuts_batched);
+            assert_eq!(x.warm.seeds_pruned, y.warm.seeds_pruned);
         }
     }
 }

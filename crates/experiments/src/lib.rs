@@ -17,6 +17,7 @@
 //! tests in these modules (and recorded in EXPERIMENTS.md).
 
 pub mod ablation;
+pub mod bench_check;
 pub mod bench_perf;
 pub mod ext_drift;
 pub mod ext_faults;

@@ -5,8 +5,9 @@
 //! mrlc-experiments fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13 [--fast]
 //! mrlc-experiments ablation [--fast]
 //! mrlc-experiments bench-perf [--smoke] [--out=PATH]   # writes BENCH_ira.json
+//! mrlc-experiments bench-check <baseline.json> <current.json>  # CI perf gate
 //! mrlc-experiments fig8 --trace t.jsonl --metrics m.json   # instrumented run
-//! mrlc-experiments obs-report t.jsonl [--top=N]            # summarize a trace
+//! mrlc-experiments obs-report t.jsonl [--metrics=m.json] [--top=N]  # summarize
 //! ```
 //!
 //! `--trace PATH` installs a virtual-clock collector for the run and writes
@@ -85,16 +86,55 @@ fn main() {
     let out_path = cli.out_path.clone();
     let which = cli.positional.first().cloned().unwrap_or_else(|| "all".to_string());
 
-    if which == "obs-report" {
-        let Some(path) = cli.positional.get(1) else {
-            eprintln!("usage: mrlc-experiments obs-report <trace.jsonl> [--top=N]");
+    if which == "bench-check" {
+        let (Some(baseline), Some(current)) = (cli.positional.get(1), cli.positional.get(2)) else {
+            eprintln!("usage: mrlc-experiments bench-check <baseline.json> <current.json>");
             std::process::exit(2);
         };
-        match obs_report::run(path, cli.top_k) {
-            Ok(text) => print!("{text}"),
+        match bench_check::run(baseline, current) {
+            Ok((text, passed)) => {
+                print!("{text}");
+                if !passed {
+                    std::process::exit(1);
+                }
+            }
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if which == "obs-report" {
+        let trace = cli.positional.get(1);
+        if trace.is_none() && cli.metrics_path.is_none() {
+            eprintln!(
+                "usage: mrlc-experiments obs-report [<trace.jsonl>] [--metrics=m.json] [--top=N]"
+            );
+            std::process::exit(2);
+        }
+        if let Some(path) = trace {
+            match obs_report::run(path, cli.top_k) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &cli.metrics_path {
+            match obs_report::run_metrics(path) {
+                Ok(text) => {
+                    if trace.is_some() {
+                        println!();
+                    }
+                    print!("{text}");
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
             }
         }
         return;
@@ -226,7 +266,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
             );
             std::process::exit(2);
         }

@@ -1,6 +1,9 @@
 //! `obs-report` — validates a JSONL trace written by `--trace` and renders
 //! the human-readable summary (per-span total/self time, hot spans first,
-//! event counts with warnings called out).
+//! event counts with warnings called out). With `--metrics m.json` it also
+//! renders the metrics-registry export — the `ira.*` solver counters and
+//! the `sep.*` cut-pool engine counters (pool hits/scans, batched cuts,
+//! pruned seeds).
 //!
 //! The heavy lifting lives in `wsn_obs::report`; this module is the thin
 //! CLI adapter: read the file, validate strictly (any schema violation is
@@ -13,6 +16,14 @@ pub fn run(path: &str, top_k: usize) -> Result<String, String> {
         std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
     let summary = wsn_obs::validate_trace(&text).map_err(|e| format!("invalid trace: {e}"))?;
     Ok(wsn_obs::render_summary(&summary, top_k))
+}
+
+/// Reads a metrics JSON export (written by `--metrics`) and renders its
+/// counter and gauge tables.
+pub fn run_metrics(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read metrics {path}: {e}"))?;
+    wsn_obs::render_metrics(&text)
 }
 
 #[cfg(test)]
@@ -54,5 +65,23 @@ mod tests {
     fn missing_file_is_an_error() {
         let err = run("/nonexistent/trace.jsonl", 10).unwrap_err();
         assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn reports_engine_counters_from_a_metrics_export() {
+        let obs = wsn_obs::Obs::detached();
+        let reg = obs.registry();
+        reg.counter("sep.pool_hits").add(2);
+        reg.counter("sep.seeds_pruned").add(9);
+        let path = write_temp("obs_report_metrics.json", &reg.to_json());
+        let text = run_metrics(path.to_str().unwrap()).unwrap();
+        assert!(text.contains("sep.pool_hits"), "{text}");
+        assert!(text.contains("sep.seeds_pruned"), "{text}");
+    }
+
+    #[test]
+    fn metrics_garbage_is_an_error() {
+        let path = write_temp("obs_report_metrics_bad.json", "nope");
+        assert!(run_metrics(path.to_str().unwrap()).is_err());
     }
 }

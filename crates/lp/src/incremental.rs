@@ -319,6 +319,14 @@ impl IncrementalLp {
         id
     }
 
+    /// Appends a batch of `≤` rows — the multi-cut entry point. Every row
+    /// joins the tableau with its slack seated immediately, so the single
+    /// dual-simplex repair at the next [`IncrementalLp::solve`] serves the
+    /// whole batch instead of one repair per cut.
+    pub fn append_le_rows(&mut self, rows: &[(Vec<(VarId, f64)>, f64)]) -> Vec<RowId> {
+        rows.iter().map(|(terms, rhs)| self.append_le_row(terms, *rhs)).collect()
+    }
+
     /// Tightens (or loosens) the upper bound of `v`. Setting it equal to
     /// the lower bound fixes the variable — IRA's edge-drop move.
     pub fn set_upper(&mut self, v: VarId, new_upper: f64) {
@@ -1040,6 +1048,41 @@ mod tests {
         let s1 = assert_matches_cold(&mut p);
         assert!((s1.objective + 1.2).abs() < 1e-8, "got {}", s1.objective);
         assert_eq!(p.warm_solves(), 1);
+    }
+
+    #[test]
+    fn batched_append_matches_sequential_appends() {
+        // min −x−y−z over [0,1]³, then three cuts at once; the batch must
+        // land on the same optimum as one-at-a-time appends with a solve
+        // between none of them, and repair once.
+        let build = || {
+            let mut p = IncrementalLp::new();
+            let x = p.add_unit_var(-1.0);
+            let y = p.add_unit_var(-1.0);
+            let z = p.add_unit_var(-1.0);
+            p.solve().unwrap();
+            (p, x, y, z)
+        };
+        let rows = |x: VarId, y: VarId, z: VarId| {
+            vec![
+                (vec![(x, 1.0), (y, 1.0)], 1.5),
+                (vec![(y, 1.0), (z, 1.0)], 1.0),
+                (vec![(x, 1.0), (z, 1.0)], 1.2),
+            ]
+        };
+
+        let (mut batched, x, y, z) = build();
+        let ids = batched.append_le_rows(&rows(x, y, z));
+        assert_eq!(ids.len(), 3);
+        let sb = batched.solve().unwrap();
+
+        let (mut seq, x, y, z) = build();
+        for (terms, rhs) in rows(x, y, z) {
+            seq.append_le_row(&terms, rhs);
+        }
+        let ss = seq.solve().unwrap();
+        assert!((sb.objective - ss.objective).abs() < 1e-8);
+        assert_eq!(sb.x, ss.x, "batch and sequential appends are the same tableau");
     }
 
     #[test]

@@ -250,6 +250,42 @@ pub fn render_summary(summary: &TraceSummary, top_k: usize) -> String {
     out
 }
 
+/// Renders a metrics-registry JSON export ([`crate::Registry::to_json`])
+/// as fixed-width tables: every counter (the `ira.*` solver effort and
+/// `sep.*` cut-pool engine counters included), then every gauge.
+/// Deterministic — the registry serializes in name order.
+pub fn render_metrics(text: &str) -> Result<String, String> {
+    let doc = parse(text).map_err(|e| format!("invalid metrics JSON: {e}"))?;
+    let section = |key: &str| -> Result<Vec<(String, f64)>, String> {
+        match doc.get(key) {
+            None => Ok(Vec::new()),
+            Some(Json::Obj(entries)) => entries
+                .iter()
+                .map(|(name, v)| {
+                    v.as_f64()
+                        .map(|n| (name.clone(), n))
+                        .ok_or_else(|| format!("metric {name:?} is not a number"))
+                })
+                .collect(),
+            Some(_) => Err(format!("metrics field {key:?} is not an object")),
+        }
+    };
+    let counters = section("counters")?;
+    let gauges = section("gauges")?;
+    let mut out = String::new();
+    out.push_str(&format!("{:<28} {:>16}\n", "counter", "value"));
+    for (name, value) in &counters {
+        out.push_str(&format!("{:<28} {:>16}\n", name, *value as u64));
+    }
+    if !gauges.is_empty() {
+        out.push_str(&format!("\n{:<28} {:>16}\n", "gauge", "value"));
+        for (name, value) in &gauges {
+            out.push_str(&format!("{:<28} {:>16}\n", name, value));
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,5 +369,36 @@ mod tests {
                     {\"type\":\"span_end\",\"id\":1,\"t\":3}\n";
         let err = validate_trace(text).unwrap_err();
         assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn renders_registry_export_with_engine_counters() {
+        let obs = Obs::detached();
+        let reg = obs.registry();
+        reg.counter("ira.cut_rounds").add(7);
+        reg.counter("sep.pool_hits").add(3);
+        reg.counter("sep.pool_scans").add(5);
+        reg.counter("sep.cuts_batched").add(4);
+        reg.counter("sep.seeds_pruned").add(11);
+        reg.gauge("lp.rows").set(42);
+        let text = render_metrics(&reg.to_json()).unwrap();
+        for needle in [
+            "ira.cut_rounds",
+            "sep.pool_hits",
+            "sep.pool_scans",
+            "sep.cuts_batched",
+            "sep.seeds_pruned",
+            "lp.rows",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert!(text.contains("11"), "counter values render");
+    }
+
+    #[test]
+    fn render_metrics_rejects_malformed_documents() {
+        assert!(render_metrics("not json").is_err());
+        assert!(render_metrics("{\"counters\": 3}").is_err());
+        assert!(render_metrics("{\"counters\": {\"a\": \"x\"}}").is_err());
     }
 }

@@ -107,6 +107,42 @@ fn traced_fig8_is_deterministic_and_covers_the_pipeline() {
     assert_eq!(summary.span("protocol-round").unwrap().count, 2);
 }
 
+/// The cut-pool engine's registry counters are exactly reproducible under
+/// a fixed seed: two identical fig8 runs publish identical `sep.*` totals,
+/// and the pool counters are consistent with the solver's cut accounting
+/// (every pool hit is a cut that was activated without a maxflow run).
+#[test]
+fn engine_counters_are_deterministic_under_fixed_seed() {
+    let run_counters = || {
+        let obs = wsn_obs::Obs::detached();
+        let mut totals: Vec<(String, u64)>;
+        {
+            let _ambient = wsn_obs::install(obs.clone());
+            let cfg = fig8::Config { instances: 2, ..fig8::Config::default() };
+            let _rows = fig8::run(&cfg);
+            totals = obs.registry().counter_snapshot();
+        }
+        // The `*_ns` counters are wall time — real and noisy by design;
+        // everything else is algorithmic and must reproduce exactly.
+        totals.retain(|(name, _)| !name.ends_with("_ns"));
+        totals
+    };
+    let a = run_counters();
+    let b = run_counters();
+    assert_eq!(a, b, "identically-seeded runs must publish identical counters");
+    let get = |name: &str| a.iter().find(|(k, _)| k == name).map(|&(_, v)| v).unwrap_or(0);
+    assert!(get("ira.cuts_added") > 0, "fig8 instances need subtour cuts");
+    assert!(
+        get("sep.pool_hits") <= get("ira.cuts_added"),
+        "a pool hit is one kind of cut activation"
+    );
+    let batch_cap = mrlc_core::SeparationConfig::default().max_cuts_per_round as u64;
+    assert!(
+        get("sep.pool_hits") <= get("sep.pool_scans") * batch_cap,
+        "hits are bounded by scans times the batch cap"
+    );
+}
+
 /// The exported JSONL round-trips through the parser: every record the
 /// collector wrote is seen by the validator, and span nesting survives.
 #[test]

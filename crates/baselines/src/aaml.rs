@@ -115,7 +115,12 @@ pub fn aaml_tree(
 
         match best {
             Some((_, c, w)) => {
-                tree.reattach(c, w).expect("switch candidates were pre-validated");
+                // Candidates were pre-validated; if a reattach still fails
+                // the tree is untouched, so stop improving and return it
+                // rather than panic mid-search.
+                if tree.reattach(c, w).is_err() {
+                    break 'outer;
+                }
                 switches += 1;
             }
             None => break 'outer,
@@ -249,6 +254,37 @@ mod tests {
         let model = EnergyModel::PAPER;
         let res = aaml_tree(&net, &model, None, &AamlConfig { max_switches: 1 }).unwrap();
         assert!(res.switches <= 1);
+    }
+
+    #[test]
+    fn prefilter_disconnection_is_a_typed_error() {
+        // The paper's evaluation drops links with q < 0.95 before AAML;
+        // when the filter disconnects the graph, the failure is a typed
+        // ModelError from restrict_edges — aaml_tree itself never sees a
+        // disconnected network (Network is connected by construction).
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, 0.99).unwrap();
+        b.add_edge(1, 2, 0.80).unwrap(); // the only bridge — below the filter
+        b.add_edge(2, 3, 0.99).unwrap();
+        let net = b.build().unwrap();
+        match net.restrict_edges(|l| l.prr().value() >= 0.95) {
+            Err(wsn_model::ModelError::Disconnected { .. }) => {}
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unreachable_lc_still_returns_lifetime_maximal_tree() {
+        // AAML maximizes lifetime; an infeasible LC is the caller's
+        // comparison to make. The search must neither fail nor panic — it
+        // returns its best tree, whose lifetime simply falls short.
+        let net = complete(5);
+        let model = EnergyModel::PAPER;
+        let unreachable_lc = 3000.0 / model.tx * 2.0; // beyond a leaf's ceiling
+        let res = aaml_tree(&net, &model, None, &AamlConfig::default()).unwrap();
+        assert!(res.lifetime < unreachable_lc);
+        assert!(res.lifetime > 0.0);
+        assert_eq!(res.tree.n(), 5);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub fn candidate_lifetimes(net: &Network, model: &EnergyModel) -> Vec<f64> {
             (0..n).map(move |k| e / (model.tx + model.rx * k as f64))
         })
         .collect();
-    vals.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    // total_cmp: energies/rates are validated finite, but a pathological
+    // model must at worst produce a misordered list — never a panic.
+    vals.sort_by(|a, b| b.total_cmp(a));
     vals.dedup_by(|a, b| (*a - *b).abs() < 1e-9 * b.abs());
     vals
 }

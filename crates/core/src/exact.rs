@@ -18,7 +18,11 @@
 
 use crate::problem::MrlcInstance;
 use wsn_graph::UnionFind;
+use wsn_lp::SolveCtx;
 use wsn_model::{lifetime, AggregationTree, NodeId};
+
+/// How many branch-and-bound nodes between deadline/cancellation polls.
+const CTX_STRIDE: u64 = 512;
 
 /// Search budget.
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +67,7 @@ struct Search<'a> {
     nodes: u64,
     limit: u64,
     inst: &'a MrlcInstance,
+    ctx: Option<&'a SolveCtx>,
 }
 
 impl Search<'_> {
@@ -98,6 +103,11 @@ impl Search<'_> {
         self.nodes += 1;
         if self.nodes > self.limit {
             return false; // budget exhausted; propagate
+        }
+        if let Some(ctx) = self.ctx {
+            if self.nodes.is_multiple_of(CTX_STRIDE) && (ctx.is_cancelled() || ctx.is_expired()) {
+                return false; // cooperative stop, reported as NodeLimit
+            }
         }
         if chosen.len() == self.n - 1 {
             if cost < self.best_cost - 1e-12 {
@@ -139,11 +149,25 @@ impl Search<'_> {
 
 /// Runs the exact search.
 pub fn solve_exact(inst: &MrlcInstance, config: &ExactConfig) -> ExactOutcome {
+    solve_exact_budgeted(inst, config, None)
+}
+
+/// Runs the exact search under an optional cooperative budget.
+///
+/// A cancelled or expired `ctx` stops the search at the next poll stride and
+/// reports [`ExactOutcome::NodeLimit`] — the search did not close, exactly as
+/// if the node budget had run out.
+pub fn solve_exact_budgeted(
+    inst: &MrlcInstance,
+    config: &ExactConfig,
+    ctx: Option<&SolveCtx>,
+) -> ExactOutcome {
     let net = inst.network();
     let model = inst.model();
     let n = net.n();
     if n == 1 {
-        let tree = AggregationTree::from_parents(NodeId::SINK, vec![None]).unwrap();
+        let tree = AggregationTree::from_parents(NodeId::SINK, vec![None])
+            .expect("the single-node tree is always valid");
         return ExactOutcome::Optimal { tree, cost: 0.0, nodes: 0 };
     }
 
@@ -166,7 +190,9 @@ pub fn solve_exact(inst: &MrlcInstance, config: &ExactConfig) -> ExactOutcome {
 
     let mut edges: Vec<(usize, usize, f64, usize)> =
         net.edges().map(|(e, l)| (l.u().index(), l.v().index(), l.cost(), e.index())).collect();
-    edges.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    // total_cmp: costs are finite by construction, but a NaN-perturbed
+    // instance must degrade (wrong order, still a valid tree) — not panic.
+    edges.sort_by(|a, b| a.2.total_cmp(&b.2));
 
     let mut search = Search {
         edges,
@@ -177,6 +203,7 @@ pub fn solve_exact(inst: &MrlcInstance, config: &ExactConfig) -> ExactOutcome {
         nodes: 0,
         limit: config.node_limit,
         inst,
+        ctx,
     };
     let mut chosen = Vec::with_capacity(n - 1);
     let mut deg = vec![0usize; n];

@@ -44,8 +44,9 @@ use crate::separation::{
     PARALLEL_SEP_THRESHOLD,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use std::time::Duration;
-use wsn_lp::{IncrementalLp, LpProblem, LpStatus, Relation, RowId, VarId};
+use wsn_lp::{FaultKind, IncrementalLp, LpProblem, LpStatus, Relation, RowId, SolveCtx, VarId};
 use wsn_obs::Counter;
 
 /// Safety valve on cutting-plane rounds (each round adds ≥ 1 new set, and
@@ -92,6 +93,10 @@ pub enum CutLpError {
     /// Separation returned only sets the LP already contains — numerical
     /// stall.
     StalledCut,
+    /// The solve was stopped by its budget (deadline, pivot/round cap) or
+    /// an explicit cancellation. The `CutLp` remains checkpointable: its
+    /// pool and warm basis are intact and a later call resumes warm.
+    Interrupted,
 }
 
 impl std::fmt::Display for CutLpError {
@@ -100,7 +105,19 @@ impl std::fmt::Display for CutLpError {
             CutLpError::Lp(e) => write!(f, "simplex failure: {e}"),
             CutLpError::CutRoundLimit => write!(f, "cutting-plane round limit exceeded"),
             CutLpError::StalledCut => write!(f, "cutting planes stalled on a repeated set"),
+            CutLpError::Interrupted => {
+                write!(f, "solve interrupted by budget or cancellation (state is resumable)")
+            }
         }
+    }
+}
+
+/// Maps LP-layer errors into cut-loop errors, folding the budget
+/// interruption into [`CutLpError::Interrupted`].
+fn lift(e: wsn_lp::LpError) -> CutLpError {
+    match e {
+        wsn_lp::LpError::Interrupted => CutLpError::Interrupted,
+        other => CutLpError::Lp(other),
     }
 }
 
@@ -198,6 +215,10 @@ pub struct CutLp {
     warm: bool,
     state: Option<WarmState>,
     metrics: CutLpMetrics,
+    /// Budget/cancellation token (and fault injector). `None` — the
+    /// default — leaves every hot path byte-identical to the unbudgeted
+    /// engine.
+    ctx: Option<Arc<SolveCtx>>,
 }
 
 impl Default for CutLp {
@@ -231,7 +252,23 @@ impl CutLp {
             warm,
             state: None,
             metrics: CutLpMetrics::from_registry(reg),
+            ctx: None,
         }
+    }
+
+    /// Installs (or clears) the budget/cancellation context, propagating
+    /// it into the live warm tableau so a context set mid-sequence still
+    /// governs every subsequent pivot.
+    pub fn set_ctx(&mut self, ctx: Option<Arc<SolveCtx>>) {
+        self.ctx = ctx.clone();
+        if let Some(state) = &mut self.state {
+            state.lp.set_ctx(ctx);
+        }
+    }
+
+    /// The installed budget context, if any.
+    pub fn ctx(&self) -> Option<&Arc<SolveCtx>> {
+        self.ctx.as_ref()
     }
 
     /// Whether this instance reuses the simplex basis across solves.
@@ -335,6 +372,21 @@ impl CutLp {
         frac: &[FracEdge],
         round: usize,
     ) -> Result<usize, CutLpError> {
+        if let Some(ctx) = &self.ctx {
+            if ctx.poll_fault(FaultKind::OracleTimeout) {
+                // The injected fault mimics a real oracle deadline: the
+                // whole solve is cancelled cooperatively and unwinds as
+                // an interruption, never a panic.
+                ctx.cancel();
+                if let Some(obs) = wsn_obs::current() {
+                    obs.registry().counter("sep.fault.oracle_timeout").inc();
+                    wsn_obs::warn("sep.fault", vec![wsn_obs::field("kind", "oracle_timeout")]);
+                }
+            }
+            if ctx.is_cancelled() || ctx.is_expired() {
+                return Err(CutLpError::Interrupted);
+            }
+        }
         let k = match self.sep.strategy {
             CutStrategy::SingleCut => 1,
             CutStrategy::Batched => self.sep.max_cuts_per_round.max(1),
@@ -470,6 +522,7 @@ impl CutLp {
     /// materializing the pool's activated cuts.
     fn build_state(&mut self, n: usize, edges: &[LpEdge], caps: &[(usize, f64)]) -> WarmState {
         let mut lp = IncrementalLp::new();
+        lp.set_ctx(self.ctx.clone());
         let mut vars = BTreeMap::new();
         let mut active = BTreeSet::new();
         let mut all = Vec::with_capacity(edges.len());
@@ -563,20 +616,31 @@ impl CutLp {
         }
 
         for round in 0..MAX_CUT_ROUNDS {
+            if let Some(ctx) = &self.ctx {
+                if ctx.is_cancelled() || ctx.is_expired() || ctx.round_cap_hit(round as u64) {
+                    return Err(CutLpError::Interrupted);
+                }
+            }
             self.metrics.lp_solves.inc();
             self.metrics.cut_rounds.inc();
             let state = self.state.as_mut().unwrap();
             let lp_start = std::time::Instant::now();
             let sol = {
                 let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
-                state.lp.solve().map_err(CutLpError::Lp)?
+                state.lp.solve().map_err(lift)?
             };
             self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
             self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
                 LpStatus::Unbounded => {
-                    unreachable!("box-bounded variables cannot be unbounded")
+                    // Box-bounded variables cannot make the model genuinely
+                    // unbounded; an unbounded verdict means the tableau data
+                    // went non-finite past what the sentinels could repair.
+                    if let Some(obs) = wsn_obs::current() {
+                        obs.registry().counter("lp.sentinel.unbounded_verdict").inc();
+                    }
+                    return Err(CutLpError::Lp(wsn_lp::LpError::Numerical));
                 }
                 LpStatus::Optimal => {}
             }
@@ -623,6 +687,11 @@ impl CutLp {
             .collect();
 
         for round in 0..MAX_CUT_ROUNDS {
+            if let Some(ctx) = &self.ctx {
+                if ctx.is_cancelled() || ctx.is_expired() || ctx.round_cap_hit(round as u64) {
+                    return Err(CutLpError::Interrupted);
+                }
+            }
             let mut lp = LpProblem::new();
             let vars: Vec<VarId> = edges.iter().map(|e| lp.add_unit_var(e.cost)).collect();
 
@@ -655,19 +724,37 @@ impl CutLp {
                 }
             }
 
+            if let Some(ctx) = &self.ctx {
+                if ctx.poll_fault(FaultKind::PoisonCut) {
+                    // The cold path rebuilds through the validating model
+                    // builder, which rejects non-finite rows at insertion;
+                    // the injected poison therefore surfaces directly as
+                    // the sentinel's typed error.
+                    if let Some(obs) = wsn_obs::current() {
+                        obs.registry().counter("sep.fault.poison_cut").inc();
+                    }
+                    return Err(CutLpError::Lp(wsn_lp::LpError::Numerical));
+                }
+            }
             self.metrics.lp_solves.inc();
             self.metrics.cut_rounds.inc();
             let lp_start = std::time::Instant::now();
             let sol = {
                 let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
-                lp.solve().map_err(CutLpError::Lp)?
+                wsn_lp::solve_with_ctx(&lp, self.ctx.as_deref()).map_err(lift)?
             };
             self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
             self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
                 LpStatus::Unbounded => {
-                    unreachable!("box-bounded variables cannot be unbounded")
+                    // Box-bounded variables cannot make the model genuinely
+                    // unbounded; an unbounded verdict means the tableau data
+                    // went non-finite past what the sentinels could repair.
+                    if let Some(obs) = wsn_obs::current() {
+                        obs.registry().counter("lp.sentinel.unbounded_verdict").inc();
+                    }
+                    return Err(CutLpError::Lp(wsn_lp::LpError::Numerical));
                 }
                 LpStatus::Optimal => {}
             }

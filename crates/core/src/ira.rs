@@ -3,6 +3,8 @@
 use crate::formulation::{CutLp, CutLpError, CutLpOutcome, LpEdge};
 use crate::problem::MrlcInstance;
 use crate::separation::SeparationConfig;
+use std::sync::Arc;
+use wsn_lp::SolveCtx;
 use wsn_model::{lifetime, AggregationTree, ModelError, NodeId};
 
 /// Edge values at or below this are treated as `x_e = 0` (Alg. 1 line 6).
@@ -98,6 +100,10 @@ pub enum IraError {
     Lp(CutLpError),
     /// Tree assembly failed (should be unreachable on valid instances).
     Model(ModelError),
+    /// The solve hit its budget (deadline, pivot or round cap) or was
+    /// cancelled. The checkpoint carries the warm LP basis, the cut pool
+    /// and the IRA iteration state; [`resume_ira`] continues it warm.
+    Interrupted(Box<IraCheckpoint>),
 }
 
 impl std::fmt::Display for IraError {
@@ -108,6 +114,11 @@ impl std::fmt::Display for IraError {
             }
             IraError::Lp(e) => write!(f, "LP failure: {e}"),
             IraError::Model(e) => write!(f, "model failure: {e}"),
+            IraError::Interrupted(cp) => write!(
+                f,
+                "solve interrupted after {} iteration(s); checkpoint is resumable",
+                cp.iterations()
+            ),
         }
     }
 }
@@ -133,6 +144,38 @@ pub struct IraSolution {
 
 /// Runs Algorithm 1 on an instance.
 pub fn solve_ira(inst: &MrlcInstance, config: &IraConfig) -> Result<IraSolution, IraError> {
+    solve_ira_impl(inst, config, None)
+}
+
+/// As [`solve_ira`], under a budget/cancellation context. Budget expiry
+/// and cancellation surface as [`IraError::Interrupted`] carrying a warm
+/// [`IraCheckpoint`]; everything else behaves exactly like [`solve_ira`].
+pub fn solve_ira_budgeted(
+    inst: &MrlcInstance,
+    config: &IraConfig,
+    ctx: &Arc<SolveCtx>,
+) -> Result<IraSolution, IraError> {
+    solve_ira_impl(inst, config, Some(ctx))
+}
+
+/// Continues an interrupted solve from its checkpoint: the warm tableau,
+/// the cut pool and the constraint-removal state all pick up where they
+/// stopped. A `None` context removes all limits for the continuation.
+pub fn resume_ira(
+    inst: &MrlcInstance,
+    config: &IraConfig,
+    checkpoint: IraCheckpoint,
+    ctx: Option<&Arc<SolveCtx>>,
+) -> Result<IraSolution, IraError> {
+    let IraCheckpoint { state, remaining } = checkpoint;
+    run_attempts(inst, config, ctx, Some(state), remaining)
+}
+
+fn solve_ira_impl(
+    inst: &MrlcInstance,
+    config: &IraConfig,
+    ctx: Option<&Arc<SolveCtx>>,
+) -> Result<IraSolution, IraError> {
     let net = inst.network();
     let n = net.n();
     if n == 1 {
@@ -175,13 +218,45 @@ pub fn solve_ira(inst: &MrlcInstance, config: &IraConfig) -> Result<IraSolution,
         }
     }
 
+    run_attempts(inst, config, ctx, None, attempts)
+}
+
+/// Runs a resumed attempt (if any) and then the fresh fallback attempts
+/// in order — the shared tail of the fresh, budgeted and resumed entry
+/// points.
+fn run_attempts(
+    inst: &MrlcInstance,
+    config: &IraConfig,
+    ctx: Option<&Arc<SolveCtx>>,
+    resume: Option<AttemptState>,
+    attempts: Vec<(f64, bool)>,
+) -> Result<IraSolution, IraError> {
     let mut last_reason = String::new();
-    for (l_used, relaxed) in attempts {
-        match attempt(inst, config, l_used, relaxed) {
+    let mut starts: Vec<Start> = Vec::with_capacity(attempts.len() + 1);
+    if let Some(state) = resume {
+        starts.push(Start::Resume(Box::new(state)));
+    }
+    starts.extend(attempts.iter().map(|&(l_used, relaxed)| Start::Fresh { l_used, relaxed }));
+
+    let mut queue = starts.into_iter();
+    while let Some(start) = queue.next() {
+        match attempt(inst, config, ctx, start) {
             Ok(sol) => return Ok(sol),
             Err(AttemptError::Infeasible(reason)) => last_reason = reason,
             Err(AttemptError::Lp(e)) => return Err(IraError::Lp(e)),
             Err(AttemptError::Model(e)) => return Err(IraError::Model(e)),
+            Err(AttemptError::Interrupted(state)) => {
+                let remaining: Vec<(f64, bool)> = queue
+                    .filter_map(|s| match s {
+                        Start::Fresh { l_used, relaxed } => Some((l_used, relaxed)),
+                        Start::Resume(_) => None,
+                    })
+                    .collect();
+                return Err(IraError::Interrupted(Box::new(IraCheckpoint {
+                    state: *state,
+                    remaining,
+                })));
+            }
         }
     }
     Err(IraError::LifetimeUnachievable { lc: inst.lc(), reason: last_reason })
@@ -191,54 +266,148 @@ enum AttemptError {
     Infeasible(String),
     Lp(CutLpError),
     Model(ModelError),
+    /// Budget/cancellation stop; the state resumes the attempt warm.
+    Interrupted(Box<AttemptState>),
+}
+
+/// Where an attempt begins: a fresh bound, or a checkpointed mid-solve
+/// state.
+enum Start {
+    Fresh { l_used: f64, relaxed: bool },
+    Resume(Box<AttemptState>),
+}
+
+/// Everything one attempt needs to continue after an interruption. The
+/// embedded [`CutLp`] carries the warm simplex basis and the cut pool, so
+/// a resumed attempt re-enters the cutting-plane loop without a cold
+/// rebuild or any lost cuts.
+#[derive(Clone, Debug)]
+struct AttemptState {
+    l_used: f64,
+    relaxed: bool,
+    caps: Vec<f64>,
+    w_set: Vec<bool>,
+    active: Vec<bool>,
+    cut: CutLp,
+    stats: IraStats,
+}
+
+/// A resumable snapshot of an interrupted solve: the warm LP basis and
+/// cut pool (inside the embedded solver state), the surviving edge and
+/// constraint sets, the iteration statistics, and any fallback attempts
+/// not yet tried. Produced by [`IraError::Interrupted`], consumed by
+/// [`resume_ira`].
+#[derive(Clone, Debug)]
+pub struct IraCheckpoint {
+    state: AttemptState,
+    remaining: Vec<(f64, bool)>,
+}
+
+impl IraCheckpoint {
+    /// Outer IRA iterations completed before the interruption.
+    pub fn iterations(&self) -> usize {
+        self.state.stats.iterations
+    }
+
+    /// The lifetime bound the interrupted attempt was solving under.
+    pub fn l_prime(&self) -> f64 {
+        self.state.l_used
+    }
+
+    /// Lifetime constraints still enforced (|W| at the interruption).
+    pub fn constrained_nodes(&self) -> usize {
+        self.state.w_set.iter().filter(|&&b| b).count()
+    }
+
+    /// Edges still active in the LP support.
+    pub fn active_edges(&self) -> usize {
+        self.state.active.iter().filter(|&&b| b).count()
+    }
+
+    /// Subtour cuts parked in the checkpointed pool.
+    pub fn pool_size(&self) -> usize {
+        self.state.cut.pool_size()
+    }
+
+    /// Fallback attempts (bound, relaxed-flag) not yet tried.
+    pub fn remaining_attempts(&self) -> usize {
+        self.remaining.len()
+    }
 }
 
 fn attempt(
     inst: &MrlcInstance,
     config: &IraConfig,
-    l_used: f64,
-    relaxed: bool,
+    ctx: Option<&Arc<SolveCtx>>,
+    start: Start,
 ) -> Result<IraSolution, AttemptError> {
     let net = inst.network();
     let model = inst.model();
     let n = net.n();
+    let (resumed, l_used, relaxed) = match &start {
+        Start::Fresh { l_used, relaxed } => (false, *l_used, *relaxed),
+        Start::Resume(state) => (true, state.l_used, state.relaxed),
+    };
     let _span = wsn_obs::span_with(
         "ira-attempt",
         vec![wsn_obs::field("n", n), wsn_obs::field("relaxed", relaxed)],
     );
-    if relaxed {
+    if relaxed && !resumed {
         wsn_obs::event("ira.relaxed_to_lc", vec![wsn_obs::field("lc", inst.lc())]);
     }
 
-    // Fractional degree caps β_v at the working bound.
-    let mut caps = vec![f64::INFINITY; n];
-    let mut w_set: Vec<bool> = vec![false; n];
-    for i in 0..n {
-        let v = NodeId::new(i);
-        if v == NodeId::SINK && !config.constrain_sink {
-            continue;
+    let mut st = match start {
+        Start::Resume(state) => {
+            wsn_obs::event(
+                "ira.resumed",
+                vec![wsn_obs::field("iterations", state.stats.iterations)],
+            );
+            *state
         }
-        let beta = lifetime::degree_cap(net.initial_energy(v), model, l_used, v == NodeId::SINK);
-        if beta < 1.0 - 1e-9 {
-            return Err(AttemptError::Infeasible(format!(
-                "node {v} cannot hold even one tree edge at bound {l_used:.3e} (β = {beta:.3})"
-            )));
+        Start::Fresh { .. } => {
+            // Fractional degree caps β_v at the working bound.
+            let mut caps = vec![f64::INFINITY; n];
+            let mut w_set: Vec<bool> = vec![false; n];
+            for i in 0..n {
+                let v = NodeId::new(i);
+                if v == NodeId::SINK && !config.constrain_sink {
+                    continue;
+                }
+                let beta =
+                    lifetime::degree_cap(net.initial_energy(v), model, l_used, v == NodeId::SINK);
+                if beta < 1.0 - 1e-9 {
+                    return Err(AttemptError::Infeasible(format!(
+                        "node {v} cannot hold even one tree edge at bound {l_used:.3e} (β = {beta:.3})"
+                    )));
+                }
+                // Caps beyond n−1 are vacuous in any simple spanning tree.
+                caps[i] = beta.min(n as f64 - 1.0);
+                w_set[i] = true;
+            }
+            AttemptState {
+                l_used,
+                relaxed,
+                caps,
+                w_set,
+                active: vec![true; net.num_edges()],
+                cut: CutLp::with_config(config.warm_lp, config.separation),
+                stats: IraStats { l_prime: l_used, relaxed_to_lc: relaxed, ..IraStats::default() },
+            }
         }
-        // Caps beyond n−1 are vacuous in any simple spanning tree.
-        caps[i] = beta.min(n as f64 - 1.0);
-        w_set[i] = true;
-    }
+    };
+    st.cut.set_ctx(ctx.cloned());
 
-    let mut active: Vec<bool> = vec![true; net.num_edges()];
-    let mut cut = CutLp::with_config(config.warm_lp, config.separation);
-    let mut stats = IraStats { l_prime: l_used, relaxed_to_lc: relaxed, ..IraStats::default() };
-
-    while w_set.iter().any(|&b| b) {
-        stats.iterations += 1;
+    while st.w_set.iter().any(|&b| b) {
+        if let Some(ctx) = ctx {
+            if ctx.is_cancelled() || ctx.is_expired() {
+                return Err(AttemptError::Interrupted(Box::new(st)));
+            }
+        }
+        st.stats.iterations += 1;
 
         let edges: Vec<LpEdge> = net
             .edges()
-            .filter(|(e, _)| active[e.index()])
+            .filter(|(e, _)| st.active[e.index()])
             .map(|(e, l)| LpEdge {
                 u: l.u().index(),
                 v: l.v().index(),
@@ -247,34 +416,38 @@ fn attempt(
             })
             .collect();
         let cap_list: Vec<(usize, f64)> =
-            (0..n).filter(|&i| w_set[i]).map(|i| (i, caps[i])).collect();
+            (0..n).filter(|&i| st.w_set[i]).map(|i| (i, st.caps[i])).collect();
 
-        let outcome = cut.solve(n, &edges, &cap_list).map_err(AttemptError::Lp)?;
-        // Snapshot the registry-backed counters into the Copy struct the
-        // experiment tables consume (fig8 renders these verbatim).
-        stats.lp_solves = cut.lp_solves();
-        stats.cuts_added = cut.cuts_added();
-        stats.pivots = cut.pivots();
-        stats.cut_rounds = cut.cut_rounds();
-        stats.sep_ms = cut.sep_time().as_secs_f64() * 1e3;
-        stats.pool_hits = cut.pool_hits();
-        stats.pool_scans = cut.pool_scans();
-        stats.cuts_batched = cut.cuts_batched();
-        stats.seeds_pruned = cut.seeds_pruned();
-        let x = match outcome {
-            CutLpOutcome::Infeasible => {
+        let x = match st.cut.solve(n, &edges, &cap_list) {
+            Err(CutLpError::Interrupted) => {
+                st.stats.iterations -= 1; // the iteration did not complete
+                return Err(AttemptError::Interrupted(Box::new(st)));
+            }
+            Err(e) => return Err(AttemptError::Lp(e)),
+            Ok(CutLpOutcome::Infeasible) => {
                 return Err(AttemptError::Infeasible(format!(
                     "LP(G, {l_used:.3e}, W) infeasible with |W| = {}",
                     cap_list.len()
                 )));
             }
-            CutLpOutcome::Optimal { x, .. } => x,
+            Ok(CutLpOutcome::Optimal { x, .. }) => x,
         };
+        // Snapshot the registry-backed counters into the Copy struct the
+        // experiment tables consume (fig8 renders these verbatim).
+        st.stats.lp_solves = st.cut.lp_solves();
+        st.stats.cuts_added = st.cut.cuts_added();
+        st.stats.pivots = st.cut.pivots();
+        st.stats.cut_rounds = st.cut.cut_rounds();
+        st.stats.sep_ms = st.cut.sep_time().as_secs_f64() * 1e3;
+        st.stats.pool_hits = st.cut.pool_hits();
+        st.stats.pool_scans = st.cut.pool_scans();
+        st.stats.cuts_batched = st.cut.cuts_batched();
+        st.stats.seeds_pruned = st.cut.seeds_pruned();
 
         // Line 6: drop x_e = 0 edges.
         for (edge, &xv) in edges.iter().zip(&x) {
             if xv <= ZERO_TOL {
-                active[edge.tag] = false;
+                st.active[edge.tag] = false;
             }
         }
 
@@ -282,20 +455,20 @@ fn attempt(
         // worst-case lifetime over the support already meets LC.
         let mut deg = vec![0usize; n];
         for (e, l) in net.edges() {
-            if active[e.index()] {
+            if st.active[e.index()] {
                 deg[l.u().index()] += 1;
                 deg[l.v().index()] += 1;
             }
         }
         let mut removed = 0usize;
-        for i in 0..n {
-            if !w_set[i] {
+        for (i, &d) in deg.iter().enumerate() {
+            if !st.w_set[i] {
                 continue;
             }
             let v = NodeId::new(i);
-            let wc = inst.worst_case_lifetime(v, deg[i]);
+            let wc = inst.worst_case_lifetime(v, d);
             if wc >= inst.lc() * (1.0 - 1e-12) {
-                w_set[i] = false;
+                st.w_set[i] = false;
                 removed += 1;
                 if !config.batch_removal {
                     break;
@@ -306,28 +479,29 @@ fn attempt(
             wsn_obs::event(
                 "ira.constraints_dropped",
                 vec![
-                    wsn_obs::field("iteration", stats.iterations),
+                    wsn_obs::field("iteration", st.stats.iterations),
                     wsn_obs::field("removed", removed),
                 ],
             );
         } else {
             // Theorem 2 guarantees a removable vertex under exact
             // arithmetic; numerically, remove the slackest vertex and count
-            // the event.
+            // the event. `total_cmp` keeps the selection well-defined even
+            // if a lifetime evaluates to NaN under corrupted numerics.
             let slackest = (0..n)
-                .filter(|&i| w_set[i])
+                .filter(|&i| st.w_set[i])
                 .max_by(|&a, &b| {
                     let la = inst.worst_case_lifetime(NodeId::new(a), deg[a]);
                     let lb = inst.worst_case_lifetime(NodeId::new(b), deg[b]);
-                    la.partial_cmp(&lb).unwrap()
+                    la.total_cmp(&lb)
                 })
                 .expect("W is nonempty inside the loop");
-            w_set[slackest] = false;
-            stats.guard_removals += 1;
+            st.w_set[slackest] = false;
+            st.stats.guard_removals += 1;
             wsn_obs::warn(
                 "ira.guard_removal",
                 vec![
-                    wsn_obs::field("iteration", stats.iterations),
+                    wsn_obs::field("iteration", st.stats.iterations),
                     wsn_obs::field("node", slackest),
                 ],
             );
@@ -341,7 +515,7 @@ fn attempt(
     let decode_span = wsn_obs::span("decode");
     let wedges: Vec<wsn_graph::WeightedEdge> = net
         .edges()
-        .filter(|(e, _)| active[e.index()])
+        .filter(|(e, _)| st.active[e.index()])
         .map(|(e, l)| wsn_graph::WeightedEdge {
             u: l.u().index(),
             v: l.v().index(),
@@ -370,7 +544,7 @@ fn attempt(
         cost,
         reliability,
         lifetime: lt,
-        stats,
+        stats: st.stats,
     })
 }
 

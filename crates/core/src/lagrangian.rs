@@ -49,14 +49,19 @@ pub struct LagrangianResult {
 }
 
 impl LagrangianResult {
-    /// Relative duality gap between incumbent and bound (`None` without an
-    /// incumbent).
+    /// Relative duality gap between incumbent and bound.
+    ///
+    /// `None` without an incumbent **or** when either side is non-finite
+    /// (an absent dual bound is `−∞` and certifies nothing). Numerical
+    /// drift can push the bound a hair past the primal; a negative gap is
+    /// clamped to zero — the certificate is then exact.
     pub fn gap(&self) -> Option<f64> {
         self.best_tree.as_ref()?;
-        if self.lower_bound.abs() < 1e-12 {
-            return Some(0.0);
+        if !self.best_cost.is_finite() || !self.lower_bound.is_finite() {
+            return None;
         }
-        Some((self.best_cost - self.lower_bound) / self.lower_bound.abs())
+        let denom = self.lower_bound.abs().max(1e-12);
+        Some(((self.best_cost - self.lower_bound) / denom).max(0.0))
     }
 }
 
@@ -215,7 +220,12 @@ fn repair_to_caps(
             }
         }
         let (_, c, w) = best?;
-        tree.reattach(c, w).expect("repair candidates were validated");
+        // Candidates were validated above, but a reattach that still fails
+        // (corrupted tree state) just abandons this iterate — the
+        // subgradient loop treats it like any other unrepairable point.
+        if tree.reattach(c, w).is_err() {
+            return None;
+        }
     }
     None // cycling between violations — give up on this iterate
 }
@@ -294,6 +304,52 @@ mod tests {
             res.best_cost,
             ira.cost
         );
+    }
+
+    #[test]
+    fn gap_edge_cases() {
+        let tree = AggregationTree::from_parents(NodeId::SINK, vec![None]).unwrap();
+        // No incumbent: nothing to certify.
+        let none = LagrangianResult {
+            best_tree: None,
+            best_cost: f64::INFINITY,
+            lower_bound: 1.0,
+            iterations: 0,
+        };
+        assert!(none.gap().is_none());
+        // Absent dual bound (−∞) certifies nothing even with an incumbent.
+        let no_bound = LagrangianResult {
+            best_tree: Some(tree.clone()),
+            best_cost: 2.0,
+            lower_bound: f64::NEG_INFINITY,
+            iterations: 0,
+        };
+        assert!(no_bound.gap().is_none());
+        // NaN on either side yields None, never a NaN gap.
+        let nan = LagrangianResult {
+            best_tree: Some(tree.clone()),
+            best_cost: f64::NAN,
+            lower_bound: 1.0,
+            iterations: 0,
+        };
+        assert!(nan.gap().is_none());
+        // Drift pushing the bound past the primal clamps to exactly zero.
+        let crossed = LagrangianResult {
+            best_tree: Some(tree.clone()),
+            best_cost: 1.0,
+            lower_bound: 1.0 + 1e-9,
+            iterations: 0,
+        };
+        assert_eq!(crossed.gap(), Some(0.0));
+        // The ordinary case is finite and positive.
+        let normal = LagrangianResult {
+            best_tree: Some(tree),
+            best_cost: 1.2,
+            lower_bound: 1.0,
+            iterations: 0,
+        };
+        let g = normal.gap().unwrap();
+        assert!(g > 0.19 && g < 0.21, "gap {g}");
     }
 
     #[test]

@@ -53,16 +53,21 @@ pub mod ira;
 pub mod lagrangian;
 pub mod pareto;
 pub mod problem;
+pub mod resilience;
 pub mod separation;
 pub mod verify;
 
 pub use bounds::{lifetime_bounds, LifetimeBounds};
 pub use cutpool::CutPool;
-pub use exact::{solve_exact, ExactConfig, ExactOutcome};
+pub use exact::{solve_exact, solve_exact_budgeted, ExactConfig, ExactOutcome};
 pub use formulation::{CutLp, CutLpOutcome};
-pub use ira::{solve_ira, IraConfig, IraError, IraSolution, IraStats};
+pub use ira::{
+    resume_ira, solve_ira, solve_ira_budgeted, IraCheckpoint, IraConfig, IraError, IraSolution,
+    IraStats,
+};
 pub use lagrangian::{lagrangian_dbmst, LagrangianConfig, LagrangianResult};
 pub use pareto::{dominant_points, pareto_frontier, ParetoPoint};
 pub use problem::MrlcInstance;
+pub use resilience::{solve_resilient, ResilienceConfig, SolveOutcome, SolveTier};
 pub use separation::{CutStrategy, SeparationConfig};
 pub use verify::{verify_tree, Verification};

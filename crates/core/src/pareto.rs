@@ -47,8 +47,11 @@ pub fn pareto_frontier(
     for lc in candidates {
         // Shade down so a tree attaining the candidate value qualifies.
         let lc = lc * (1.0 - 1e-9);
-        let inst = MrlcInstance::new(net.clone(), model, lc)
-            .expect("candidate lifetimes are positive and finite");
+        // A zero/non-finite candidate (degenerate energy model) is not a
+        // solvable bound — skip it rather than panic.
+        let Ok(inst) = MrlcInstance::new(net.clone(), model, lc) else {
+            continue;
+        };
         match solve_ira(&inst, &IraConfig::default()) {
             Ok(sol) => out.push(ParetoPoint {
                 lc,
@@ -78,7 +81,7 @@ pub fn dominant_points(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
         }
     }
     // Deduplicate identical (lifetime, cost) pairs.
-    kept.sort_by(|a, b| a.lifetime.partial_cmp(&b.lifetime).unwrap());
+    kept.sort_by(|a, b| a.lifetime.total_cmp(&b.lifetime));
     kept.dedup_by(|a, b| (a.lifetime - b.lifetime).abs() < 1e-6 && (a.cost - b.cost).abs() < 1e-9);
     kept
 }

@@ -293,10 +293,13 @@ impl ScratchLease<'_> {
     }
 }
 
+// Scratches are a pure allocation cache — a panicking sibling thread cannot
+// leave one inconsistent — so every lock below recovers from poisoning
+// instead of cascading the panic.
 impl Drop for ScratchLease<'_> {
     fn drop(&mut self) {
         if let Some(sc) = self.sc.take() {
-            self.store.lock().expect("scratch store poisoned").push(sc);
+            self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(sc);
         }
     }
 }
@@ -329,7 +332,7 @@ impl SeedOracle {
 
     /// Number of cached scratch networks (test/diagnostic hook).
     pub fn cached_scratches(&self) -> usize {
-        self.store.lock().expect("scratch store poisoned").len()
+        self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// Drops cached scratches if the instance topology changed.
@@ -340,12 +343,12 @@ impl SeedOracle {
         if !matches {
             self.n = n;
             self.sig = edges.iter().map(|e| (e.u, e.v)).collect();
-            self.store.lock().expect("scratch store poisoned").clear();
+            self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         }
     }
 
     fn lease<'a>(&'a self, edges: &[FracEdge], w: &[f64]) -> ScratchLease<'a> {
-        let cached = self.store.lock().expect("scratch store poisoned").pop();
+        let cached = self.store.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop();
         let sc = match cached {
             Some(mut sc) => {
                 sc.sync(edges, w);

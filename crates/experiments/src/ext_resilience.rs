@@ -1,0 +1,162 @@
+//! Extension: the deadline-bounded resilient solve pipeline.
+//!
+//! The paper's solver assumes unlimited time and clean arithmetic. This
+//! table drives [`mrlc_core::solve_resilient`] through everything the
+//! budget layer and the solver-fault injector can throw at it — wall-clock
+//! expiry, a starved round cap, and all four injected fault classes — and
+//! reports which rung of the degradation ladder answered, the certified
+//! gap, and whether the returned tree still meets `LC` (it always must).
+
+use crate::table::{f, Table};
+use mrlc_core::{solve_resilient, MrlcInstance, ResilienceConfig, SolveTier};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+use wsn_lp::{FaultKind, SolveBudget, FAULT_KINDS};
+use wsn_model::{lifetime, EnergyModel};
+use wsn_testbed::{random_graph, RandomGraphConfig};
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Network sizes to sweep.
+    pub sizes: Vec<usize>,
+    /// Wall deadline for the budget-expiry scenario.
+    pub deadline: Duration,
+    /// Base seed.
+    pub base_seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { sizes: vec![40, 80], deadline: Duration::from_millis(2), base_seed: 6100 }
+    }
+}
+
+impl Config {
+    /// Reduced workload for tests.
+    pub fn fast() -> Self {
+        Config { sizes: vec![16, 24], ..Config::default() }
+    }
+}
+
+/// One scenario run on one instance.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Network size.
+    pub n: usize,
+    /// Scenario label (budget shape or injected fault).
+    pub scenario: &'static str,
+    /// Ladder rung that answered.
+    pub tier: SolveTier,
+    /// Certified relative gap.
+    pub gap: f64,
+    /// Natural-log cost of the returned tree.
+    pub cost: f64,
+    /// Whether the tree meets `LC` (must always hold).
+    pub feasible: bool,
+    /// Wall time spent.
+    pub ms: f64,
+}
+
+/// One chaos scenario: a label, the budget to solve under, and the
+/// faults to arm.
+type Scenario = (&'static str, SolveBudget, Vec<(FaultKind, u64)>);
+
+/// Budget/fault scenarios, in display order.
+fn scenarios(config: &Config) -> Vec<Scenario> {
+    let mut out = vec![
+        ("unlimited", SolveBudget::unlimited(), vec![]),
+        ("deadline", SolveBudget::wall(config.deadline), vec![]),
+        ("rounds=1", SolveBudget { max_rounds: Some(1), ..SolveBudget::unlimited() }, vec![]),
+    ];
+    for kind in FAULT_KINDS {
+        let label = match kind {
+            FaultKind::CorruptPivot => "corrupt_pivot",
+            FaultKind::PerturbRhs => "perturb_rhs",
+            FaultKind::OracleTimeout => "oracle_timeout",
+            FaultKind::PoisonCut => "poison_cut",
+        };
+        out.push((label, SolveBudget::unlimited(), vec![(kind, 2)]));
+    }
+    out
+}
+
+/// Runs the sweep: one instance per size, every scenario against it.
+pub fn run(config: &Config) -> Vec<Row> {
+    let model = EnergyModel::PAPER;
+    let mut rows = Vec::new();
+    for &n in &config.sizes {
+        let mut rng = StdRng::seed_from_u64(config.base_seed + n as u64);
+        let net = random_graph(&RandomGraphConfig { n, ..RandomGraphConfig::default() }, &mut rng)
+            .expect("connected instance");
+        let lc = lifetime::node_lifetime(3000.0, &model, 3) * 0.999;
+        let inst = MrlcInstance::new(net, model, lc).expect("valid instance");
+        for (scenario, budget, faults) in scenarios(config) {
+            let rc = ResilienceConfig { faults, ..ResilienceConfig::default() };
+            let t0 = Instant::now();
+            let out = solve_resilient(&inst, &rc, budget)
+                .unwrap_or_else(|e| panic!("{scenario} on n={n} must stay feasible: {e}"));
+            rows.push(Row {
+                n,
+                scenario,
+                tier: out.tier,
+                gap: out.gap,
+                cost: out.cost,
+                feasible: inst.meets_lifetime(&out.tree),
+                ms: t0.elapsed().as_secs_f64() * 1e3,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the scenario table.
+pub fn render(rows: &[Row]) -> String {
+    let mut t = Table::new(["n", "scenario", "tier", "gap", "cost", "feasible", "ms"]);
+    for r in rows {
+        t.push([
+            r.n.to_string(),
+            r.scenario.to_string(),
+            r.tier.to_string(),
+            f(r.gap, 4),
+            f(r.cost, 4),
+            if r.feasible { "yes" } else { "NO" }.to_string(),
+            f(r.ms, 1),
+        ]);
+    }
+    format!(
+        "Ext. — resilient solve pipeline (degradation ladder under budgets and injected faults)\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_stays_feasible_with_finite_gap() {
+        let rows = run(&Config::fast());
+        // 2 sizes × (3 budget shapes + 4 fault kinds).
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(r.feasible, "{} on n={} returned an infeasible tree", r.scenario, r.n);
+            assert!(r.gap.is_finite() && r.gap >= 0.0, "{} gap {}", r.scenario, r.gap);
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_closes_on_the_exact_tier() {
+        let rows = run(&Config { sizes: vec![16], ..Config::fast() });
+        let unlimited = rows.iter().find(|r| r.scenario == "unlimited").unwrap();
+        assert_eq!(unlimited.tier, SolveTier::Exact);
+        assert_eq!(unlimited.gap, 0.0);
+    }
+
+    #[test]
+    fn render_has_one_line_per_row() {
+        let rows = run(&Config { sizes: vec![16], ..Config::fast() });
+        assert_eq!(render(&rows).lines().count(), rows.len() + 3);
+    }
+}

@@ -24,6 +24,7 @@ pub mod ext_faults;
 pub mod ext_latency;
 pub mod ext_optgap;
 pub mod ext_pareto;
+pub mod ext_resilience;
 pub mod ext_scalability;
 pub mod ext_solvers;
 pub mod ext_spatial;

@@ -240,6 +240,14 @@ fn main() {
             let cfg = if fast { ext_faults::Config::fast() } else { ext_faults::Config::default() };
             print!("{}", ext_faults::render(&ext_faults::run(&cfg)));
         }
+        "resilience" => {
+            let cfg = if fast {
+                ext_resilience::Config::fast()
+            } else {
+                ext_resilience::Config::default()
+            };
+            print!("{}", ext_resilience::render(&ext_resilience::run(&cfg)));
+        }
         "ablation" => {
             let (instances, rounds) = if fast { (4, 15) } else { (20, 60) };
             print!("{}", ablation::render_removal(&ablation::removal_policy(instances, 1234)));
@@ -266,7 +274,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|resilience|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
             );
             std::process::exit(2);
         }
@@ -297,6 +305,7 @@ fn main() {
             "stability",
             "scalability",
             "faults",
+            "resilience",
         ] {
             run_one(name);
             println!();

@@ -6,16 +6,34 @@
 //! pruned seeds).
 //!
 //! The heavy lifting lives in `wsn_obs::report`; this module is the thin
-//! CLI adapter: read the file, validate strictly (any schema violation is
-//! a hard error so CI can gate on it), render.
+//! CLI adapter: read the file, validate leniently (a crashed or budget-
+//! killed run leaves truncated traces that are still worth reporting —
+//! malformed lines are skipped and counted, not fatal), render. Only a
+//! file that is not a trace at all (missing/bad header) is a hard error.
 
 /// Reads and validates the trace at `path`, returning the rendered
-/// summary. Errors are strings ready for `eprintln!`.
+/// summary. Damage is reported inline; errors are strings ready for
+/// `eprintln!`.
 pub fn run(path: &str, top_k: usize) -> Result<String, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
-    let summary = wsn_obs::validate_trace(&text).map_err(|e| format!("invalid trace: {e}"))?;
-    Ok(wsn_obs::render_summary(&summary, top_k))
+    let lenient =
+        wsn_obs::validate_trace_lenient(&text).map_err(|e| format!("invalid trace: {e}"))?;
+    let mut out = wsn_obs::render_summary(&lenient.summary, top_k);
+    if lenient.skipped > 0 {
+        let (lineno, reason) = lenient.first_skip.as_ref().expect("skipped implies a first skip");
+        out.push_str(&format!(
+            "\nwarning: skipped {} malformed line(s); first at line {lineno}: {reason}\n",
+            lenient.skipped
+        ));
+    }
+    if lenient.unclosed_spans > 0 {
+        out.push_str(&format!(
+            "warning: trace truncated — {} span(s) never closed (partial time dropped)\n",
+            lenient.unclosed_spans
+        ));
+    }
+    Ok(out)
 }
 
 /// Reads a metrics JSON export (written by `--metrics`) and renders its
@@ -59,6 +77,29 @@ mod tests {
         let path = write_temp("obs_report_garbage.jsonl", "not json\n");
         let err = run(path.to_str().unwrap(), 10).unwrap_err();
         assert!(err.contains("invalid trace"), "{err}");
+    }
+
+    #[test]
+    fn truncated_trace_still_reports_with_warning() {
+        let obs = wsn_obs::Obs::with_trace(wsn_obs::Clock::virtual_ticks());
+        {
+            let _g = wsn_obs::install(obs.clone());
+            let _outer = wsn_obs::span("outer");
+            {
+                let _inner = wsn_obs::span("inner");
+            }
+        }
+        let full = obs.trace_jsonl();
+        // Drop the final line (the outer span_end) and corrupt one more.
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines.pop();
+        let mut damaged = lines.join("\n");
+        damaged.push_str("\n{\"type\":\"mystery\"\n");
+        let path = write_temp("obs_report_truncated.jsonl", &damaged);
+        let text = run(path.to_str().unwrap(), 10).unwrap();
+        assert!(text.contains("inner"), "{text}");
+        assert!(text.contains("skipped 1 malformed line"), "{text}");
+        assert!(text.contains("never closed"), "{text}");
     }
 
     #[test]

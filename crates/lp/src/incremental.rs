@@ -28,8 +28,10 @@
 //! [`LpSolution::iterations`]) so benchmarks can track solver effort, not
 //! just wall time.
 
+use crate::budget::{FaultKind, SolveCtx};
 use crate::problem::{LpProblem, Relation, VarId};
 use crate::simplex::{LpError, LpSolution, LpStatus};
+use std::sync::Arc;
 
 /// Feasibility/pivot tolerance.
 const TOL: f64 = 1e-9;
@@ -182,6 +184,10 @@ pub struct IncrementalLp {
     warm_solves: usize,
     cold_fallbacks: usize,
     dual_repair_pivots: usize,
+    /// Optional budget/cancellation token (shared with the caller); when
+    /// absent the solver's behaviour is byte-identical to the un-budgeted
+    /// engine — no clock reads, no fault polls.
+    ctx: Option<Arc<SolveCtx>>,
 }
 
 impl IncrementalLp {
@@ -258,6 +264,28 @@ impl IncrementalLp {
     /// verification).
     pub fn to_problem(&self) -> LpProblem {
         self.mirror.clone()
+    }
+
+    /// Installs (or clears) the budget/cancellation context polled between
+    /// pivots. Expiry surfaces as [`LpError::Interrupted`]; the tableau
+    /// stays valid and a later solve (same or fresh context) continues
+    /// warm from it.
+    pub fn set_ctx(&mut self, ctx: Option<Arc<SolveCtx>>) {
+        self.ctx = ctx;
+    }
+
+    /// The installed budget context, if any.
+    pub fn ctx(&self) -> Option<&Arc<SolveCtx>> {
+        self.ctx.as_ref()
+    }
+
+    /// Polls the budget context; `Err(Interrupted)` on expiry/cancel.
+    #[inline]
+    fn poll_budget(&self) -> Result<(), LpError> {
+        match &self.ctx {
+            Some(ctx) if ctx.should_stop(self.pivots_total as u64) => Err(LpError::Interrupted),
+            _ => Ok(()),
+        }
     }
 
     // ---- mutations ----------------------------------------------------
@@ -414,26 +442,101 @@ impl IncrementalLp {
     }
 
     fn solve_inner(&mut self) -> Result<LpSolution, LpError> {
+        if let Some(ctx) = &self.ctx {
+            if ctx.poll_fault(FaultKind::PoisonCut) {
+                // Chaos injection: a poisoned cut — the newest row goes
+                // non-finite in the tableau *and* the mirror, so no
+                // refactorization can repair it. The sentinels must turn
+                // this into `LpError::Numerical`, never a panic.
+                if let Some(c) = self.mirror.constraints.last_mut() {
+                    c.rhs = f64::NAN;
+                }
+                if let Some(v) = self.rhs.last_mut() {
+                    *v = f64::NAN;
+                }
+            }
+        }
         if !self.solved_once {
-            return self.cold_solve();
+            return self.verified_cold_solve();
+        }
+        if let Some(ctx) = &self.ctx {
+            if ctx.poll_fault(FaultKind::PerturbRhs) {
+                // Chaos injection: desynchronize the warm basic values from
+                // the mirror; the residual feasibility sentinel must notice
+                // and fall back to a cold rebuild.
+                for v in &mut self.rhs {
+                    *v = *v * 1.5 + 7.0;
+                }
+            }
         }
         self.warm_solves += 1;
         let before = self.pivots_total;
         match self.warm_solve() {
             Ok(sol) => {
+                if sol.status == LpStatus::Optimal && !self.solution_is_finite(&sol) {
+                    // NaN/Inf reached the tableau: recover with a
+                    // mirror-verified cold refactorization.
+                    self.record_sentinel("nonfinite_warm");
+                    self.record_cold_fallback("nonfinite");
+                    return self.verified_cold_solve();
+                }
                 if sol.status != LpStatus::Optimal || self.mirror.is_feasible(&sol.x, 1e-6) {
                     return Ok(sol);
                 }
                 // Numerical drift: rebuild cold (rare; keeps warm == cold).
                 self.record_cold_fallback("mirror_infeasible");
-                self.cold_solve()
+                self.verified_cold_solve()
             }
             Err(LpError::IterationLimit) => {
                 self.record_cold_fallback("iteration_limit");
                 self.pivots_total = before;
-                self.cold_solve()
+                self.verified_cold_solve()
             }
             Err(e) => Err(e),
+        }
+    }
+
+    /// Cold solve plus post-solve sentinels. A fresh two-phase build whose
+    /// optimal answer is still non-finite or violates the mirror has no
+    /// recovery path left and surfaces as [`LpError::Numerical`] — the one
+    /// LP error the degradation ladder cannot resume from.
+    fn verified_cold_solve(&mut self) -> Result<LpSolution, LpError> {
+        let sol = self.cold_solve()?;
+        if sol.status == LpStatus::Optimal {
+            if !self.solution_is_finite(&sol) {
+                self.record_sentinel("nonfinite_cold");
+                return Err(LpError::Numerical);
+            }
+            if !self.mirror.is_feasible(&sol.x, 1e-5) {
+                self.record_sentinel("residual_cold");
+                return Err(LpError::Numerical);
+            }
+        }
+        Ok(sol)
+    }
+
+    /// True when the extracted solution and the live tableau are all
+    /// finite. NaN/Inf cannot loop forever (NaN comparisons are false, so
+    /// pricing terminates), but they can silently reach the answer.
+    fn solution_is_finite(&self, sol: &LpSolution) -> bool {
+        sol.objective.is_finite()
+            && sol.x.iter().all(|v| v.is_finite())
+            && self.rhs.iter().all(|v| v.is_finite())
+            && self.drow.iter().all(|v| v.is_finite())
+    }
+
+    /// Counts a tripped numerical sentinel and flags it on the trace.
+    fn record_sentinel(&self, which: &str) {
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("lp.sentinel.trips").inc();
+            wsn_obs::warn(
+                "lp.sentinel",
+                vec![
+                    wsn_obs::field("which", which),
+                    wsn_obs::field("rows", self.rows.len()),
+                    wsn_obs::field("solve", self.solves_total),
+                ],
+            );
         }
     }
 
@@ -729,6 +832,7 @@ impl IncrementalLp {
             if self.pivots_total > max_pivots {
                 return Err(LpError::IterationLimit);
             }
+            self.poll_budget()?;
             // Leaving row: worst box violation among basic values.
             let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, to_upper)
             for i in 0..self.rows.len() {
@@ -799,7 +903,7 @@ impl IncrementalLp {
             if t.abs() <= TOL {
                 self.degenerate_run += 1;
                 if self.degenerate_run > BLAND_TRIGGER {
-                    self.bland = true;
+                    self.escalate_bland();
                 }
             } else {
                 self.degenerate_run = 0;
@@ -860,6 +964,24 @@ impl IncrementalLp {
         self.basis[r] = j;
         self.drow[j] = 0.0;
         self.pivots_total += 1;
+        if let Some(ctx) = &self.ctx {
+            if ctx.poll_fault(FaultKind::CorruptPivot) {
+                // Chaos injection: a corrupted pivot leaves a NaN in the
+                // factorized rhs; the non-finite sentinel must catch it.
+                self.rhs[r] = f64::NAN;
+            }
+        }
+    }
+
+    /// Cycling/stall sentinel: after a prolonged degenerate run, switch to
+    /// Bland's rule for the rest of this solve and count the escalation.
+    fn escalate_bland(&mut self) {
+        if !self.bland {
+            self.bland = true;
+            if let Some(obs) = wsn_obs::current() {
+                obs.registry().counter("lp.sentinel.bland_escalations").inc();
+            }
+        }
     }
 
     // ---- primal machinery --------------------------------------------
@@ -870,6 +992,7 @@ impl IncrementalLp {
             if self.pivots_total > max_pivots {
                 return Err(LpError::IterationLimit);
             }
+            self.poll_budget()?;
             let Some(j) = self.price() else { return Ok(true) };
             if !self.primal_step(j) {
                 return Ok(false);
@@ -938,7 +1061,7 @@ impl IncrementalLp {
         if t_star <= TOL {
             self.degenerate_run += 1;
             if self.degenerate_run > BLAND_TRIGGER {
-                self.bland = true;
+                self.escalate_bland();
             }
         } else {
             self.degenerate_run = 0;

@@ -38,10 +38,12 @@
 //! assert!((sol.objective + 36.0).abs() < 1e-7); // optimum at (2, 6)
 //! ```
 
+pub mod budget;
 pub mod incremental;
 pub mod problem;
 pub mod simplex;
 
+pub use budget::{FaultKind, SolveBudget, SolveCtx, FAULT_KINDS};
 pub use incremental::{IncrementalLp, RowId};
 pub use problem::{LpProblem, Relation, VarId};
-pub use simplex::{LpError, LpSolution, LpStatus};
+pub use simplex::{solve_with_ctx, LpError, LpSolution, LpStatus};

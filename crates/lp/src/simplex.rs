@@ -13,6 +13,7 @@
 //! Anti-cycling: Dantzig pricing by default, switching permanently to
 //! Bland's rule after a run of degenerate pivots.
 
+use crate::budget::SolveCtx;
 use crate::problem::{LpProblem, Relation};
 
 /// Feasibility/pivot tolerance.
@@ -40,6 +41,13 @@ pub enum LpError {
     IterationLimit,
     /// A variable was declared with `lower > upper`.
     InvalidBounds,
+    /// The solve was cancelled or ran out of budget (wall deadline or
+    /// pivot cap on its [`crate::SolveCtx`]); the solver state is
+    /// checkpointable, not corrupt.
+    Interrupted,
+    /// A numerical-stability sentinel tripped (non-finite tableau values
+    /// or an unrepairable residual) and cold recovery was impossible.
+    Numerical,
 }
 
 impl std::fmt::Display for LpError {
@@ -47,6 +55,8 @@ impl std::fmt::Display for LpError {
         match self {
             LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
             LpError::InvalidBounds => write!(f, "a variable has lower bound above its upper bound"),
+            LpError::Interrupted => write!(f, "solve interrupted by budget or cancellation"),
+            LpError::Numerical => write!(f, "numerical sentinel tripped and recovery failed"),
         }
     }
 }
@@ -236,10 +246,20 @@ impl Tableau {
 
     /// Runs the current phase to optimality. Returns `Ok(true)` on
     /// optimality, `Ok(false)` on unboundedness.
-    fn optimize(&mut self, allow_artificials: bool, max_iter: usize) -> Result<bool, LpError> {
+    fn optimize(
+        &mut self,
+        allow_artificials: bool,
+        max_iter: usize,
+        ctx: Option<&SolveCtx>,
+    ) -> Result<bool, LpError> {
         loop {
             if self.iterations > max_iter {
                 return Err(LpError::IterationLimit);
+            }
+            if let Some(ctx) = ctx {
+                if ctx.should_stop(self.iterations as u64) {
+                    return Err(LpError::Interrupted);
+                }
             }
             let Some(j) = self.price(allow_artificials) else {
                 return Ok(true);
@@ -253,6 +273,13 @@ impl Tableau {
 
 /// Solves `problem` with the two-phase bounded-variable simplex.
 pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    solve_with_ctx(problem, None)
+}
+
+/// [`solve`], polling `ctx` between pivots so the solve can be cancelled
+/// or deadline-bounded ([`LpError::Interrupted`]). With `ctx = None` the
+/// pivot sequence is identical to the un-budgeted solver.
+pub fn solve_with_ctx(problem: &LpProblem, ctx: Option<&SolveCtx>) -> Result<LpSolution, LpError> {
     let nvars = problem.num_vars();
     let m = problem.num_constraints();
 
@@ -341,7 +368,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         let cj = if j >= n_real { 1.0 } else { 0.0 };
         t.drow[j] = cj - colsum;
     }
-    let finished = t.optimize(true, max_iter)?;
+    let finished = t.optimize(true, max_iter, ctx)?;
     debug_assert!(finished, "phase 1 is bounded below by 0");
 
     let phase1_obj: f64 = (0..t.m).filter(|&i| t.basis[i] >= n_real).map(|i| t.rhs[i]).sum();
@@ -423,7 +450,7 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     t.bland = false;
     t.degenerate_run = 0;
 
-    let finished = t.optimize(false, max_iter)?;
+    let finished = t.optimize(false, max_iter, ctx)?;
     if !finished {
         return Ok(LpSolution {
             status: LpStatus::Unbounded,
@@ -453,6 +480,19 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         );
     }
     let objective = problem.objective_at(&x);
+    // Non-finite sentinel: NaN/Inf cannot loop forever (comparisons against
+    // a NaN are false, so pricing terminates), but they can silently reach
+    // the solution. Refuse to report a poisoned optimum.
+    if !objective.is_finite()
+        || x.iter().any(|v| !v.is_finite())
+        || t.rhs.iter().any(|v| !v.is_finite())
+    {
+        if let Some(obs) = wsn_obs::current() {
+            obs.registry().counter("lp.sentinel.nonfinite").inc();
+            wsn_obs::warn("lp.sentinel", vec![wsn_obs::field("where", "dense_simplex")]);
+        }
+        return Err(LpError::Numerical);
+    }
     Ok(LpSolution { status: LpStatus::Optimal, x, objective, iterations: t.iterations })
 }
 

@@ -25,7 +25,10 @@ pub mod trace;
 
 pub use clock::Clock;
 pub use metrics::{Counter, Gauge, Histogram, Registry};
-pub use report::{render_metrics, render_summary, validate_trace, EventAgg, SpanAgg, TraceSummary};
+pub use report::{
+    render_metrics, render_summary, validate_trace, validate_trace_lenient, EventAgg,
+    LenientSummary, SpanAgg, TraceSummary,
+};
 pub use trace::{
     counter, current, current_or_detached, event, field, install, span, span_with, warn,
     FieldValue, InstallGuard, Level, Obs, SpanGuard, TraceRecord, TRACE_SCHEMA_VERSION,

@@ -58,6 +58,22 @@ impl TraceSummary {
     }
 }
 
+/// A lenient read of a possibly truncated or corrupt trace: the usual
+/// aggregates plus an account of what had to be dropped to get them.
+#[derive(Clone, Debug)]
+pub struct LenientSummary {
+    /// Aggregates over the lines that did validate.
+    pub summary: TraceSummary,
+    /// Malformed record lines skipped (header excluded — a bad header is
+    /// still a hard error).
+    pub skipped: usize,
+    /// Line number and reason of the first skip, for diagnostics.
+    pub first_skip: Option<(usize, String)>,
+    /// Spans still open at end of input — the signature of a truncated
+    /// file. Their partial time is dropped, not guessed.
+    pub unclosed_spans: usize,
+}
+
 struct OpenSpan {
     name: String,
     start: u64,
@@ -65,38 +81,23 @@ struct OpenSpan {
     child_time: u64,
 }
 
-/// Validates `text` as a JSONL trace and returns the aggregates.
-/// Every schema violation is an error naming the offending line.
-pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines.next().ok_or("empty trace: missing header line")?;
-    let header = parse(header).map_err(|e| format!("line 1: {e}"))?;
-    if header.get("type").and_then(Json::as_str) != Some("trace_header") {
-        return Err("line 1: first record must be a trace_header".to_string());
-    }
-    match header.get("schema_version").and_then(Json::as_u64) {
-        Some(TRACE_SCHEMA_VERSION) => {}
-        Some(v) => return Err(format!("line 1: unsupported schema_version {v}")),
-        None => return Err("line 1: trace_header missing schema_version".to_string()),
-    }
-    let clock = match header.get("clock").and_then(Json::as_str) {
-        Some(c @ ("wall" | "virtual")) => c.to_string(),
-        Some(c) => return Err(format!("line 1: unknown clock {c:?}")),
-        None => return Err("line 1: trace_header missing clock".to_string()),
-    };
+/// Mutable validation state shared by the strict and lenient readers.
+#[derive(Default)]
+struct BodyState {
+    open: HashMap<u64, OpenSpan>,
+    seen_ids: std::collections::HashSet<u64>,
+    span_aggs: BTreeMap<String, SpanAgg>,
+    event_aggs: BTreeMap<String, EventAgg>,
+    last_t: u64,
+    records: usize,
+}
 
-    let mut open: HashMap<u64, OpenSpan> = HashMap::new();
-    let mut seen_ids: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut span_aggs: BTreeMap<String, SpanAgg> = BTreeMap::new();
-    let mut event_aggs: BTreeMap<String, EventAgg> = BTreeMap::new();
-    let mut last_t = 0u64;
-    let mut records = 0usize;
-
-    for (idx, line) in lines {
-        let lineno = idx + 1;
-        if line.is_empty() {
-            continue;
-        }
+impl BodyState {
+    /// Validates and folds in one record line. On error the state may have
+    /// absorbed part of the record (e.g. its span id); the strict reader
+    /// aborts immediately so this only matters to the lenient one, which
+    /// tolerates it by design.
+    fn apply(&mut self, lineno: usize, line: &str) -> Result<(), String> {
         let rec = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
         if !rec.is_obj() {
             return Err(format!("line {lineno}: record is not an object"));
@@ -105,10 +106,13 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
             .get("t")
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("line {lineno}: missing integer \"t\""))?;
-        if t < last_t {
-            return Err(format!("line {lineno}: timestamp {t} goes backwards (last {last_t})"));
+        if t < self.last_t {
+            return Err(format!(
+                "line {lineno}: timestamp {t} goes backwards (last {})",
+                self.last_t
+            ));
         }
-        last_t = t;
+        self.last_t = t;
         if let Some(fields) = rec.get("fields") {
             if !fields.is_obj() {
                 return Err(format!("line {lineno}: \"fields\" must be an object"));
@@ -120,7 +124,7 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                     .get("id")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("line {lineno}: span_start missing id"))?;
-                if !seen_ids.insert(id) {
+                if !self.seen_ids.insert(id) {
                     return Err(format!("line {lineno}: span id {id} reused"));
                 }
                 let name = rec
@@ -135,29 +139,30 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                         let pid = p
                             .as_u64()
                             .ok_or_else(|| format!("line {lineno}: parent must be an id"))?;
-                        if !open.contains_key(&pid) {
+                        if !self.open.contains_key(&pid) {
                             return Err(format!("line {lineno}: parent span {pid} is not open"));
                         }
                         Some(pid)
                     }
                 };
-                open.insert(id, OpenSpan { name, start: t, parent, child_time: 0 });
+                self.open.insert(id, OpenSpan { name, start: t, parent, child_time: 0 });
             }
             Some("span_end") => {
                 let id = rec
                     .get("id")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("line {lineno}: span_end missing id"))?;
-                let span = open
+                let span = self
+                    .open
                     .remove(&id)
                     .ok_or_else(|| format!("line {lineno}: span_end for unopened span {id}"))?;
                 let dur = t - span.start;
                 if let Some(pid) = span.parent {
-                    if let Some(parent) = open.get_mut(&pid) {
+                    if let Some(parent) = self.open.get_mut(&pid) {
                         parent.child_time += dur;
                     }
                 }
-                let agg = span_aggs.entry(span.name.clone()).or_insert_with(|| SpanAgg {
+                let agg = self.span_aggs.entry(span.name.clone()).or_insert_with(|| SpanAgg {
                     name: span.name.clone(),
                     count: 0,
                     total: 0,
@@ -187,11 +192,11 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                     let sid = sp
                         .as_u64()
                         .ok_or_else(|| format!("line {lineno}: \"span\" must be an id"))?;
-                    if !open.contains_key(&sid) {
+                    if !self.open.contains_key(&sid) {
                         return Err(format!("line {lineno}: event references closed span {sid}"));
                     }
                 }
-                let agg = event_aggs.entry(name.clone()).or_insert_with(|| EventAgg {
+                let agg = self.event_aggs.entry(name.clone()).or_insert_with(|| EventAgg {
                     name,
                     count: 0,
                     warns: 0,
@@ -204,18 +209,83 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
             Some(other) => return Err(format!("line {lineno}: unknown record type {other:?}")),
             None => return Err(format!("line {lineno}: record missing \"type\"")),
         }
-        records += 1;
+        self.records += 1;
+        Ok(())
     }
-    if !open.is_empty() {
-        let mut ids: Vec<u64> = open.keys().copied().collect();
+
+    fn into_summary(self, clock: String) -> TraceSummary {
+        let mut spans: Vec<SpanAgg> = self.span_aggs.into_values().collect();
+        spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
+        let events: Vec<EventAgg> = self.event_aggs.into_values().collect();
+        TraceSummary { clock, spans, events, records: self.records }
+    }
+}
+
+/// Parses and validates the header line, returning the clock kind. A trace
+/// without a well-formed header is not a trace — both readers reject it.
+fn validate_header(header: &str) -> Result<String, String> {
+    let header = parse(header).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("type").and_then(Json::as_str) != Some("trace_header") {
+        return Err("line 1: first record must be a trace_header".to_string());
+    }
+    match header.get("schema_version").and_then(Json::as_u64) {
+        Some(TRACE_SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("line 1: unsupported schema_version {v}")),
+        None => return Err("line 1: trace_header missing schema_version".to_string()),
+    }
+    match header.get("clock").and_then(Json::as_str) {
+        Some(c @ ("wall" | "virtual")) => Ok(c.to_string()),
+        Some(c) => Err(format!("line 1: unknown clock {c:?}")),
+        None => Err("line 1: trace_header missing clock".to_string()),
+    }
+}
+
+/// Validates `text` as a JSONL trace and returns the aggregates.
+/// Every schema violation is an error naming the offending line.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace: missing header line")?;
+    let clock = validate_header(header)?;
+    let mut st = BodyState::default();
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        st.apply(idx + 1, line)?;
+    }
+    if !st.open.is_empty() {
+        let mut ids: Vec<u64> = st.open.keys().copied().collect();
         ids.sort_unstable();
         return Err(format!("trace ends with {} unclosed span(s): ids {ids:?}", ids.len()));
     }
+    Ok(st.into_summary(clock))
+}
 
-    let mut spans: Vec<SpanAgg> = span_aggs.into_values().collect();
-    spans.sort_by(|a, b| b.total.cmp(&a.total).then_with(|| a.name.cmp(&b.name)));
-    let events: Vec<EventAgg> = event_aggs.into_values().collect();
-    Ok(TraceSummary { clock, spans, events, records })
+/// As [`validate_trace`], but degrades gracefully on damaged input: any
+/// malformed record line is skipped and counted rather than fatal, and
+/// spans left open by a truncated file are reported, not rejected. Only a
+/// missing or malformed header — i.e. not a trace at all — is an error.
+pub fn validate_trace_lenient(text: &str) -> Result<LenientSummary, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty trace: missing header line")?;
+    let clock = validate_header(header)?;
+    let mut st = BodyState::default();
+    let mut skipped = 0usize;
+    let mut first_skip = None;
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Err(reason) = st.apply(lineno, line) {
+            skipped += 1;
+            if first_skip.is_none() {
+                first_skip = Some((lineno, reason));
+            }
+        }
+    }
+    let unclosed_spans = st.open.len();
+    Ok(LenientSummary { summary: st.into_summary(clock), skipped, first_skip, unclosed_spans })
 }
 
 /// Renders the summary as a fixed-width table: top-`top_k` spans by total
@@ -369,6 +439,59 @@ mod tests {
                     {\"type\":\"span_end\",\"id\":1,\"t\":3}\n";
         let err = validate_trace(text).unwrap_err();
         assert!(err.contains("backwards"), "{err}");
+    }
+
+    #[test]
+    fn lenient_skips_and_counts_corrupt_lines() {
+        let header = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n";
+        let text = format!(
+            "{header}\
+             {{\"type\":\"span_start\",\"id\":1,\"t\":1,\"name\":\"a\"}}\n\
+             {{\"type\":\"event\",\"t\":2,\"name\":\"x\",\"level\":\"fatal\"}}\n\
+             garbage not json\n\
+             {{\"type\":\"event\",\"t\":3,\"name\":\"x\",\"level\":\"info\"}}\n\
+             {{\"type\":\"span_end\",\"id\":1,\"t\":5}}\n"
+        );
+        assert!(validate_trace(&text).is_err(), "strict reader must reject");
+        let lenient = validate_trace_lenient(&text).unwrap();
+        assert_eq!(lenient.skipped, 2);
+        assert_eq!(lenient.unclosed_spans, 0);
+        assert_eq!(lenient.first_skip.as_ref().unwrap().0, 3);
+        assert_eq!(lenient.summary.span("a").unwrap().total, 4);
+        assert_eq!(lenient.summary.event("x").unwrap().count, 1);
+    }
+
+    #[test]
+    fn lenient_tolerates_truncation() {
+        // A trace cut off mid-run: the last span never ends.
+        let text = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n\
+                    {\"type\":\"span_start\",\"id\":1,\"t\":1,\"name\":\"a\"}\n\
+                    {\"type\":\"span_start\",\"id\":2,\"t\":2,\"name\":\"b\"}\n\
+                    {\"type\":\"span_end\",\"id\":2,\"t\":3}\n";
+        assert!(validate_trace(text).is_err(), "strict reader must reject");
+        let lenient = validate_trace_lenient(text).unwrap();
+        assert_eq!(lenient.skipped, 0);
+        assert_eq!(lenient.unclosed_spans, 1);
+        assert_eq!(lenient.summary.span("b").unwrap().count, 1);
+        assert!(lenient.summary.span("a").is_none(), "partial span time is dropped");
+    }
+
+    #[test]
+    fn lenient_still_rejects_bad_headers() {
+        assert!(validate_trace_lenient("").is_err());
+        assert!(validate_trace_lenient("not json\n").is_err());
+        assert!(validate_trace_lenient("{\"type\":\"event\",\"t\":1}\n").is_err());
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_traces() {
+        let jsonl = sample_trace();
+        let strict = validate_trace(&jsonl).unwrap();
+        let lenient = validate_trace_lenient(&jsonl).unwrap();
+        assert_eq!(lenient.skipped, 0);
+        assert_eq!(lenient.unclosed_spans, 0);
+        assert_eq!(lenient.summary.records, strict.records);
+        assert_eq!(lenient.summary.spans.len(), strict.spans.len());
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub use ira::{
 pub use lagrangian::{lagrangian_dbmst, LagrangianConfig, LagrangianResult};
 pub use pareto::{dominant_points, pareto_frontier, ParetoPoint};
 pub use problem::MrlcInstance;
-pub use resilience::{solve_resilient, ResilienceConfig, SolveOutcome, SolveTier};
+pub use resilience::{
+    solve_resilient, solve_resilient_ctx, ResilienceConfig, ResilienceError, ResilientRun,
+    SolveOutcome, SolveTier,
+};
 pub use separation::{CutStrategy, SeparationConfig};
 pub use verify::{verify_tree, Verification};

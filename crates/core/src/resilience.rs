@@ -21,10 +21,12 @@
 //! genuinely `LC`-infeasible (or disconnected) instance yields an error,
 //! and nothing in the ladder panics.
 
-use wsn_lp::{FaultKind, SolveBudget};
+use std::sync::Arc;
+
+use wsn_lp::{FaultKind, SolveBudget, SolveCtx};
 use wsn_model::AggregationTree;
 
-use crate::ira::{resume_ira, solve_ira_budgeted, IraConfig, IraError, IraSolution};
+use crate::ira::{resume_ira, solve_ira_budgeted, IraCheckpoint, IraConfig, IraError, IraSolution};
 use crate::lagrangian::{lagrangian_dbmst, LagrangianConfig};
 use crate::problem::MrlcInstance;
 
@@ -139,33 +141,90 @@ pub fn solve_resilient(
     config: &ResilienceConfig,
     budget: SolveBudget,
 ) -> Result<SolveOutcome, ResilienceError> {
+    let ctx = budget.start();
+    match solve_resilient_ctx(inst, config, budget, &ctx, None)? {
+        ResilientRun::Done(out) => Ok(out),
+        // The context is private to this call, so nobody can have asked
+        // for a handback.
+        ResilientRun::Handback(_) => unreachable!("handback requires an external ctx"),
+    }
+}
+
+/// A run driven through an external context: either a finished ladder
+/// outcome, or — when the caller requested a handback mid-solve — the
+/// interrupted attempt's checkpoint for a later [`resume_ira`].
+#[derive(Debug)]
+pub enum ResilientRun {
+    /// The ladder terminated normally.
+    Done(SolveOutcome),
+    /// [`SolveCtx::request_handback`] fired while the exact/resumed rungs
+    /// were running; the warm checkpoint is returned instead of being
+    /// consumed, so a restarted caller can continue where this left off.
+    Handback(Box<IraCheckpoint>),
+}
+
+/// [`solve_resilient`] with an externally owned context and an optional
+/// starting checkpoint — the entry point for the solve service.
+///
+/// The caller arms the budget itself (typically via
+/// [`SolveBudget::start_with_clock`]) so it can cancel or drain the solve
+/// from another thread. Behaviour is identical to [`solve_resilient`]
+/// except that [`SolveCtx::request_handback`] short-circuits the ladder:
+/// instead of spending the resume sub-budget, the interrupted
+/// checkpoint is handed back as [`ResilientRun::Handback`]. Passing
+/// `resume_from` starts from a previously handed-back checkpoint (the
+/// restarted-service path); success from there lands on the
+/// [`SolveTier::Resumed`] rung.
+pub fn solve_resilient_ctx(
+    inst: &MrlcInstance,
+    config: &ResilienceConfig,
+    budget: SolveBudget,
+    ctx: &Arc<SolveCtx>,
+    resume_from: Option<Box<IraCheckpoint>>,
+) -> Result<ResilientRun, ResilienceError> {
     let _span =
         wsn_obs::span_with("solve-resilient", vec![wsn_obs::field("n", inst.network().n())]);
-    let ctx = budget.start();
     for &(kind, after) in &config.faults {
         ctx.arm_fault(kind, after);
     }
 
-    match solve_ira_budgeted(inst, &config.ira, &ctx) {
+    let from_checkpoint = resume_from.is_some();
+    let first = match resume_from {
+        Some(cp) => resume_ira(inst, &config.ira, *cp, Some(ctx)),
+        None => solve_ira_budgeted(inst, &config.ira, ctx),
+    };
+
+    match first {
         // A corrupted-but-self-consistent LP can let IRA terminate with a
         // tree that misses LC (it reports, it does not guarantee) — only
         // an LC-feasible tree earns the exact tier.
         Ok(sol) if sol.meets_lc => {
-            Ok(finish(sol, SolveTier::Exact, "IRA closed within budget".to_string()))
+            let (tier, why) = if from_checkpoint {
+                (SolveTier::Resumed, "parked checkpoint continuation closed".to_string())
+            } else {
+                (SolveTier::Exact, "IRA closed within budget".to_string())
+            };
+            Ok(ResilientRun::Done(finish(sol, tier, why)))
         }
         Ok(_) => {
             record_degrade("exact_missed_lc", 0);
             approximate(inst, config, "IRA tree missed LC; approximate tier".to_string())
+                .map(ResilientRun::Done)
         }
         Err(IraError::Interrupted(cp)) => {
+            if ctx.handback_requested() {
+                record_handback(cp.iterations());
+                return Ok(ResilientRun::Handback(cp));
+            }
             record_degrade("interrupted", cp.iterations());
-            let resume_ctx = sub_budget(&budget, config.resume_fraction).start();
+            let resume_ctx =
+                sub_budget(&budget, config.resume_fraction).start_with_clock(ctx.time_source());
             match resume_ira(inst, &config.ira, *cp, Some(&resume_ctx)) {
-                Ok(sol) if sol.meets_lc => Ok(finish(
+                Ok(sol) if sol.meets_lc => Ok(ResilientRun::Done(finish(
                     sol,
                     SolveTier::Resumed,
                     "budget expired; checkpoint continuation closed".to_string(),
-                )),
+                ))),
                 Ok(_) => {
                     record_degrade("resumed_missed_lc", 0);
                     approximate(
@@ -173,6 +232,13 @@ pub fn solve_resilient(
                         config,
                         "resumed tree missed LC; approximate tier".to_string(),
                     )
+                    .map(ResilientRun::Done)
+                }
+                Err(IraError::Interrupted(cp2)) if ctx.handback_requested() => {
+                    // Drain landed while the continuation was running; park
+                    // the freshest checkpoint instead of degrading.
+                    record_handback(cp2.iterations());
+                    Ok(ResilientRun::Handback(cp2))
                 }
                 Err(IraError::LifetimeUnachievable { lc, reason }) => {
                     Err(ResilienceError::Infeasible { lc, reason })
@@ -180,6 +246,7 @@ pub fn solve_resilient(
                 Err(e) => {
                     record_degrade("resume_failed", 0);
                     approximate(inst, config, format!("resume failed ({e}); approximate tier"))
+                        .map(ResilientRun::Done)
                 }
             }
         }
@@ -191,6 +258,7 @@ pub fn solve_resilient(
         Err(e) => {
             record_degrade("exact_failed", 0);
             approximate(inst, config, format!("exact tier failed ({e}); approximate tier"))
+                .map(ResilientRun::Done)
         }
     }
 }
@@ -277,6 +345,13 @@ fn mst_gap(inst: &MrlcInstance, cost: f64) -> Option<f64> {
         return None;
     }
     Some(((cost - lb) / lb.abs().max(1e-12)).max(0.0))
+}
+
+fn record_handback(iterations: usize) {
+    if let Some(obs) = wsn_obs::current() {
+        obs.registry().counter("resilience.handback").inc();
+    }
+    wsn_obs::event("resilience.handback", vec![wsn_obs::field("iterations", iterations)]);
 }
 
 fn record_degrade(stage: &'static str, iterations: usize) {
@@ -379,6 +454,66 @@ mod tests {
             Err(ResilienceError::Infeasible { .. }) => {}
             other => panic!("expected Infeasible, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn handback_before_start_parks_a_resumable_checkpoint() {
+        let inst = inst(4);
+        let config = ResilienceConfig::default();
+        let budget = SolveBudget::unlimited();
+        let ctx = budget.start();
+        ctx.request_handback();
+        let cp = match solve_resilient_ctx(&inst, &config, budget, &ctx, None).unwrap() {
+            ResilientRun::Handback(cp) => cp,
+            other => panic!("expected a handback, got {other:?}"),
+        };
+        // A fresh context resumes the parked checkpoint to completion and
+        // matches the uninterrupted ladder exactly.
+        let ctx2 = SolveBudget::unlimited().start();
+        let out =
+            match solve_resilient_ctx(&inst, &config, SolveBudget::unlimited(), &ctx2, Some(cp))
+                .unwrap()
+            {
+                ResilientRun::Done(out) => out,
+                other => panic!("expected completion, got {other:?}"),
+            };
+        assert_eq!(out.tier, SolveTier::Resumed);
+        let direct = solve_resilient(&inst, &config, SolveBudget::unlimited()).unwrap();
+        let a: Vec<_> = out.tree.edges().collect();
+        let b: Vec<_> = direct.tree.edges().collect();
+        assert_eq!(a, b, "resumed tree must match the uninterrupted solve");
+    }
+
+    #[test]
+    fn handback_mid_solve_keeps_partial_progress() {
+        let inst = inst(5);
+        let config = ResilienceConfig::default();
+        // Interrupt via the round cap, with handback pre-requested: the
+        // ladder must not consume the checkpoint on the resume rung.
+        let budget = SolveBudget { max_rounds: Some(1), ..SolveBudget::unlimited() };
+        let ctx = budget.start();
+        ctx.request_handback();
+        match solve_resilient_ctx(&inst, &config, budget, &ctx, None).unwrap() {
+            ResilientRun::Handback(_) => {}
+            other => panic!("expected a handback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn external_ctx_without_handback_matches_solve_resilient() {
+        let inst = inst(4);
+        let config = ResilienceConfig::default();
+        let budget = SolveBudget::unlimited();
+        let ctx = budget.start();
+        let out = match solve_resilient_ctx(&inst, &config, budget, &ctx, None).unwrap() {
+            ResilientRun::Done(out) => out,
+            other => panic!("expected completion, got {other:?}"),
+        };
+        let direct = solve_resilient(&inst, &config, SolveBudget::unlimited()).unwrap();
+        assert_eq!(out.tier, direct.tier);
+        let a: Vec<_> = out.tree.edges().collect();
+        let b: Vec<_> = direct.tree.edges().collect();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -17,6 +17,13 @@
 //!   case at n ≥ 160 whose single-cut baseline ran must show the engine
 //!   win the tentpole claims — ≥ 3× fewer cut rounds and ≥ 2× wall-clock
 //!   speedup versus the single-cut path.
+//! - **Storm rung** (schema 4): the current `storm` block's `all_typed`
+//!   and `no_leaked_workers` invariants are hard failures — a request that
+//!   hung or a worker thread that leaked is a service bug regardless of
+//!   the host. Throughput and p99 compare against the baseline storm only
+//!   when both ran the same request count (a smoke run against a full
+//!   baseline skips with a note) and warn rather than fail, like wall
+//!   time, unless the tail blows past the gross ratio.
 //!
 //! Cases present in only one file are reported but not failed, so the
 //! ladder can grow without invalidating old baselines.
@@ -146,6 +153,8 @@ pub fn check(baseline: &Json, current: &Json) -> CheckReport {
         }
     }
 
+    check_storm(baseline, current, &mut report);
+
     // Answer identity and the acceptance floor — current file only.
     for cur in &cur_cases {
         let name = case_name(cur);
@@ -181,6 +190,66 @@ pub fn check(baseline: &Json, current: &Json) -> CheckReport {
     }
 
     report
+}
+
+/// Gates the schema-4 service-storm rung. The invariants (`all_typed`,
+/// `no_leaked_workers`) are host-independent and fail hard; the
+/// throughput/p99 trajectory is wall-clock-like and only warns, and only
+/// compares when baseline and current ran the same number of requests.
+fn check_storm(baseline: &Json, current: &Json, report: &mut CheckReport) {
+    let Some(cur) = current.get("storm").filter(|s| s.is_obj()) else {
+        report.lines.push("storm: no storm block in current file (skipped)".to_string());
+        return;
+    };
+    for (field, what) in [
+        ("all_typed", "a request resolved without a typed outcome"),
+        ("no_leaked_workers", "the fleet leaked worker threads"),
+    ] {
+        match cur.get(field) {
+            Some(&Json::Bool(true)) => report.lines.push(format!("storm: {field} ok")),
+            _ => report.failures.push(format!("storm: {what}")),
+        }
+    }
+    let Some(base) = baseline.get("storm").filter(|s| s.is_obj()) else {
+        report.lines.push("storm: no baseline storm block (trajectory skipped)".to_string());
+        return;
+    };
+    let requests = |doc: &Json| doc.get("requests").and_then(Json::as_f64).unwrap_or(0.0);
+    if requests(base) != requests(cur) {
+        report.lines.push(format!(
+            "storm: request counts differ (baseline {:.0}, current {:.0}) — trajectory skipped",
+            requests(base),
+            requests(cur)
+        ));
+        return;
+    }
+    if let (Some(b), Some(c)) =
+        (base.get("p99_ms").and_then(Json::as_f64), cur.get("p99_ms").and_then(Json::as_f64))
+    {
+        let ratio = if b > 0.0 { c / b } else { 1.0 };
+        if ratio > WALL_GROSS_RATIO && b >= WALL_NOISE_FLOOR_MS {
+            report.failures.push(format!("storm: p99 {b:.1} ms -> {c:.1} ms ({ratio:.1}x)"));
+        } else if ratio > COUNTER_TOLERANCE {
+            report
+                .lines
+                .push(format!("storm: p99 {b:.1} ms -> {c:.1} ms ({ratio:.1}x, warn only)"));
+        }
+    }
+    if let (Some(b), Some(c)) = (
+        base.get("throughput_rps").and_then(Json::as_f64),
+        cur.get("throughput_rps").and_then(Json::as_f64),
+    ) {
+        let ratio = if c > 0.0 { b / c } else { f64::INFINITY };
+        if ratio > WALL_GROSS_RATIO {
+            report
+                .failures
+                .push(format!("storm: throughput {b:.1} -> {c:.1} req/s ({ratio:.1}x slower)"));
+        } else if ratio > COUNTER_TOLERANCE {
+            report.lines.push(format!(
+                "storm: throughput {b:.1} -> {c:.1} req/s ({ratio:.1}x slower, warn only)"
+            ));
+        }
+    }
 }
 
 /// Reads both files, runs the comparison, and returns the rendered report
@@ -306,6 +375,82 @@ mod tests {
         let report = check(&b, &doc(&bad));
         assert!(!report.passed());
         assert!(report.failures[0].contains("different trees"));
+    }
+
+    fn doc_with_storm(cases: &str, storm: &str) -> Json {
+        parse(&format!(
+            "{{\"suite\": \"bench-perf\", \"schema_version\": 4, \"smoke\": false, \
+             \"cases\": [{cases}], \"storm\": {storm}}}"
+        ))
+        .unwrap()
+    }
+
+    fn storm(requests: u64, p99: f64, rps: f64, all_typed: bool, no_leak: bool) -> String {
+        format!(
+            "{{\"requests\": {requests}, \"solved\": {requests}, \"shed\": 0, \
+             \"quarantined\": 0, \"parked\": 0, \"infeasible\": 0, \"cache_hits\": 0, \
+             \"worker_restarts\": 0, \"wall_ms\": 1000.0, \"throughput_rps\": {rps}, \
+             \"p50_ms\": 10.0, \"p99_ms\": {p99}, \"max_ms\": {p99}, \
+             \"all_typed\": {all_typed}, \"no_leaked_workers\": {no_leak}}}"
+        )
+    }
+
+    #[test]
+    fn storm_invariants_fail_hard() {
+        let c = case("rand-20", 20, (5, 100, 6, 10.0), "");
+        let good = doc_with_storm(&c, &storm(1000, 100.0, 50.0, true, true));
+        assert!(check(&good, &good).passed());
+
+        let hung = doc_with_storm(&c, &storm(1000, 100.0, 50.0, false, true));
+        let report = check(&good, &hung);
+        assert!(!report.passed());
+        assert!(report.failures.iter().any(|f| f.contains("typed outcome")), "{report:?}");
+
+        let leaky = doc_with_storm(&c, &storm(1000, 100.0, 50.0, true, false));
+        assert!(check(&good, &leaky).failures.iter().any(|f| f.contains("leaked")));
+    }
+
+    #[test]
+    fn storm_trajectory_warns_on_noise_and_fails_on_blowup() {
+        let c = case("rand-20", 20, (5, 100, 6, 10.0), "");
+        let b = doc_with_storm(&c, &storm(1000, 100.0, 50.0, true, true));
+        let noisy = doc_with_storm(&c, &storm(1000, 250.0, 30.0, true, true));
+        let report = check(&b, &noisy);
+        assert!(report.passed(), "2.5x p99 is runner noise: {:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("p99") && l.contains("warn only")));
+        let gross = doc_with_storm(&c, &storm(1000, 1000.0, 5.0, true, true));
+        let report = check(&b, &gross);
+        assert!(!report.passed(), "10x p99 and throughput collapse cannot be noise");
+        assert!(report.failures.iter().any(|f| f.contains("p99")));
+        assert!(report.failures.iter().any(|f| f.contains("throughput")));
+    }
+
+    #[test]
+    fn storm_with_different_request_counts_skips_trajectory() {
+        let c = case("rand-20", 20, (5, 100, 6, 10.0), "");
+        // Full baseline vs smoke current: invariants still gate, the
+        // trajectory comparison is skipped.
+        let b = doc_with_storm(&c, &storm(1000, 100.0, 50.0, true, true));
+        let smoke = doc_with_storm(&c, &storm(150, 5000.0, 1.0, true, true));
+        let report = check(&b, &smoke);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("request counts differ")));
+    }
+
+    #[test]
+    fn v3_files_without_storm_blocks_still_check() {
+        let b = doc(&case("rand-20", 20, (5, 100, 6, 10.0), ""));
+        let report = check(&b, &b);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("no storm block")));
+        // v3 baseline, v4 current: the invariants gate on the current file.
+        let c = doc_with_storm(
+            &case("rand-20", 20, (5, 100, 6, 10.0), ""),
+            &storm(150, 100.0, 10.0, true, true),
+        );
+        let report = check(&b, &c);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(report.lines.iter().any(|l| l.contains("no baseline storm")));
     }
 
     #[test]

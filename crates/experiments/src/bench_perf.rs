@@ -207,8 +207,29 @@ fn run_case(
     CaseResult { name: name.to_string(), n, m, warm, cold, single, same_tree }
 }
 
-/// Runs the ladder.
-pub fn run(config: &Config) -> Vec<CaseResult> {
+/// Everything one bench-perf invocation measures: the solver ladder plus
+/// the service-fleet storm rung.
+#[derive(Clone, Debug)]
+pub struct BenchResults {
+    /// The IRA scaling ladder.
+    pub cases: Vec<CaseResult>,
+    /// The solve-service request storm (throughput / latency tail).
+    pub storm: crate::serve_storm::StormStats,
+}
+
+/// Runs the ladder and the storm rung.
+pub fn run(config: &Config) -> BenchResults {
+    let cases = run_cases(config);
+    let storm_cfg = if config.smoke {
+        crate::serve_storm::Config::fast()
+    } else {
+        crate::serve_storm::Config::default()
+    };
+    BenchResults { cases, storm: crate::serve_storm::run(&storm_cfg) }
+}
+
+/// Runs the IRA scaling ladder alone.
+pub fn run_cases(config: &Config) -> Vec<CaseResult> {
     let model = EnergyModel::PAPER;
     // The scaling.rs pattern: a mild bound, at most 4 children anywhere.
     let lc = lifetime::node_lifetime(3000.0, &model, 4) * 0.99;
@@ -267,13 +288,16 @@ fn json_ratio(r: Option<f64>) -> String {
 
 /// Serializes the results to the `BENCH_ira.json` schema (DESIGN.md §8).
 ///
-/// Schema version 3 adds the cut-pool engine counters (`pool_hits`,
-/// `pool_scans`, `cuts_batched`, `seeds_pruned`) per path, the `single`
-/// baseline block with its `single_speedup` / `round_ratio` comparisons,
-/// and the `same_tree` answer-identity check; every version-2 field is
-/// kept so existing diff tooling keeps working.
-pub fn to_json(cases: &[CaseResult], smoke: bool) -> String {
-    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n  \"schema_version\": 3,\n");
+/// Schema version 4 adds the `storm` block — the solve-service fleet's
+/// throughput/p99 rung (see `serve_storm`) with its `all_typed` /
+/// `no_leaked_workers` invariants. Version 3 added the cut-pool engine
+/// counters (`pool_hits`, `pool_scans`, `cuts_batched`, `seeds_pruned`)
+/// per path, the `single` baseline block with its `single_speedup` /
+/// `round_ratio` comparisons, and the `same_tree` answer-identity check;
+/// every older field is kept so existing diff tooling keeps working.
+pub fn to_json(results: &BenchResults, smoke: bool) -> String {
+    let cases = &results.cases;
+    let mut out = String::from("{\n  \"suite\": \"bench-perf\",\n  \"schema_version\": 4,\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n  \"cases\": [\n"));
     for (i, c) in cases.iter().enumerate() {
         out.push_str(&format!(
@@ -293,12 +317,18 @@ pub fn to_json(cases: &[CaseResult], smoke: bool) -> String {
             if i + 1 < cases.len() { "," } else { "" },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"storm\": {}\n}}\n", crate::serve_storm::to_json(&results.storm)));
     out
 }
 
-/// Renders the human-readable table.
-pub fn render(cases: &[CaseResult]) -> String {
+/// Renders the human-readable tables: the solver ladder, then the storm.
+pub fn render(results: &BenchResults) -> String {
+    format!("{}\n{}", render_cases(&results.cases), crate::serve_storm::render(&results.storm))
+}
+
+/// Renders the solver-ladder table alone.
+pub fn render_cases(cases: &[CaseResult]) -> String {
     let mut t = Table::new([
         "case",
         "n",
@@ -340,7 +370,9 @@ mod tests {
 
     #[test]
     fn smoke_suite_runs_and_serializes() {
-        let cases = run(&Config::smoke());
+        // The ladder alone: the storm rung has its own tests in
+        // `serve_storm` and a small dedicated check below.
+        let cases = run_cases(&Config::smoke());
         assert_eq!(cases.len(), 2);
         assert_eq!(cases[0].name, "dfl-16");
         assert_eq!(cases[1].name, "rand-20");
@@ -357,10 +389,20 @@ mod tests {
             assert!(single.cut_rounds >= c.warm.cut_rounds, "batching cannot add rounds");
             assert_eq!(single.pool_hits, 0, "the baseline never consults the pool");
         }
-        let json = to_json(&cases, true);
+        let storm = crate::serve_storm::run(&crate::serve_storm::Config {
+            requests: 20,
+            distinct: 2,
+            n: 16,
+            ..crate::serve_storm::Config::fast()
+        });
+        let results = BenchResults { cases, storm };
+        let json = to_json(&results, true);
         assert!(json.contains("\"suite\": \"bench-perf\""));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
         assert!(json.contains("\"smoke\": true"));
+        assert!(json.contains("\"storm\": {\"requests\": 20"));
+        assert!(json.contains("\"p99_ms\""));
+        assert!(json.contains("\"no_leaked_workers\": true"));
         assert!(json.contains("\"name\": \"dfl-16\""));
         assert!(json.contains("\"pivots\""));
         assert!(json.contains("\"lp_ms\""));
@@ -372,17 +414,19 @@ mod tests {
         assert!(json.contains("\"single_speedup\""));
         assert!(json.contains("\"round_ratio\""));
         assert!(json.contains("\"same_tree\": true"));
-        // Exactly one trailing comma structure: valid-ish JSON shape.
-        assert!(!json.contains(",]") && !json.contains(",}"));
-        let table = render(&cases);
+        // Valid JSON shape, end to end (the hand-rolled writer has no
+        // serializer to lean on).
+        assert!(wsn_obs::json::parse(&json).is_ok(), "BENCH json must parse:\n{json}");
+        let table = render(&results);
         assert!(table.contains("1-cut"));
         assert!(table.contains("pool hits"));
+        assert!(table.contains("p99 latency"));
     }
 
     #[test]
     fn counters_are_deterministic() {
-        let a = run(&Config::smoke());
-        let b = run(&Config::smoke());
+        let a = run_cases(&Config::smoke());
+        let b = run_cases(&Config::smoke());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.m, y.m);
             assert_eq!(x.warm.lp_solves, y.warm.lp_solves);

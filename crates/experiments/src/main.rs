@@ -5,9 +5,11 @@
 //! mrlc-experiments fig1|fig2|fig3|fig4|fig5|fig7|fig8|fig9|fig10|fig11|fig12|fig13 [--fast]
 //! mrlc-experiments ablation [--fast]
 //! mrlc-experiments bench-perf [--smoke] [--out=PATH]   # writes BENCH_ira.json
+//! mrlc-experiments serve-storm [--fast] [--json]   # solve-service fleet throughput/p99
+//! mrlc-experiments serve-chaos            # seeded worker-kill storm (CI smoke)
 //! mrlc-experiments bench-check <baseline.json> <current.json>  # CI perf gate
 //! mrlc-experiments fig8 --trace t.jsonl --metrics m.json   # instrumented run
-//! mrlc-experiments obs-report t.jsonl [--metrics=m.json] [--top=N]  # summarize
+//! mrlc-experiments obs-report t.jsonl [w2.jsonl ...] [--metrics=m.json] [--top=N]  # summarize (merges >1)
 //! ```
 //!
 //! `--trace PATH` installs a virtual-clock collector for the run and writes
@@ -21,6 +23,7 @@ use wsn_experiments::*;
 struct Cli {
     fast: bool,
     smoke: bool,
+    json: bool,
     out_path: String,
     trace_path: Option<String>,
     metrics_path: Option<String>,
@@ -32,6 +35,7 @@ fn parse_cli(raw: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         fast: false,
         smoke: false,
+        json: false,
         out_path: "BENCH_ira.json".to_string(),
         trace_path: None,
         metrics_path: None,
@@ -53,6 +57,8 @@ fn parse_cli(raw: &[String]) -> Result<Cli, String> {
             cli.fast = true;
         } else if arg == "--smoke" {
             cli.smoke = true;
+        } else if arg == "--json" {
+            cli.json = true;
         } else if arg == "--out" || arg.starts_with("--out=") {
             cli.out_path = value_of("--out", &mut i)?;
         } else if arg == "--trace" || arg.starts_with("--trace=") {
@@ -83,6 +89,7 @@ fn main() {
     };
     let fast = cli.fast;
     let smoke = cli.smoke;
+    let json_out = cli.json;
     let out_path = cli.out_path.clone();
     let which = cli.positional.first().cloned().unwrap_or_else(|| "all".to_string());
 
@@ -107,15 +114,22 @@ fn main() {
     }
 
     if which == "obs-report" {
-        let trace = cli.positional.get(1);
-        if trace.is_none() && cli.metrics_path.is_none() {
+        let traces = &cli.positional[1..];
+        if traces.is_empty() && cli.metrics_path.is_none() {
             eprintln!(
-                "usage: mrlc-experiments obs-report [<trace.jsonl>] [--metrics=m.json] [--top=N]"
+                "usage: mrlc-experiments obs-report [<trace.jsonl>...] [--metrics=m.json] [--top=N]"
             );
             std::process::exit(2);
         }
-        if let Some(path) = trace {
-            match obs_report::run(path, cli.top_k) {
+        if !traces.is_empty() {
+            // One trace reports directly; several (a fleet's per-worker
+            // traces) are merged into a single timeline first.
+            let result = if traces.len() == 1 {
+                obs_report::run(&traces[0], cli.top_k)
+            } else {
+                obs_report::run_merged(traces, cli.top_k)
+            };
+            match result {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
                     eprintln!("{e}");
@@ -126,7 +140,7 @@ fn main() {
         if let Some(path) = &cli.metrics_path {
             match obs_report::run_metrics(path) {
                 Ok(text) => {
-                    if trace.is_some() {
+                    if !traces.is_empty() {
                         println!();
                     }
                     print!("{text}");
@@ -254,15 +268,39 @@ fn main() {
             println!();
             print!("{}", ablation::render_ilu(&ablation::ilu_improving_links(rounds, 77)));
         }
+        "serve-storm" => {
+            let cfg = if fast || smoke {
+                serve_storm::Config::fast()
+            } else {
+                serve_storm::Config::default()
+            };
+            let stats = serve_storm::run(&cfg);
+            if json_out {
+                println!("{}", serve_storm::to_json(&stats));
+            } else {
+                print!("{}", serve_storm::render(&stats));
+            }
+        }
+        "serve-chaos" => {
+            // The CI smoke job's entry point: the fast storm with the
+            // seeded worker-kill schedule on. A non-typed outcome or a
+            // leaked worker fails the process.
+            let stats = serve_storm::run(&serve_storm::Config::chaos());
+            print!("{}", serve_storm::render(&stats));
+            if !stats.all_typed || !stats.no_leaked_workers {
+                eprintln!("serve-chaos: invariant violated (typed outcomes / leaked workers)");
+                std::process::exit(1);
+            }
+        }
         "bench-perf" => {
             let cfg = if smoke || fast {
                 bench_perf::Config::smoke()
             } else {
                 bench_perf::Config::default()
             };
-            let cases = bench_perf::run(&cfg);
-            print!("{}", bench_perf::render(&cases));
-            let json = bench_perf::to_json(&cases, cfg.smoke);
+            let results = bench_perf::run(&cfg);
+            print!("{}", bench_perf::render(&results));
+            let json = bench_perf::to_json(&results, cfg.smoke);
             match std::fs::write(&out_path, &json) {
                 Ok(()) => println!("wrote {out_path}"),
                 Err(e) => {
@@ -274,7 +312,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|resilience|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|resilience|serve-storm|serve-chaos|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
             );
             std::process::exit(2);
         }

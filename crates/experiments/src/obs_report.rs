@@ -36,6 +36,33 @@ pub fn run(path: &str, top_k: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Reads several per-worker traces (e.g. the fleet traces written by
+/// `serve-storm --trace-dir`), merges them into one deterministic timeline
+/// via [`wsn_obs::merge_traces`], and reports the merged trace. Each
+/// record is tagged with the trace it came from (the file path), and the
+/// merged trace is read leniently like the single-file path — a crashed
+/// worker's truncated trace still reports.
+pub fn run_merged(paths: &[String], top_k: usize) -> Result<String, String> {
+    let mut traces = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+        traces.push((path.clone(), text));
+    }
+    let merged = wsn_obs::merge_traces(&traces)?;
+    let lenient =
+        wsn_obs::validate_trace_lenient(&merged).map_err(|e| format!("invalid merge: {e}"))?;
+    let mut out = format!("merged {} trace(s)\n", paths.len());
+    out.push_str(&wsn_obs::render_summary(&lenient.summary, top_k));
+    if lenient.unclosed_spans > 0 {
+        out.push_str(&format!(
+            "warning: {} span(s) never closed (truncated worker trace; partial time dropped)\n",
+            lenient.unclosed_spans
+        ));
+    }
+    Ok(out)
+}
+
 /// Reads a metrics JSON export (written by `--metrics`) and renders its
 /// counter and gauge tables.
 pub fn run_metrics(path: &str) -> Result<String, String> {
@@ -124,5 +151,32 @@ mod tests {
     fn metrics_garbage_is_an_error() {
         let path = write_temp("obs_report_metrics_bad.json", "nope");
         assert!(run_metrics(path.to_str().unwrap()).is_err());
+    }
+
+    fn one_span_trace(name: &str) -> String {
+        let obs = wsn_obs::Obs::with_trace(wsn_obs::Clock::virtual_ticks());
+        {
+            let _g = wsn_obs::install(obs.clone());
+            let _s = wsn_obs::span(name);
+        }
+        obs.trace_jsonl()
+    }
+
+    #[test]
+    fn merges_multiple_worker_traces() {
+        let p0 = write_temp("obs_report_merge_w0.jsonl", &one_span_trace("solve-left"));
+        let p1 = write_temp("obs_report_merge_w1.jsonl", &one_span_trace("solve-right"));
+        let paths = [p0, p1].map(|p| p.to_str().unwrap().to_string());
+        let text = run_merged(&paths, 10).unwrap();
+        assert!(text.contains("merged 2 trace(s)"), "{text}");
+        assert!(text.contains("solve-left") && text.contains("solve-right"), "{text}");
+    }
+
+    #[test]
+    fn merge_with_a_missing_file_is_an_error() {
+        let p0 = write_temp("obs_report_merge_ok.jsonl", &one_span_trace("a"));
+        let paths = [p0.to_str().unwrap().to_string(), "/nonexistent/w9.jsonl".to_string()];
+        let err = run_merged(&paths, 10).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
     }
 }

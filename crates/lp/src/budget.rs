@@ -19,7 +19,9 @@
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+use wsn_obs::TimeSource;
 
 /// How often (in polls) the deadline consults the system clock;
 /// cancellation and pivot caps are checked on every poll.
@@ -85,15 +87,27 @@ impl SolveBudget {
         Self { wall: Some(d), ..Self::default() }
     }
 
-    /// Arms the budget: the deadline clock starts now.
+    /// Arms the budget against the wall clock: the deadline starts now.
     pub fn start(self) -> Arc<SolveCtx> {
-        let started = Instant::now();
+        self.start_with_clock(TimeSource::wall())
+    }
+
+    /// Arms the budget against an explicit time source. With a
+    /// [`wsn_obs::ManualClock`]-backed source the deadline only moves
+    /// when the test advances it — no real sleeping, no flakiness.
+    pub fn start_with_clock(self, clock: TimeSource) -> Arc<SolveCtx> {
+        let started_ns = clock.now_ns();
+        let deadline_ns = self
+            .wall
+            .map(|d| started_ns.saturating_add(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)));
         Arc::new(SolveCtx {
-            deadline: self.wall.map(|d| started + d),
+            clock,
+            deadline_ns,
             max_pivots: self.max_pivots,
             max_rounds: self.max_rounds,
             cancelled: AtomicBool::new(false),
             expired: AtomicBool::new(false),
+            handback: AtomicBool::new(false),
             polls: AtomicU64::new(0),
             faults: Default::default(),
         })
@@ -106,12 +120,16 @@ impl SolveBudget {
 /// fault cells, so a single `cancel()` stops every cooperating layer.
 #[derive(Debug)]
 pub struct SolveCtx {
-    deadline: Option<Instant>,
+    clock: TimeSource,
+    deadline_ns: Option<u64>,
     max_pivots: Option<u64>,
     max_rounds: Option<u64>,
     cancelled: AtomicBool,
     /// Latched once the deadline has been observed in the past.
     expired: AtomicBool,
+    /// Set by a draining service: cancel, but hand the checkpoint back to
+    /// the caller instead of spending the remaining budget on a resume.
+    handback: AtomicBool,
     polls: AtomicU64,
     /// One-shot countdowns per [`FaultKind`]: 0 = disarmed, k ≥ 1 fires on
     /// the k-th poll of that fault site.
@@ -134,14 +152,34 @@ impl SolveCtx {
         self.cancelled.load(Ordering::Relaxed)
     }
 
-    /// True once the wall deadline has been observed to pass.
+    /// Requests cancellation *and* marks that the interrupted solve's
+    /// checkpoint should be handed back to the caller (drain protocol)
+    /// rather than consumed by an in-process resume.
+    pub fn request_handback(&self) {
+        self.handback.store(true, Ordering::Relaxed);
+        self.cancel();
+    }
+
+    /// True once `request_handback()` was called.
+    pub fn handback_requested(&self) -> bool {
+        self.handback.load(Ordering::Relaxed)
+    }
+
+    /// True once the deadline has been observed to pass.
     pub fn is_expired(&self) -> bool {
         self.expired.load(Ordering::Relaxed) || self.check_deadline_now()
     }
 
-    /// Wall time left, if a deadline is set (zero once expired).
+    /// Time left on the deadline, if one is set (zero once expired).
     pub fn remaining(&self) -> Option<Duration> {
-        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+        self.deadline_ns.map(|d| Duration::from_nanos(d.saturating_sub(self.clock.now_ns())))
+    }
+
+    /// The time source this context measures its deadline against.
+    /// Resume budgets must be armed against the same source so virtual
+    /// time stays coherent across the degradation ladder.
+    pub fn time_source(&self) -> TimeSource {
+        self.clock.clone()
     }
 
     /// Configured round cap, if any.
@@ -164,7 +202,7 @@ impl SolveCtx {
         if self.max_pivots.is_some_and(|cap| pivots >= cap) {
             return true;
         }
-        if self.deadline.is_some() {
+        if self.deadline_ns.is_some() {
             let n = self.polls.fetch_add(1, Ordering::Relaxed);
             if n.is_multiple_of(DEADLINE_STRIDE) {
                 return self.check_deadline_now();
@@ -174,8 +212,8 @@ impl SolveCtx {
     }
 
     fn check_deadline_now(&self) -> bool {
-        match self.deadline {
-            Some(d) if Instant::now() >= d => {
+        match self.deadline_ns {
+            Some(d) if self.clock.now_ns() >= d => {
                 self.expired.store(true, Ordering::Relaxed);
                 true
             }
@@ -283,6 +321,61 @@ mod tests {
         assert!(!ctx.has_armed_faults());
         // Other classes stay independent.
         assert!(!ctx.poll_fault(FaultKind::PoisonCut));
+    }
+
+    #[test]
+    fn handback_implies_cancel_and_latches() {
+        let ctx = SolveCtx::unlimited();
+        assert!(!ctx.handback_requested());
+        ctx.request_handback();
+        assert!(ctx.handback_requested());
+        assert!(ctx.is_cancelled(), "handback must also stop the solve");
+        assert!(ctx.should_stop(0));
+    }
+
+    #[test]
+    fn plain_cancel_is_not_a_handback() {
+        let ctx = SolveCtx::unlimited();
+        ctx.cancel();
+        assert!(!ctx.handback_requested());
+    }
+
+    #[test]
+    fn manual_clock_deadline_expires_only_when_advanced() {
+        let mc = wsn_obs::ManualClock::new();
+        let ctx = SolveBudget::wall(Duration::from_millis(10))
+            .start_with_clock(TimeSource::manual(mc.clone()));
+        assert!(!ctx.is_expired());
+        assert_eq!(ctx.remaining(), Some(Duration::from_millis(10)));
+        mc.advance(Duration::from_millis(9));
+        assert!(!ctx.is_expired());
+        assert_eq!(ctx.remaining(), Some(Duration::from_millis(1)));
+        mc.advance(Duration::from_millis(1));
+        assert!(ctx.is_expired(), "deadline reached exactly");
+        assert_eq!(ctx.remaining(), Some(Duration::ZERO));
+        assert!(ctx.should_stop(0));
+    }
+
+    #[test]
+    fn manual_clock_deadline_measures_from_current_reading() {
+        let mc = wsn_obs::ManualClock::new();
+        mc.advance(Duration::from_secs(5));
+        let ctx = SolveBudget::wall(Duration::from_secs(1))
+            .start_with_clock(TimeSource::manual(mc.clone()));
+        mc.advance(Duration::from_millis(999));
+        assert!(!ctx.is_expired());
+        mc.advance(Duration::from_millis(1));
+        assert!(ctx.is_expired());
+    }
+
+    #[test]
+    fn time_source_round_trips_through_the_context() {
+        let mc = wsn_obs::ManualClock::new();
+        let ctx = SolveBudget::unlimited().start_with_clock(TimeSource::manual(mc.clone()));
+        let ts = ctx.time_source();
+        mc.advance(Duration::from_nanos(7));
+        assert_eq!(ts.now_ns(), 7);
+        assert!(ts.is_manual());
     }
 
     #[test]

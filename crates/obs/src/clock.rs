@@ -8,7 +8,8 @@
 //! perf tooling (`bench-perf`) wants.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Time source for trace timestamps.
 #[derive(Debug)]
@@ -52,6 +53,92 @@ impl Clock {
     }
 }
 
+/// A hand-advanced nanosecond clock for deterministic deadline tests.
+///
+/// Unlike [`Clock::Virtual`] — which advances implicitly on every
+/// observation and therefore measures *activity* — a `ManualClock` only
+/// moves when a test calls [`ManualClock::advance`]. That makes it the
+/// right source for *deadline* logic: a budget armed against a manual
+/// clock expires exactly when the test says time has passed, never
+/// because the host was slow or a sleep raced.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A clock frozen at t=0.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self { ns: AtomicU64::new(0) })
+    }
+
+    /// Current reading in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::SeqCst)
+    }
+
+    /// Move the clock forward by `d`. Saturates at `u64::MAX`.
+    pub fn advance(&self, d: Duration) {
+        let dns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let mut cur = self.ns.load(Ordering::SeqCst);
+        loop {
+            let next = cur.saturating_add(dns);
+            match self.ns.compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
+/// A cloneable nanosecond time source for deadline arithmetic.
+///
+/// [`Clock`] stamps trace records and deliberately ticks on every read;
+/// deadlines need a source that can be *read without side effects* and
+/// shared across threads. `Wall` reads a monotonic anchor; `Manual`
+/// reads a [`ManualClock`] that tests advance by hand, removing real
+/// sleeps (and their flakiness) from budget-expiry paths.
+#[derive(Debug, Clone)]
+pub enum TimeSource {
+    /// Monotonic nanoseconds since the anchor instant.
+    Wall(Instant),
+    /// Hand-advanced test clock.
+    Manual(Arc<ManualClock>),
+}
+
+impl TimeSource {
+    /// Wall time anchored at "now".
+    pub fn wall() -> Self {
+        TimeSource::Wall(Instant::now())
+    }
+
+    /// A manual source over `clock`.
+    pub fn manual(clock: Arc<ManualClock>) -> Self {
+        TimeSource::Manual(clock)
+    }
+
+    /// Current reading in nanoseconds. Side-effect free.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            TimeSource::Wall(anchor) => {
+                u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            }
+            TimeSource::Manual(clock) => clock.now_ns(),
+        }
+    }
+
+    /// True when backed by a hand-advanced clock.
+    pub fn is_manual(&self) -> bool {
+        matches!(self, TimeSource::Manual(_))
+    }
+}
+
+impl Default for TimeSource {
+    fn default() -> Self {
+        TimeSource::wall()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +161,35 @@ mod tests {
         assert!(b >= a);
         assert!(!c.is_virtual());
         assert_eq!(c.kind(), "wall");
+    }
+
+    #[test]
+    fn manual_clock_only_moves_when_advanced() {
+        let mc = ManualClock::new();
+        let ts = TimeSource::manual(mc.clone());
+        assert_eq!(ts.now_ns(), 0);
+        assert_eq!(ts.now_ns(), 0, "reads must be side-effect free");
+        mc.advance(Duration::from_millis(5));
+        assert_eq!(ts.now_ns(), 5_000_000);
+        mc.advance(Duration::from_nanos(1));
+        assert_eq!(ts.now_ns(), 5_000_001);
+        assert!(ts.is_manual());
+    }
+
+    #[test]
+    fn manual_clock_advance_saturates() {
+        let mc = ManualClock::new();
+        mc.advance(Duration::from_nanos(u64::MAX));
+        mc.advance(Duration::from_secs(1));
+        assert_eq!(mc.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn wall_source_is_monotone() {
+        let ts = TimeSource::wall();
+        let a = ts.now_ns();
+        let b = ts.now_ns();
+        assert!(b >= a);
+        assert!(!ts.is_manual());
     }
 }

@@ -65,6 +65,68 @@ impl Json {
     pub fn is_obj(&self) -> bool {
         matches!(self, Json::Obj(_))
     }
+
+    /// Serializes the value back to compact JSON. Integral numbers render
+    /// without a fractional part so timestamps and ids round-trip exactly;
+    /// object keys keep their insertion order, so parse → render is stable.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parses one complete JSON document; trailing non-whitespace is an error.
@@ -264,5 +326,29 @@ mod tests {
     fn unicode_escapes() {
         let v = parse("\"\\u0041\\u00e9\"").unwrap();
         assert_eq!(v.as_str(), Some("Aé"));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let doc = r#"{"a":[1,2.5,-3],"b":{"c":"x\ny","d":true,"e":null},"t":123456789}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.render(), doc, "parse → render is the identity on compact JSON");
+        assert_eq!(parse(&v.render()).unwrap(), v);
+    }
+
+    #[test]
+    fn render_escapes_control_characters() {
+        let v = Json::Str("quote \" slash \\ tab \t bell \u{7}".to_string());
+        let text = v.render();
+        assert!(text.contains("\\\"") && text.contains("\\\\") && text.contains("\\t"));
+        assert!(text.contains("\\u0007"), "{text}");
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn render_keeps_integers_exact() {
+        let big = (1u64 << 52) + 3;
+        let v = parse(&format!("{{\"t\":{big}}}")).unwrap();
+        assert_eq!(v.render(), format!("{{\"t\":{big}}}"));
     }
 }

@@ -23,10 +23,10 @@ pub mod metrics;
 pub mod report;
 pub mod trace;
 
-pub use clock::Clock;
+pub use clock::{Clock, ManualClock, TimeSource};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use report::{
-    render_metrics, render_summary, validate_trace, validate_trace_lenient, EventAgg,
+    merge_traces, render_metrics, render_summary, validate_trace, validate_trace_lenient, EventAgg,
     LenientSummary, SpanAgg, TraceSummary,
 };
 pub use trace::{

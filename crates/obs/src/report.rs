@@ -288,6 +288,108 @@ pub fn validate_trace_lenient(text: &str) -> Result<LenientSummary, String> {
     Ok(LenientSummary { summary: st.into_summary(clock), skipped, first_skip, unclosed_spans })
 }
 
+/// Merges per-worker JSONL traces into one deterministic trace.
+///
+/// The service fleet collects one virtual-clock trace per worker thread;
+/// a single merged timeline is what `obs-report` wants to summarize. Each
+/// input is `(label, jsonl)` — the label (worker name) is stamped on every
+/// merged record as a `"w"` field, which the validators ignore. Records
+/// are stably ordered by `(timestamp, input index, line order)`, so the
+/// merge of the same traces is byte-identical regardless of how the files
+/// were gathered. Span ids are remapped to a fresh sequence per first
+/// appearance so ids from different workers never collide; `parent` and
+/// event `span` references (always intra-worker) are rewritten to match.
+///
+/// All inputs must share the same clock kind — merging wall-clock and
+/// virtual-tick timelines would interleave incomparable timestamps.
+/// The merged header carries a `merged_from` count. Truncated inputs
+/// (unclosed spans) merge fine; corrupt record lines are an error naming
+/// the offending input and line.
+pub fn merge_traces(traces: &[(String, String)]) -> Result<String, String> {
+    if traces.is_empty() {
+        return Err("nothing to merge: no traces given".to_string());
+    }
+    let mut clock: Option<String> = None;
+    // (t, input index, per-input line order, record)
+    let mut records: Vec<(u64, usize, usize, Json)> = Vec::new();
+    for (widx, (label, text)) in traces.iter().enumerate() {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| format!("trace {label:?}: empty"))?;
+        let this_clock = validate_header(header).map_err(|e| format!("trace {label:?}: {e}"))?;
+        match &clock {
+            None => clock = Some(this_clock),
+            Some(c) if *c == this_clock => {}
+            Some(c) => {
+                return Err(format!(
+                    "trace {label:?} uses the {this_clock:?} clock but earlier traces use {c:?}"
+                ))
+            }
+        }
+        for (seq, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let lineno = seq + 2;
+            let rec = parse(line).map_err(|e| format!("trace {label:?} line {lineno}: {e}"))?;
+            let t = rec
+                .get("t")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("trace {label:?} line {lineno}: missing integer \"t\""))?;
+            records.push((t, widx, seq, rec));
+        }
+    }
+    records.sort_by_key(|(t, widx, seq, _)| (*t, *widx, *seq));
+
+    let mut id_map: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut next_id = 1u64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"trace_header\",\"schema_version\":{TRACE_SCHEMA_VERSION},\
+         \"clock\":\"{}\",\"merged_from\":{}}}\n",
+        clock.expect("at least one trace"),
+        traces.len()
+    ));
+    for (_, widx, _, mut rec) in records {
+        let kind = rec.get("type").and_then(Json::as_str).unwrap_or("").to_string();
+        let remap =
+            |id_map: &mut HashMap<(usize, u64), u64>, field: &mut Json| -> Result<(), String> {
+                let old = field.as_u64().ok_or_else(|| {
+                    format!("trace {:?}: span reference is not an id", traces[widx].0)
+                })?;
+                let new = id_map.get(&(widx, old)).copied().ok_or_else(|| {
+                    format!("trace {:?}: reference to unknown span id {old}", traces[widx].0)
+                })?;
+                *field = Json::Num(new as f64);
+                Ok(())
+            };
+        if let Json::Obj(fields) = &mut rec {
+            for (key, value) in fields.iter_mut() {
+                match (kind.as_str(), key.as_str()) {
+                    ("span_start", "id") => {
+                        let old = value.as_u64().ok_or_else(|| {
+                            format!("trace {:?}: span_start id is not an integer", traces[widx].0)
+                        })?;
+                        let new = next_id;
+                        next_id += 1;
+                        id_map.insert((widx, old), new);
+                        *value = Json::Num(new as f64);
+                    }
+                    ("span_end", "id") | ("span_start", "parent") | ("event", "span") => {
+                        remap(&mut id_map, value)?;
+                    }
+                    _ => {}
+                }
+            }
+            fields.push(("w".to_string(), Json::Str(traces[widx].0.clone())));
+        } else {
+            return Err(format!("trace {:?}: record is not an object", traces[widx].0));
+        }
+        out.push_str(&rec.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// Renders the summary as a fixed-width table: top-`top_k` spans by total
 /// time plus every event tally. Deterministic for a deterministic trace.
 pub fn render_summary(summary: &TraceSummary, top_k: usize) -> String {
@@ -353,7 +455,59 @@ pub fn render_metrics(text: &str) -> Result<String, String> {
             out.push_str(&format!("{:<28} {:>16}\n", name, value));
         }
     }
+    if let Some(digest) = fleet_digest(&counters) {
+        out.push('\n');
+        out.push_str(&digest);
+    }
     Ok(out)
+}
+
+/// Rolls the service-fleet (`svc.*`) and degradation-ladder
+/// (`resilience.*`) counters up into short prose lines, appended below the
+/// raw tables so a fleet run's health reads at a glance. `None` when the
+/// export has no fleet counters at all (e.g. a plain solver run).
+fn fleet_digest(counters: &[(String, f64)]) -> Option<String> {
+    let get = |name: &str| counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v as u64);
+    let has_svc = counters.iter().any(|(n, _)| n.starts_with("svc."));
+    let has_res = counters.iter().any(|(n, _)| n.starts_with("resilience."));
+    if !has_svc && !has_res {
+        return None;
+    }
+    let mut out = String::from("fleet digest\n");
+    if has_svc {
+        out.push_str(&format!(
+            "  svc: {} accepted, {} completed, {} shed, {} retries, {} quarantined \
+             ({} hot hits), {} worker restart(s), {} cache hit(s), {} parked\n",
+            get("svc.accepted"),
+            get("svc.completed"),
+            get("svc.shed"),
+            get("svc.retries"),
+            get("svc.quarantined"),
+            get("svc.quarantine_hits"),
+            get("svc.worker_restarts"),
+            get("svc.cache_hits"),
+            get("svc.parked"),
+        ));
+        // svc.outcome.<tier> counters are dynamic; the registry already
+        // serializes name-sorted, so this sub-line is deterministic.
+        let outcomes: Vec<String> = counters
+            .iter()
+            .filter_map(|(n, v)| {
+                n.strip_prefix("svc.outcome.").map(|tier| format!("{tier} {}", *v as u64))
+            })
+            .collect();
+        if !outcomes.is_empty() {
+            out.push_str(&format!("  svc outcomes: {}\n", outcomes.join(", ")));
+        }
+    }
+    if has_res {
+        out.push_str(&format!(
+            "  resilience: {} degraded attempt(s), {} checkpoint handback(s)\n",
+            get("resilience.degrade"),
+            get("resilience.handback"),
+        ));
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -523,5 +677,135 @@ mod tests {
         assert!(render_metrics("not json").is_err());
         assert!(render_metrics("{\"counters\": 3}").is_err());
         assert!(render_metrics("{\"counters\": {\"a\": \"x\"}}").is_err());
+    }
+
+    fn worker_trace(spans: &[&str]) -> String {
+        let obs = Obs::with_trace(Clock::virtual_ticks());
+        let guard = install(obs.clone());
+        for name in spans {
+            let _s = span(name);
+            event("job.done", vec![field("name", *name)]);
+        }
+        drop(guard);
+        obs.trace_jsonl()
+    }
+
+    #[test]
+    fn merge_produces_a_valid_trace_with_worker_tags() {
+        let a = worker_trace(&["solve-a", "solve-b"]);
+        let b = worker_trace(&["solve-c"]);
+        let merged = merge_traces(&[("w0".to_string(), a), ("w1".to_string(), b)]).unwrap();
+        let summary = validate_trace(&merged).expect("merged trace must validate strictly");
+        assert_eq!(summary.clock, "virtual");
+        assert_eq!(summary.span("solve-a").unwrap().count, 1);
+        assert_eq!(summary.span("solve-c").unwrap().count, 1);
+        assert_eq!(summary.event("job.done").unwrap().count, 3);
+        assert!(merged.contains("\"merged_from\":2"), "{merged}");
+        assert!(merged.contains("\"w\":\"w0\"") && merged.contains("\"w\":\"w1\""));
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_order_stable() {
+        // Two workers whose virtual timestamps collide on every tick: the
+        // (t, input index, line order) sort must fully decide the layout.
+        let a = worker_trace(&["x"]);
+        let b = worker_trace(&["y"]);
+        let inputs = [("w0".to_string(), a), ("w1".to_string(), b)];
+        let once = merge_traces(&inputs).unwrap();
+        let twice = merge_traces(&inputs).unwrap();
+        assert_eq!(once, twice, "same inputs must merge byte-identically");
+        // w0's records win ties, so "x" must appear before "y".
+        assert!(once.find("\"x\"").unwrap() < once.find("\"y\"").unwrap());
+    }
+
+    #[test]
+    fn merge_remaps_colliding_span_ids() {
+        // Both single-worker traces start their id sequence at the same
+        // point; a naive concatenation would reuse ids.
+        let a = worker_trace(&["a"]);
+        let b = worker_trace(&["b"]);
+        let merged = merge_traces(&[("w0".to_string(), a), ("w1".to_string(), b)]).unwrap();
+        let summary = validate_trace(&merged).unwrap();
+        assert_eq!(summary.span("a").unwrap().count, 1);
+        assert_eq!(summary.span("b").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_preserves_parent_links_within_a_worker() {
+        let obs = Obs::with_trace(Clock::virtual_ticks());
+        let guard = install(obs.clone());
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        drop(guard);
+        let nested = obs.trace_jsonl();
+        let flat = worker_trace(&["flat"]);
+        let merged = merge_traces(&[("w0".to_string(), nested), ("w1".to_string(), flat)]).unwrap();
+        let summary = validate_trace(&merged).unwrap();
+        let outer = summary.span("outer").unwrap();
+        assert!(outer.self_time < outer.total, "inner must still nest under outer");
+    }
+
+    #[test]
+    fn merge_rejects_mixed_clocks_and_corrupt_lines() {
+        let virt = worker_trace(&["a"]);
+        let wall = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"wall\"}\n";
+        let err =
+            merge_traces(&[("w0".to_string(), virt.clone()), ("w1".to_string(), wall.to_string())])
+                .unwrap_err();
+        assert!(err.contains("clock"), "{err}");
+        let err = merge_traces(&[(
+            "w0".to_string(),
+            format!("{}garbage\n", virt.lines().next().unwrap().to_string() + "\n"),
+        )])
+        .unwrap_err();
+        assert!(err.contains("w0") && err.contains("line 2"), "{err}");
+        assert!(merge_traces(&[]).is_err());
+    }
+
+    #[test]
+    fn merged_truncated_traces_stay_reportable() {
+        // A crashed worker's trace may end mid-span; the merge keeps it and
+        // the lenient reader accounts for it.
+        let healthy = worker_trace(&["ok"]);
+        let truncated = "{\"type\":\"trace_header\",\"schema_version\":1,\"clock\":\"virtual\"}\n\
+                         {\"type\":\"span_start\",\"id\":1,\"t\":1,\"name\":\"dead\"}\n";
+        let merged =
+            merge_traces(&[("w0".to_string(), healthy), ("w1".to_string(), truncated.to_string())])
+                .unwrap();
+        let lenient = validate_trace_lenient(&merged).unwrap();
+        assert_eq!(lenient.skipped, 0);
+        assert_eq!(lenient.unclosed_spans, 1);
+        assert_eq!(lenient.summary.span("ok").unwrap().count, 1);
+    }
+
+    #[test]
+    fn metrics_digest_summarizes_fleet_counters() {
+        let obs = Obs::detached();
+        let reg = obs.registry();
+        reg.counter("svc.accepted").add(12);
+        reg.counter("svc.completed").add(9);
+        reg.counter("svc.shed").add(2);
+        reg.counter("svc.quarantined").add(1);
+        reg.counter("svc.outcome.exact").add(7);
+        reg.counter("svc.outcome.resumed").add(2);
+        reg.counter("resilience.degrade").add(3);
+        reg.counter("resilience.handback").add(1);
+        let text = render_metrics(&reg.to_json()).unwrap();
+        assert!(text.contains("fleet digest"), "{text}");
+        assert!(text.contains("12 accepted"), "{text}");
+        assert!(text.contains("exact 7, resumed 2"), "{text}");
+        assert!(text.contains("3 degraded"), "{text}");
+        assert!(text.contains("1 checkpoint handback"), "{text}");
+    }
+
+    #[test]
+    fn metrics_digest_absent_without_fleet_counters() {
+        let obs = Obs::detached();
+        let reg = obs.registry();
+        reg.counter("ira.cut_rounds").add(7);
+        let text = render_metrics(&reg.to_json()).unwrap();
+        assert!(!text.contains("fleet digest"), "{text}");
     }
 }

@@ -1,0 +1,22 @@
+//! `wsn-service` — a supervised, crash-isolated, multi-tenant solve
+//! service over the MRLC degradation ladder.
+//!
+//! The ROADMAP's "solver-as-a-service fleet mode": long-running worker
+//! threads accept [`SolveRequest`]s (instance + per-request budget +
+//! optional deadline) through a bounded admission queue and resolve every
+//! single one to a typed [`ServiceOutcome`] — solved (exact / resumed /
+//! approximate per the PR 6 ladder), shed-with-reason, quarantined,
+//! infeasible, or parked by a drain. Built on vendored `crossbeam`
+//! channels and plain threads: no async runtime.
+//!
+//! See [`SolveService`] for the fleet lifecycle and [`ChaosConfig`] for
+//! the seeded failure injection the chaos suite drives.
+
+mod queue;
+mod request;
+mod service;
+
+pub use request::{instance_hash, Completion, ServiceOutcome, ShedReason, SolveRequest, Ticket};
+pub use service::{
+    ChaosConfig, DrainReport, ParkedSolve, QuarantineEntry, ServiceConfig, SolveService,
+};

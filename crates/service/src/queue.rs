@@ -1,0 +1,122 @@
+//! Bounded admission queue with retry-backoff scheduling.
+//!
+//! A plain FIFO would be enough for happy-path dispatch; the fleet also
+//! needs (a) a hard capacity so backpressure is a shed, not an unbounded
+//! pileup, (b) `not_before` timestamps so a retried job waits out its
+//! backoff without blocking a worker, and (c) a drain mode where workers
+//! stop taking work while the still-queued jobs are handed back for
+//! parking. Retries and supervisor-recovered jobs re-enter past the
+//! capacity check — admission already charged them once, and dropping a
+//! recovered job would break the every-request-resolves guarantee.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use wsn_obs::TimeSource;
+
+use crate::service::Job;
+
+/// How long a worker waits between schedule scans while jobs exist but
+/// none is runnable yet (all in backoff). Real time even under a manual
+/// service clock, so a test advancing the clock is observed promptly.
+const SCHEDULE_POLL: Duration = Duration::from_millis(1);
+
+pub(crate) struct AdmissionQueue {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// What a blocking pop produced.
+pub(crate) enum Popped {
+    /// A runnable job (its `not_before` has passed).
+    Job(Box<Job>),
+    /// The queue is closed: the service is draining, stop taking work.
+    Closed,
+}
+
+impl AdmissionQueue {
+    pub(crate) fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { jobs: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admission push: fails when at capacity or closed, returning the job
+    /// to the caller for shedding.
+    #[allow(clippy::result_large_err)] // Err hands the rejected job back by design
+    pub(crate) fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut g = self.lock();
+        if g.closed || g.jobs.len() >= self.capacity {
+            return Err(job);
+        }
+        g.jobs.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Re-entry push for retries and supervisor-recovered jobs: ignores
+    /// capacity (the job was already admitted) but still respects close —
+    /// a closed queue's jobs are about to be parked, so the job is
+    /// returned for the caller to park instead.
+    #[allow(clippy::result_large_err)] // Err hands the rejected job back by design
+    pub(crate) fn push_again(&self, job: Job) -> Result<(), Job> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err(job);
+        }
+        g.jobs.push_back(job);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a runnable job is available (FIFO among runnable) or
+    /// the queue closes.
+    pub(crate) fn pop(&self, clock: &TimeSource) -> Popped {
+        let mut g = self.lock();
+        loop {
+            if g.closed {
+                return Popped::Closed;
+            }
+            let now = clock.now_ns();
+            if let Some(idx) = g.jobs.iter().position(|j| j.not_before_ns <= now) {
+                let job = g.jobs.remove(idx).expect("position came from this deque");
+                return Popped::Job(Box::new(job));
+            }
+            g = if g.jobs.is_empty() {
+                // Nothing scheduled at all: sleep until a push or close.
+                self.cv.wait(g).unwrap_or_else(|e| e.into_inner())
+            } else {
+                // Jobs exist but are all in backoff: timed scan.
+                self.cv.wait_timeout(g, SCHEDULE_POLL).unwrap_or_else(|e| e.into_inner()).0
+            };
+        }
+    }
+
+    /// Closes the queue (wakes every blocked worker) and hands back
+    /// whatever was still queued, for parking.
+    pub(crate) fn close_and_drain(&self) -> Vec<Job> {
+        let mut g = self.lock();
+        g.closed = true;
+        let jobs = g.jobs.drain(..).collect();
+        self.cv.notify_all();
+        jobs
+    }
+
+    /// Jobs currently queued (runnable or in backoff).
+    pub(crate) fn len(&self) -> usize {
+        self.lock().jobs.len()
+    }
+}

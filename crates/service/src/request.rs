@@ -1,0 +1,300 @@
+//! Request/outcome vocabulary of the solve service.
+//!
+//! Every submission resolves to exactly one [`ServiceOutcome`] — there is
+//! no silent-drop path anywhere in the fleet. The [`Ticket`] is the
+//! caller's handle on that promise: a one-shot slot the worker (or the
+//! admission path itself) fills with a [`Completion`].
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mrlc_core::{MrlcInstance, SolveOutcome};
+use wsn_lp::SolveBudget;
+
+/// One tenant request: an MRLC instance (graph + LC + energy profile is
+/// all inside [`MrlcInstance`]), the work budget for its solve, and an
+/// optional end-to-end deadline used for admission-time shedding.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The instance to solve.
+    pub instance: MrlcInstance,
+    /// Per-request work limits handed to the degradation ladder.
+    pub budget: SolveBudget,
+    /// End-to-end latency bound (queue wait + solve). Requests whose
+    /// projected wait already exceeds it are shed at admission; requests
+    /// that silently aged past it in the queue are shed at dequeue.
+    pub deadline: Option<Duration>,
+}
+
+impl SolveRequest {
+    /// A request with an unlimited budget and no deadline.
+    pub fn new(instance: MrlcInstance) -> Self {
+        SolveRequest { instance, budget: SolveBudget::unlimited(), deadline: None }
+    }
+}
+
+/// FNV-1a over the full instance identity: node count, per-node energy,
+/// every link (endpoints + PRR bits) and the lifetime bound. Two
+/// submissions with equal hashes are the same tenant problem, which is
+/// what the duplicate cache and the quarantine breaker key on.
+pub fn instance_hash(inst: &MrlcInstance) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let net = inst.network();
+    eat(&(net.n() as u64).to_le_bytes());
+    for v in 0..net.n() {
+        eat(&net.initial_energy(wsn_model::NodeId::new(v)).to_bits().to_le_bytes());
+    }
+    for (_, link) in net.edges() {
+        let (u, v) = link.endpoints();
+        eat(&(u.index() as u64).to_le_bytes());
+        eat(&(v.index() as u64).to_le_bytes());
+        eat(&link.prr().value().to_bits().to_le_bytes());
+    }
+    let model = inst.model();
+    eat(&model.tx.to_bits().to_le_bytes());
+    eat(&model.rx.to_bits().to_le_bytes());
+    eat(&model.idle_power.to_bits().to_le_bytes());
+    eat(&inst.lc().to_bits().to_le_bytes());
+    h
+}
+
+/// Why admission (or dequeue) refused to run a request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShedReason {
+    /// The bounded queue is at capacity.
+    QueueFull,
+    /// Projected queue wait already exceeds the request deadline.
+    ProjectedWait {
+        /// Estimated wait in milliseconds at admission time.
+        projected_ms: f64,
+        /// The request's deadline in milliseconds.
+        deadline_ms: f64,
+    },
+    /// The deadline passed while the request sat in the queue.
+    ExpiredInQueue,
+    /// The service is draining and accepts no new work.
+    Draining,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedReason::QueueFull => write!(f, "queue full"),
+            ShedReason::ProjectedWait { projected_ms, deadline_ms } => {
+                write!(f, "projected wait {projected_ms:.1}ms exceeds deadline {deadline_ms:.1}ms")
+            }
+            ShedReason::ExpiredInQueue => write!(f, "deadline expired while queued"),
+            ShedReason::Draining => write!(f, "service draining"),
+        }
+    }
+}
+
+/// The typed end state of a submission. Exhaustive: chaos testing asserts
+/// that every request lands in exactly one of these.
+#[derive(Clone, Debug)]
+pub enum ServiceOutcome {
+    /// The degradation ladder produced a tree (tier inside says which rung).
+    Solved(SolveOutcome),
+    /// Admission control refused the request, with the reason.
+    Shed(ShedReason),
+    /// The instance hash tripped the circuit breaker; `why` records the
+    /// last failure. Never retried hot — see the quarantine list on drain.
+    Quarantined {
+        /// Last failure before the breaker opened.
+        why: String,
+    },
+    /// The instance provably has no LC-feasible tree.
+    Infeasible {
+        /// The requested lifetime bound.
+        lc: f64,
+        /// Which rung established infeasibility.
+        reason: String,
+    },
+    /// The service drained before this request finished; its checkpoint
+    /// (if the solve had started) is in the [`crate::DrainReport`].
+    Parked,
+}
+
+impl ServiceOutcome {
+    /// Short label for counters and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceOutcome::Solved(out) => match out.tier {
+                mrlc_core::SolveTier::Exact => "exact",
+                mrlc_core::SolveTier::Resumed => "resumed",
+                mrlc_core::SolveTier::Approximate => "approximate",
+            },
+            ServiceOutcome::Shed(_) => "shed",
+            ServiceOutcome::Quarantined { .. } => "quarantined",
+            ServiceOutcome::Infeasible { .. } => "infeasible",
+            ServiceOutcome::Parked => "parked",
+        }
+    }
+
+    /// True for any outcome that carries a tree.
+    pub fn is_solved(&self) -> bool {
+        matches!(self, ServiceOutcome::Solved(_))
+    }
+}
+
+/// A resolved request: the outcome plus fleet-side accounting.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Submission id (monotone per service).
+    pub id: u64,
+    /// Instance hash (cache/quarantine key).
+    pub hash: u64,
+    /// The typed end state.
+    pub outcome: ServiceOutcome,
+    /// Submission-to-resolution latency against the service clock.
+    pub latency_ms: f64,
+    /// Solve attempts consumed (0 when resolved at admission).
+    pub attempts: u32,
+}
+
+#[derive(Default)]
+pub(crate) struct TicketSlot {
+    state: Mutex<Option<Completion>>,
+    cv: Condvar,
+}
+
+impl TicketSlot {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(TicketSlot::default())
+    }
+
+    pub(crate) fn fill(&self, completion: Completion) {
+        let mut g = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        // First resolution wins; a double-fill would mean a request ran
+        // twice, which the supervisor's recovery path must never allow.
+        if g.is_none() {
+            *g = Some(completion);
+            self.cv.notify_all();
+        }
+    }
+}
+
+/// The caller's handle on one submission: blocks (or polls) for the
+/// [`Completion`]. Every ticket resolves — shed and drain paths fill it
+/// just like a finished solve does.
+pub struct Ticket {
+    pub(crate) id: u64,
+    pub(crate) slot: Arc<TicketSlot>,
+}
+
+impl Ticket {
+    /// Submission id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the request resolves.
+    pub fn wait(&self) -> Completion {
+        let mut g = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(c) = g.as_ref() {
+                return c.clone();
+            }
+            g = self.slot.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Blocks up to `timeout`; `None` if the request is still in flight.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Completion> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(c) = g.as_ref() {
+                return Some(c.clone());
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.slot.cv.wait_timeout(g, left).unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+
+    /// Non-blocking peek.
+    pub fn try_get(&self) -> Option<Completion> {
+        self.slot.state.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wsn_model::{lifetime, EnergyModel, NetworkBuilder};
+
+    fn tiny(seed_prr: f64) -> MrlcInstance {
+        let mut b = NetworkBuilder::new(4);
+        b.add_edge(0, 1, seed_prr).unwrap();
+        b.add_edge(1, 2, 0.9).unwrap();
+        b.add_edge(2, 3, 0.91).unwrap();
+        b.add_edge(0, 3, 0.92).unwrap();
+        let net = b.build().unwrap();
+        let model = EnergyModel::PAPER;
+        let lc = lifetime::node_lifetime(3000.0, &model, 3) * 0.5;
+        MrlcInstance::new(net, model, lc).unwrap()
+    }
+
+    #[test]
+    fn equal_instances_hash_equal() {
+        assert_eq!(instance_hash(&tiny(0.85)), instance_hash(&tiny(0.85)));
+    }
+
+    #[test]
+    fn different_prr_changes_the_hash() {
+        assert_ne!(instance_hash(&tiny(0.85)), instance_hash(&tiny(0.86)));
+    }
+
+    #[test]
+    fn different_lc_changes_the_hash() {
+        let a = tiny(0.85);
+        let b = MrlcInstance::new(a.network().clone(), *a.model(), a.lc() * 0.9).unwrap();
+        assert_ne!(instance_hash(&a), instance_hash(&b));
+    }
+
+    #[test]
+    fn ticket_resolves_once_and_sticks() {
+        let slot = TicketSlot::new();
+        let ticket = Ticket { id: 1, slot: slot.clone() };
+        assert!(ticket.try_get().is_none());
+        assert!(ticket.wait_timeout(Duration::from_millis(1)).is_none());
+        let fill = |outcome: ServiceOutcome, ms: f64| Completion {
+            id: 1,
+            hash: 42,
+            outcome,
+            latency_ms: ms,
+            attempts: 0,
+        };
+        slot.fill(fill(ServiceOutcome::Shed(ShedReason::QueueFull), 1.0));
+        slot.fill(fill(ServiceOutcome::Parked, 9.0));
+        let c = ticket.wait();
+        assert_eq!(c.kindstr(), "shed");
+        assert_eq!(c.latency_ms, 1.0, "first fill wins");
+    }
+
+    impl Completion {
+        fn kindstr(&self) -> &'static str {
+            self.outcome.kind()
+        }
+    }
+
+    #[test]
+    fn shed_reasons_render() {
+        let s = ShedReason::ProjectedWait { projected_ms: 12.5, deadline_ms: 10.0 }.to_string();
+        assert!(s.contains("12.5"), "{s}");
+        assert_eq!(ShedReason::QueueFull.to_string(), "queue full");
+        assert_eq!(ShedReason::Draining.to_string(), "service draining");
+    }
+}

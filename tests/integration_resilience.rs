@@ -137,6 +137,59 @@ fn checkpoint_resume_matches_the_uninterrupted_solve() {
     assert!((plain.cost - resumed.cost).abs() < 1e-12);
 }
 
+/// Interrupting over and over — one cut round per leg, resuming from each
+/// checkpoint in turn — must still land on exactly the uninterrupted
+/// solve's tree, even though the interruptions straddle IRA's shrink
+/// boundaries (iterations that drop lifetime constraints from `W` and
+/// edges from the LP support).
+#[test]
+fn repeated_interrupts_across_shrink_boundaries_match_the_uninterrupted_solve() {
+    let inst = instance(51, 24, 3);
+    let plain = solve_ira(&inst, &IraConfig::default()).expect("feasible");
+    assert!(
+        plain.stats.iterations >= 2,
+        "need a multi-iteration instance to cross a shrink boundary (got {})",
+        plain.stats.iterations
+    );
+
+    let one_round = || SolveBudget { max_rounds: Some(1), ..SolveBudget::unlimited() }.start();
+    let mut checkpoints = Vec::new();
+    let mut outcome = solve_ira_budgeted(&inst, &IraConfig::default(), &one_round());
+    let resumed = loop {
+        match outcome {
+            Ok(sol) => break sol,
+            Err(IraError::Interrupted(cp)) => {
+                checkpoints.push((cp.iterations(), cp.constrained_nodes(), cp.active_edges()));
+                assert!(checkpoints.len() <= 10_000, "interrupt/resume loop failed to converge");
+                outcome = resume_ira(&inst, &IraConfig::default(), *cp, Some(&one_round()));
+            }
+            Err(e) => panic!("unexpected error mid-resume: {e}"),
+        }
+    };
+
+    assert!(checkpoints.len() >= 2, "round cap 1 must interrupt repeatedly");
+    let first = checkpoints.first().unwrap();
+    let last = checkpoints.last().unwrap();
+    assert!(
+        last.0 > first.0,
+        "interrupts never crossed an IRA iteration boundary: {checkpoints:?}"
+    );
+    assert!(
+        last.1 < first.1 || last.2 < first.2,
+        "no shrink (constraint removal / edge deactivation) was straddled: {checkpoints:?}"
+    );
+
+    let a: Vec<_> = plain.tree.edges().collect();
+    let b: Vec<_> = resumed.tree.edges().collect();
+    assert_eq!(a, b, "repeatedly resumed tree differs from the uninterrupted one");
+    assert_eq!(
+        plain.cost.to_bits(),
+        resumed.cost.to_bits(),
+        "costs differ at the bit level after repeated resume"
+    );
+    assert_eq!(plain.reliability.to_bits(), resumed.reliability.to_bits());
+}
+
 /// With injectors off and no budget, the resilient pipeline is the plain
 /// engine: identical decoded tree and identical deterministic `ira.*` /
 /// `sep.*` counters.

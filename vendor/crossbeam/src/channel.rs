@@ -1,0 +1,357 @@
+//! Offline stand-in for `crossbeam-channel`: multi-producer multi-consumer
+//! channels with crossbeam's surface — [`bounded`] / [`unbounded`]
+//! constructors, blocking `send`/`recv`, non-blocking `try_*` variants,
+//! `recv_timeout`, and disconnect semantics driven by sender/receiver
+//! reference counts. Implemented over a mutex-guarded deque with two
+//! condition variables; correctness (no lost wakeups, no deadlock on
+//! disconnect) over throughput, which is all the solve service needs for
+//! its supervisor and epitaph channels.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Sending on a channel with no receivers left.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Non-blocking send failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity (message returned).
+    Full(T),
+    /// No receivers left (message returned).
+    Disconnected(T),
+}
+
+/// Receiving on an empty channel with no senders left.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Non-blocking receive failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Nothing queued right now.
+    Empty,
+    /// Empty and no senders left.
+    Disconnected,
+}
+
+/// Timed receive failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with nothing queued.
+    Timeout,
+    /// Empty and no senders left.
+    Disconnected,
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    /// Bounded capacity; `None` for unbounded.
+    cap: Option<usize>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+        // A panic while holding the lock leaves consistent state (the
+        // queue is only mutated by push/pop); recover rather than wedge
+        // every other worker on the fleet.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// The sending half; clone freely (multi-producer).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half; clone freely (multi-consumer).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A channel holding at most `cap` queued messages; `send` blocks when
+/// full. `cap = 0` is rounded up to 1 (the stand-in has no rendezvous
+/// mode).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    make(Some(cap.max(1)))
+}
+
+/// A channel with no capacity bound; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+        cap,
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (Sender { shared: shared.clone() }, Receiver { shared })
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is queued or every receiver is gone.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut g = self.shared.lock();
+        loop {
+            if g.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if self.shared.cap.is_none_or(|c| g.queue.len() < c) {
+                g.queue.push_back(msg);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            g = self.shared.not_full.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Queues the message if there is room right now.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut g = self.shared.lock();
+        if g.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if self.shared.cap.is_some_and(|c| g.queue.len() >= c) {
+            return Err(TrySendError::Full(msg));
+        }
+        g.queue.push_back(msg);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if g.senders == 0 {
+                return Err(RecvError);
+            }
+            g = self.shared.not_empty.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Pops a message if one is queued right now.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut g = self.shared.lock();
+        match g.queue.pop_front() {
+            Some(msg) => {
+                self.shared.not_full.notify_one();
+                Ok(msg)
+            }
+            None if g.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Blocks up to `timeout` for a message.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(msg) = g.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if g.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, res) =
+                self.shared.not_empty.wait_timeout(g, left).unwrap_or_else(|e| e.into_inner());
+            g = guard;
+            if res.timed_out() && g.queue.is_empty() {
+                if g.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().senders += 1;
+        Sender { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.lock().receivers += 1;
+        Receiver { shared: self.shared.clone() }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut g = self.shared.lock();
+        g.senders -= 1;
+        if g.senders == 0 {
+            // Wake every blocked receiver so it can observe disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut g = self.shared.lock();
+        g.receivers -= 1;
+        if g.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip_in_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        assert_eq!(rx.len(), 100);
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn recv_sees_disconnect_after_drain() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_sees_disconnect() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+        assert_eq!(tx.try_send(2), Err(TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = unbounded::<u32>();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(9));
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| tx.send(2));
+            std::thread::sleep(Duration::from_millis(10));
+            assert_eq!(rx.recv().unwrap(), 1);
+            t.join().unwrap().unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = bounded(4);
+        let total = 200;
+        let got = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for p in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for i in 0..total / 4 {
+                        tx.send(p * (total / 4) + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let got = &got;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        got.lock().unwrap().push(v);
+                    }
+                });
+            }
+        });
+        let mut vals = got.into_inner().unwrap();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..total).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_last_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        std::thread::scope(|s| {
+            let t = s.spawn(|| rx.recv());
+            std::thread::sleep(Duration::from_millis(10));
+            drop(tx);
+            assert_eq!(t.join().unwrap(), Err(RecvError));
+        });
+    }
+}

@@ -1,6 +1,10 @@
 //! Minimal offline stand-in for `crossbeam`: [`scope`] with crossbeam's
 //! signature (spawned closures receive the scope, worker panics surface as
-//! an `Err` from `scope` itself), implemented over `std::thread::scope`.
+//! an `Err` from `scope` itself), implemented over `std::thread::scope`,
+//! plus MPMC [`channel`]s with crossbeam-channel's bounded/unbounded
+//! surface and disconnect semantics.
+
+pub mod channel;
 
 use std::any::Any;
 

@@ -47,7 +47,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Duration;
 use wsn_lp::{FaultKind, IncrementalLp, LpProblem, LpStatus, Relation, RowId, SolveCtx, VarId};
-use wsn_obs::Counter;
+use wsn_obs::{Counter, Histogram};
 
 /// Safety valve on cutting-plane rounds (each round adds ≥ 1 new set, and
 /// distinct sets are finite, but numerics deserve a cap).
@@ -159,8 +159,22 @@ struct CutLpMetrics {
     pool_scans: Counter,
     cuts_batched: Counter,
     seeds_pruned: Counter,
+    /// Per-cut-round LP wall time (µs) — the hotspot profiler's view of
+    /// how round cost distributes, not just its sum.
+    round_lp_us: Histogram,
+    /// Per-cut-round simplex pivot count.
+    round_pivots: Histogram,
     base: [u64; 10],
 }
+
+/// Per-cut-round LP wall-time buckets (µs, up to 5 s then overflow).
+const ROUND_LP_US_BUCKETS: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+
+/// Per-cut-round pivot-count buckets.
+const ROUND_PIVOT_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
 
 impl CutLpMetrics {
     fn from_registry(reg: &wsn_obs::Registry) -> Self {
@@ -174,6 +188,8 @@ impl CutLpMetrics {
         let pool_scans = reg.counter("sep.pool_scans");
         let cuts_batched = reg.counter("sep.cuts_batched");
         let seeds_pruned = reg.counter("sep.seeds_pruned");
+        let round_lp_us = reg.histogram("ira.round_lp_us", ROUND_LP_US_BUCKETS);
+        let round_pivots = reg.histogram("ira.round_pivots", ROUND_PIVOT_BUCKETS);
         let base = [
             lp_solves.get(),
             cuts_added.get(),
@@ -197,6 +213,8 @@ impl CutLpMetrics {
             pool_scans,
             cuts_batched,
             seeds_pruned,
+            round_lp_us,
+            round_pivots,
             base,
         }
     }
@@ -629,7 +647,10 @@ impl CutLp {
                 let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
                 state.lp.solve().map_err(lift)?
             };
-            self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
+            let lp_elapsed = lp_start.elapsed();
+            self.metrics.lp_ns.add(lp_elapsed.as_nanos() as u64);
+            self.metrics.round_lp_us.observe(lp_elapsed.as_micros() as u64);
+            self.metrics.round_pivots.observe(sol.iterations as u64);
             self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),
@@ -743,7 +764,10 @@ impl CutLp {
                 let _span = wsn_obs::span_with("lp-solve", vec![wsn_obs::field("round", round)]);
                 wsn_lp::solve_with_ctx(&lp, self.ctx.as_deref()).map_err(lift)?
             };
-            self.metrics.lp_ns.add(lp_start.elapsed().as_nanos() as u64);
+            let lp_elapsed = lp_start.elapsed();
+            self.metrics.lp_ns.add(lp_elapsed.as_nanos() as u64);
+            self.metrics.round_lp_us.observe(lp_elapsed.as_micros() as u64);
+            self.metrics.round_pivots.observe(sol.iterations as u64);
             self.metrics.pivots.add(sol.iterations as u64);
             match sol.status {
                 LpStatus::Infeasible => return Ok(CutLpOutcome::Infeasible),

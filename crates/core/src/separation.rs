@@ -57,7 +57,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 use wsn_graph::{components, FlowEdgeId, FlowNetwork};
-use wsn_obs::{Counter, Registry};
+use wsn_obs::{Counter, Histogram, Registry};
 use wsn_util::parallel_map_with;
 
 /// Node count at which the per-seed min-cuts are worth fanning out.
@@ -163,7 +163,17 @@ pub struct SepCounters {
     pub(crate) min_cut_seeds: Counter,
     pub(crate) violated: Counter,
     pub(crate) seeds_pruned: Counter,
+    /// Cumulative wall time inside per-seed maxflow calls. A sum of
+    /// atomics, so it stays schedule-independent under parallel fan-out.
+    pub(crate) maxflow_ns: Counter,
+    /// Per-seed maxflow wall time (µs) — the profiler's attribution of
+    /// oracle cost to individual seeds, not just the stage total.
+    pub(crate) maxflow_us: Histogram,
 }
+
+/// Per-seed maxflow wall-time buckets (µs, up to 100 ms then overflow).
+const MAXFLOW_US_BUCKETS: &[u64] =
+    &[10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000];
 
 impl SepCounters {
     /// Resolves the `sep.*` handles from `reg`.
@@ -173,6 +183,8 @@ impl SepCounters {
             min_cut_seeds: reg.counter("sep.min_cut_seeds"),
             violated: reg.counter("sep.violated_sets"),
             seeds_pruned: reg.counter("sep.seeds_pruned"),
+            maxflow_ns: reg.counter("sep.maxflow_ns"),
+            maxflow_us: reg.histogram("sep.maxflow_us", MAXFLOW_US_BUCKETS),
         }
     }
 
@@ -446,7 +458,11 @@ impl SeedOracle {
             counters.min_cut_seeds.inc();
             sc.net.reset();
             sc.net.set_cap(sc.seed_edges[s], f64::INFINITY);
+            let flow_start = std::time::Instant::now();
             let flow = sc.net.max_flow(src, snk);
+            let flow_elapsed = flow_start.elapsed();
+            counters.maxflow_ns.add(flow_elapsed.as_nanos() as u64);
+            counters.maxflow_us.observe(flow_elapsed.as_micros() as u64);
             let min_f = p_neg + flow - 1.0;
             if min_f >= -tol {
                 return None;

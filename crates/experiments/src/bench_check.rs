@@ -252,6 +252,308 @@ fn check_storm(baseline: &Json, current: &Json, report: &mut CheckReport) {
     }
 }
 
+/// Typed verdict `bench-check trend` assigns to one tracked metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Meaningfully better than the baseline.
+    Improved,
+    /// Within noise of the baseline.
+    Flat,
+    /// Worse than the baseline; `hard` regressions fail the command.
+    Regressed {
+        /// Beyond what runner noise explains (deterministic-counter
+        /// tolerance, or the gross wall ratio over the noise floor).
+        hard: bool,
+    },
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::Flat => "flat",
+            Verdict::Regressed { hard: false } => "regressed (soft)",
+            Verdict::Regressed { hard: true } => "REGRESSED",
+        }
+    }
+}
+
+/// One metric's baseline-vs-current comparison in a trend report.
+#[derive(Clone, Debug)]
+pub struct TrendLine {
+    /// Case name, or `storm` for the storm rung.
+    pub case: String,
+    /// Metric key, e.g. `warm.pivots`.
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    pub verdict: Verdict,
+}
+
+/// What `bench-check trend` concluded.
+#[derive(Clone, Debug, Default)]
+pub struct TrendReport {
+    /// Per-metric verdicts, in case then metric order.
+    pub lines: Vec<TrendLine>,
+    /// Informational notes (skips, history drift).
+    pub notes: Vec<String>,
+    /// Hard failures — non-empty fails the command. Every
+    /// `Verdict::Regressed { hard: true }` line has a failure here.
+    pub failures: Vec<String>,
+}
+
+impl TrendReport {
+    /// True when no hard regression or invariant violation was found.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    fn tally(&self, want: fn(Verdict) -> bool) -> usize {
+        self.lines.iter().filter(|l| want(l.verdict)).count()
+    }
+
+    /// Renders the trend table, failures last.
+    pub fn render(&self) -> String {
+        let mut out = String::from("bench-check trend — current vs baseline\n");
+        for l in &self.lines {
+            let ratio = if l.baseline > 0.0 { l.current / l.baseline } else { f64::NAN };
+            out.push_str(&format!(
+                "  {:<12} {:<16} {:>12.3} -> {:>12.3}  {:>6.2}x  {}\n",
+                l.case,
+                l.metric,
+                l.baseline,
+                l.current,
+                ratio,
+                l.verdict.label()
+            ));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out.push_str(&format!(
+            "  verdicts: {} improved, {} flat, {} regressed ({} hard)\n",
+            self.tally(|v| v == Verdict::Improved),
+            self.tally(|v| v == Verdict::Flat),
+            self.tally(|v| matches!(v, Verdict::Regressed { .. })),
+            self.tally(|v| v == Verdict::Regressed { hard: true }),
+        ));
+        if self.failures.is_empty() {
+            out.push_str("PASS\n");
+        } else {
+            for f in &self.failures {
+                out.push_str("FAIL: ");
+                out.push_str(f);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic-counter verdict: seeded and machine-independent, so the
+/// 25% tolerance is a hard wall.
+fn counter_verdict(b: f64, c: f64) -> Verdict {
+    let ratio = if b > 0.0 { c / b } else { 1.0 };
+    if ratio > COUNTER_TOLERANCE {
+        Verdict::Regressed { hard: true }
+    } else if ratio > 1.10 {
+        Verdict::Regressed { hard: false }
+    } else if ratio < 0.90 {
+        Verdict::Improved
+    } else {
+        Verdict::Flat
+    }
+}
+
+/// Wall-clock verdict: host-dependent, so only a gross blowup over the
+/// noise floor is hard.
+fn wall_verdict(b: f64, c: f64) -> Verdict {
+    let ratio = if b > 0.0 { c / b } else { 1.0 };
+    if ratio > WALL_GROSS_RATIO && b >= WALL_NOISE_FLOOR_MS {
+        Verdict::Regressed { hard: true }
+    } else if ratio > COUNTER_TOLERANCE {
+        Verdict::Regressed { hard: false }
+    } else if ratio < 0.80 {
+        Verdict::Improved
+    } else {
+        Verdict::Flat
+    }
+}
+
+/// Per-case metrics the trend tracks: deterministic counters plus the
+/// per-stage wall breakdown (`lp_ms` / `sep_ms` / `decode_ms` ride along
+/// so a regression points at the stage that moved, not just the total).
+const TREND_COUNTERS: [&str; 3] = ["lp_solves", "pivots", "cut_rounds"];
+const TREND_WALLS: [&str; 4] = ["wall_ms", "lp_ms", "sep_ms", "decode_ms"];
+
+/// Compares current against baseline (and optionally a rolling history of
+/// prior runs), assigning a typed [`Verdict`] per metric.
+pub fn trend(baseline: &Json, current: &Json, history: &[Json]) -> TrendReport {
+    let mut report = TrendReport::default();
+    let base_cases = cases(baseline);
+    let cur_cases = cases(current);
+    if cur_cases.is_empty() {
+        report.failures.push("current file has no cases".to_string());
+        return report;
+    }
+
+    fn push(report: &mut TrendReport, case: &str, metric: String, b: f64, c: f64, v: Verdict) {
+        if v == (Verdict::Regressed { hard: true }) {
+            report.failures.push(format!(
+                "{case}: {metric} regressed {b:.3} -> {c:.3} ({:.2}x)",
+                if b > 0.0 { c / b } else { f64::NAN }
+            ));
+        }
+        report.lines.push(TrendLine {
+            case: case.to_string(),
+            metric,
+            baseline: b,
+            current: c,
+            verdict: v,
+        });
+    }
+
+    for cur in &cur_cases {
+        let name = case_name(cur);
+        let Some(base) = base_cases.iter().find(|b| case_name(b) == name) else {
+            report.notes.push(format!("{name}: new case, no baseline (skipped)"));
+            continue;
+        };
+        for field in TREND_COUNTERS {
+            if let (Some(b), Some(c)) = (counter(base, "warm", field), counter(cur, "warm", field))
+            {
+                push(&mut report, name, format!("warm.{field}"), b, c, counter_verdict(b, c));
+            }
+        }
+        for field in TREND_WALLS {
+            if let (Some(b), Some(c)) = (counter(base, "warm", field), counter(cur, "warm", field))
+            {
+                push(&mut report, name, format!("warm.{field}"), b, c, wall_verdict(b, c));
+            }
+        }
+    }
+
+    // Storm rung: the invariants are hard regardless of the baseline; the
+    // latency/throughput trajectory gets verdicts when comparable.
+    if let Some(cur) = current.get("storm").filter(|s| s.is_obj()) {
+        for (field, what) in [
+            ("all_typed", "a request resolved without a typed outcome"),
+            ("no_leaked_workers", "the fleet leaked worker threads"),
+        ] {
+            if cur.get(field) != Some(&Json::Bool(true)) {
+                report.failures.push(format!("storm: {what}"));
+            }
+        }
+        let base_storm = baseline.get("storm").filter(|s| s.is_obj());
+        let comparable = base_storm.is_some_and(|b| {
+            b.get("requests").and_then(Json::as_f64) == cur.get("requests").and_then(Json::as_f64)
+        });
+        if let Some(base) = base_storm.filter(|_| comparable) {
+            if let (Some(b), Some(c)) = (
+                base.get("p99_ms").and_then(Json::as_f64),
+                cur.get("p99_ms").and_then(Json::as_f64),
+            ) {
+                push(&mut report, "storm", "p99_ms".to_string(), b, c, wall_verdict(b, c));
+            }
+            if let (Some(b), Some(c)) = (
+                base.get("throughput_rps").and_then(Json::as_f64),
+                cur.get("throughput_rps").and_then(Json::as_f64),
+            ) {
+                // Throughput regresses downward; invert for the verdict.
+                push(
+                    &mut report,
+                    "storm",
+                    "throughput_rps".to_string(),
+                    b,
+                    c,
+                    wall_verdict(c.max(1e-9), b),
+                );
+            }
+        } else {
+            report.notes.push("storm: baseline not comparable (trajectory skipped)".to_string());
+        }
+    }
+
+    // Rolling history: compare deterministic counters against the median
+    // of prior runs — a slow drift that stays inside the per-run
+    // tolerance still surfaces here (as a note, never a failure, since
+    // the baseline comparison above is the gate).
+    if history.len() >= 3 {
+        for cur in &cur_cases {
+            let name = case_name(cur);
+            for field in TREND_COUNTERS {
+                let Some(c) = counter(cur, "warm", field) else { continue };
+                let mut past: Vec<f64> = history
+                    .iter()
+                    .filter_map(|doc| {
+                        cases(doc)
+                            .iter()
+                            .find(|b| case_name(b) == name)
+                            .and_then(|b| counter(b, "warm", field))
+                    })
+                    .collect();
+                if past.len() < 3 {
+                    continue;
+                }
+                past.sort_by(|a, b| a.total_cmp(b));
+                let median = past[past.len() / 2];
+                if median > 0.0 && c > median * COUNTER_TOLERANCE {
+                    report.notes.push(format!(
+                        "{name}: warm.{field} {c:.0} drifted above history median {median:.0} \
+                         over {} run(s)",
+                        past.len()
+                    ));
+                }
+            }
+        }
+        report.notes.push(format!("history: compared against {} prior run(s)", history.len()));
+    }
+
+    report
+}
+
+/// Rolling-history cap: `run_trend` keeps this many most-recent runs.
+const HISTORY_CAP: usize = 20;
+
+/// `bench-check trend` entry point: compares current vs baseline (and the
+/// rolling history JSONL when given), then appends the current run to the
+/// history. Returns the rendered report plus the pass verdict.
+pub fn run_trend(
+    baseline_path: &str,
+    current_path: &str,
+    history_path: Option<&str>,
+) -> Result<(String, bool), String> {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let baseline =
+        parse(&read(baseline_path)?).map_err(|e| format!("{baseline_path}: invalid JSON: {e}"))?;
+    let current_text = read(current_path)?;
+    let current = parse(&current_text).map_err(|e| format!("{current_path}: invalid JSON: {e}"))?;
+
+    let mut history_lines: Vec<String> = Vec::new();
+    if let Some(path) = history_path {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            history_lines =
+                text.lines().filter(|l| !l.trim().is_empty()).map(String::from).collect();
+        }
+    }
+    let history: Vec<Json> = history_lines.iter().filter_map(|l| parse(l).ok()).collect();
+
+    let report = trend(&baseline, &current, &history);
+
+    if let Some(path) = history_path {
+        // One JSONL line per run, newest last, capped. The bench file is
+        // multi-line JSON; collapsing newlines keeps it one parseable line
+        // (none of its strings contain newlines).
+        history_lines.push(current_text.replace('\n', " "));
+        let start = history_lines.len().saturating_sub(HISTORY_CAP);
+        let mut out = history_lines[start..].join("\n");
+        out.push('\n');
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    Ok((report.render(), report.passed()))
+}
+
 /// Reads both files, runs the comparison, and returns the rendered report
 /// plus the pass verdict.
 pub fn run(baseline_path: &str, current_path: &str) -> Result<(String, bool), String> {
@@ -451,6 +753,112 @@ mod tests {
         let report = check(&b, &c);
         assert!(report.passed(), "{:?}", report.failures);
         assert!(report.lines.iter().any(|l| l.contains("no baseline storm")));
+    }
+
+    /// A case with the per-stage wall breakdown the trend tracks.
+    fn staged_case(name: &str, warm: (u64, u64, u64, f64), lp: f64, sep: f64, dec: f64) -> String {
+        let (solves, pivots, rounds, wall) = warm;
+        format!(
+            "{{\"name\": \"{name}\", \"n\": 80, \"m\": 100, \
+             \"warm\": {{\"wall_ms\": {wall}, \"lp_solves\": {solves}, \"pivots\": {pivots}, \
+             \"cut_rounds\": {rounds}, \"lp_ms\": {lp}, \"sep_ms\": {sep}, \
+             \"decode_ms\": {dec}}}, \"same_tree\": true}}"
+        )
+    }
+
+    #[test]
+    fn trend_of_identical_runs_is_flat_and_passes() {
+        let b = doc(&staged_case("rand-80", (5, 100, 6, 100.0), 60.0, 30.0, 5.0));
+        let report = trend(&b, &b, &[]);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(!report.lines.is_empty());
+        assert!(report.lines.iter().all(|l| l.verdict == Verdict::Flat), "{report:?}");
+        assert!(report.render().contains("PASS"), "{}", report.render());
+    }
+
+    #[test]
+    fn trend_hard_fails_on_an_injected_synthetic_regression() {
+        let b = doc(&staged_case("rand-80", (5, 100, 6, 100.0), 60.0, 30.0, 5.0));
+        // Inject a 10x pivot blowup with a matching lp_ms stage blowup,
+        // while decode improves — the verdicts must come back typed.
+        let c = doc(&staged_case("rand-80", (5, 1000, 6, 500.0), 450.0, 30.0, 2.0));
+        let report = trend(&b, &c, &[]);
+        assert!(!report.passed());
+        let verdict = |metric: &str| {
+            report.lines.iter().find(|l| l.metric == metric).map(|l| l.verdict).unwrap()
+        };
+        assert_eq!(verdict("warm.pivots"), Verdict::Regressed { hard: true });
+        assert_eq!(verdict("warm.lp_ms"), Verdict::Regressed { hard: true });
+        assert_eq!(verdict("warm.decode_ms"), Verdict::Improved);
+        assert_eq!(verdict("warm.sep_ms"), Verdict::Flat);
+        assert!(report.failures.iter().any(|f| f.contains("warm.pivots")), "{report:?}");
+        let text = report.render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("FAIL:"), "{text}");
+    }
+
+    #[test]
+    fn trend_wall_noise_is_soft_below_the_gross_ratio() {
+        let b = doc(&staged_case("rand-80", (5, 100, 6, 100.0), 60.0, 30.0, 5.0));
+        let noisy = doc(&staged_case("rand-80", (5, 100, 6, 250.0), 60.0, 30.0, 5.0));
+        let report = trend(&b, &noisy, &[]);
+        assert!(report.passed(), "2.5x wall is runner noise: {:?}", report.failures);
+        let wall = report.lines.iter().find(|l| l.metric == "warm.wall_ms").unwrap();
+        assert_eq!(wall.verdict, Verdict::Regressed { hard: false });
+    }
+
+    #[test]
+    fn trend_gates_storm_invariants_and_trajectory() {
+        let c = case("rand-20", 20, (5, 100, 6, 10.0), "");
+        let b = doc_with_storm(&c, &storm(1000, 100.0, 50.0, true, true));
+        let hung = doc_with_storm(&c, &storm(1000, 100.0, 50.0, false, true));
+        assert!(!trend(&b, &hung, &[]).passed());
+        let gross = doc_with_storm(&c, &storm(1000, 1000.0, 50.0, true, true));
+        let report = trend(&b, &gross, &[]);
+        assert!(!report.passed());
+        let p99 = report.lines.iter().find(|l| l.metric == "p99_ms").unwrap();
+        assert_eq!(p99.verdict, Verdict::Regressed { hard: true });
+    }
+
+    #[test]
+    fn trend_notes_drift_against_the_history_median() {
+        let mk = |pivots: u64| doc(&staged_case("rand-80", (5, pivots, 6, 100.0), 60.0, 30.0, 5.0));
+        // Baseline already crept up, so current-vs-baseline stays flat —
+        // only the history median exposes the slow drift.
+        let history = vec![mk(100), mk(102), mk(104)];
+        let report = trend(&mk(130), &mk(132), &history);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert!(
+            report.notes.iter().any(|n| n.contains("drifted above history median")),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn run_trend_appends_the_rolling_history() {
+        let dir = std::env::temp_dir().join(format!("wsn-trend-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = |name: &str| dir.join(name).to_string_lossy().into_owned();
+        let doc_text = format!(
+            "{{\"suite\": \"bench-perf\", \"schema_version\": 4, \"smoke\": false,\n \
+             \"cases\": [{}]}}",
+            staged_case("rand-80", (5, 100, 6, 100.0), 60.0, 30.0, 5.0)
+        );
+        std::fs::write(path("base.json"), &doc_text).unwrap();
+        std::fs::write(path("cur.json"), &doc_text).unwrap();
+        let hist = path("history.jsonl");
+        for _ in 0..2 {
+            let (text, passed) =
+                run_trend(&path("base.json"), &path("cur.json"), Some(&hist)).unwrap();
+            assert!(passed, "{text}");
+        }
+        let lines: Vec<String> =
+            std::fs::read_to_string(&hist).unwrap().lines().map(String::from).collect();
+        assert_eq!(lines.len(), 2, "one history line per run");
+        for l in &lines {
+            parse(l).expect("each history line is one parseable JSON doc");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -420,7 +420,7 @@ mod tests {
         let table = render(&results);
         assert!(table.contains("1-cut"));
         assert!(table.contains("pool hits"));
-        assert!(table.contains("p99 latency"));
+        assert!(table.contains("p99 fresh-solve latency"));
     }
 
     #[test]

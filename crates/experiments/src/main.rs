@@ -8,8 +8,12 @@
 //! mrlc-experiments serve-storm [--fast] [--json]   # solve-service fleet throughput/p99
 //! mrlc-experiments serve-chaos            # seeded worker-kill storm (CI smoke)
 //! mrlc-experiments bench-check <baseline.json> <current.json>  # CI perf gate
+//! mrlc-experiments bench-check trend <baseline.json> <current.json> [--history=H.jsonl]
 //! mrlc-experiments fig8 --trace t.jsonl --metrics m.json   # instrumented run
 //! mrlc-experiments obs-report t.jsonl [w2.jsonl ...] [--metrics=m.json] [--top=N]  # summarize (merges >1)
+//! mrlc-experiments obs-report hotspots t.jsonl [w2.jsonl ...] [--top=N] [--folded]
+//! mrlc-experiments obs-report postmortem dump.jsonl   # render a black-box dump
+//! mrlc-experiments serve-chaos [--dump-dir=DIR]       # write incident black boxes
 //! ```
 //!
 //! `--trace PATH` installs a virtual-clock collector for the run and writes
@@ -24,9 +28,12 @@ struct Cli {
     fast: bool,
     smoke: bool,
     json: bool,
+    folded: bool,
     out_path: String,
     trace_path: Option<String>,
     metrics_path: Option<String>,
+    history_path: Option<String>,
+    dump_dir: Option<String>,
     top_k: usize,
     positional: Vec<String>,
 }
@@ -36,9 +43,12 @@ fn parse_cli(raw: &[String]) -> Result<Cli, String> {
         fast: false,
         smoke: false,
         json: false,
+        folded: false,
         out_path: "BENCH_ira.json".to_string(),
         trace_path: None,
         metrics_path: None,
+        history_path: None,
+        dump_dir: None,
         top_k: 20,
         positional: Vec::new(),
     };
@@ -59,6 +69,12 @@ fn parse_cli(raw: &[String]) -> Result<Cli, String> {
             cli.smoke = true;
         } else if arg == "--json" {
             cli.json = true;
+        } else if arg == "--folded" {
+            cli.folded = true;
+        } else if arg == "--history" || arg.starts_with("--history=") {
+            cli.history_path = Some(value_of("--history", &mut i)?);
+        } else if arg == "--dump-dir" || arg.starts_with("--dump-dir=") {
+            cli.dump_dir = Some(value_of("--dump-dir", &mut i)?);
         } else if arg == "--out" || arg.starts_with("--out=") {
             cli.out_path = value_of("--out", &mut i)?;
         } else if arg == "--trace" || arg.starts_with("--trace=") {
@@ -94,11 +110,25 @@ fn main() {
     let which = cli.positional.first().cloned().unwrap_or_else(|| "all".to_string());
 
     if which == "bench-check" {
-        let (Some(baseline), Some(current)) = (cli.positional.get(1), cli.positional.get(2)) else {
-            eprintln!("usage: mrlc-experiments bench-check <baseline.json> <current.json>");
+        // `bench-check trend` is the perf-regression sentinel; without the
+        // subcommand this is the classic two-file gate.
+        let trend = cli.positional.get(1).map(String::as_str) == Some("trend");
+        let first = if trend { 2 } else { 1 };
+        let (Some(baseline), Some(current)) =
+            (cli.positional.get(first), cli.positional.get(first + 1))
+        else {
+            eprintln!(
+                "usage: mrlc-experiments bench-check [trend] <baseline.json> <current.json> \
+                 [--history=H.jsonl]"
+            );
             std::process::exit(2);
         };
-        match bench_check::run(baseline, current) {
+        let result = if trend {
+            bench_check::run_trend(baseline, current, cli.history_path.as_deref())
+        } else {
+            bench_check::run(baseline, current)
+        };
+        match result {
             Ok((text, passed)) => {
                 print!("{text}");
                 if !passed {
@@ -114,6 +144,41 @@ fn main() {
     }
 
     if which == "obs-report" {
+        match cli.positional.get(1).map(String::as_str) {
+            Some("postmortem") => {
+                let Some(dump) = cli.positional.get(2) else {
+                    eprintln!("usage: mrlc-experiments obs-report postmortem <dump.jsonl>");
+                    std::process::exit(2);
+                };
+                match obs_report::run_postmortem(dump) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            Some("hotspots") => {
+                let traces = &cli.positional[2..];
+                if traces.is_empty() {
+                    eprintln!(
+                        "usage: mrlc-experiments obs-report hotspots <trace.jsonl>... \
+                         [--top=N] [--folded]"
+                    );
+                    std::process::exit(2);
+                }
+                match obs_report::run_hotspots(traces, cli.top_k, cli.folded) {
+                    Ok(text) => print!("{text}"),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+                return;
+            }
+            _ => {}
+        }
         let traces = &cli.positional[1..];
         if traces.is_empty() && cli.metrics_path.is_none() {
             eprintln!(
@@ -287,8 +352,29 @@ fn main() {
             // leaked worker fails the process.
             let stats = serve_storm::run(&serve_storm::Config::chaos());
             print!("{}", serve_storm::render(&stats));
+            if let Some(dir) = &cli.dump_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                    std::process::exit(1);
+                }
+                for (i, b) in stats.black_boxes.iter().enumerate() {
+                    let path = format!("{dir}/blackbox-{i:02}-{}.jsonl", b.reason);
+                    if let Err(e) = std::fs::write(&path, &b.jsonl) {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote {path}");
+                }
+            }
             if !stats.all_typed || !stats.no_leaked_workers {
                 eprintln!("serve-chaos: invariant violated (typed outcomes / leaked workers)");
+                std::process::exit(1);
+            }
+            // A seeded kill schedule that left no black box means the
+            // flight recorder is broken — fail the smoke, not just the
+            // unit suite.
+            if !stats.black_boxes.iter().any(|b| b.reason == "worker-crash") {
+                eprintln!("serve-chaos: no worker-crash black box was cut");
                 std::process::exit(1);
             }
         }
@@ -312,7 +398,7 @@ fn main() {
         other => {
             eprintln!("unknown figure `{other}`");
             eprintln!(
-                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|resilience|serve-storm|serve-chaos|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH]"
+                "usage: mrlc-experiments [all|fig1..fig13|ablation|pareto|optgap|latency|drift|spatial|solvers|stability|scalability|faults|resilience|serve-storm|serve-chaos|bench-perf|bench-check|obs-report] [--fast|--smoke] [--out=PATH] [--trace=PATH] [--metrics=PATH] [--history=PATH] [--dump-dir=DIR] [--folded]"
             );
             std::process::exit(2);
         }

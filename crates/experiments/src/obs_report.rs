@@ -71,6 +71,35 @@ pub fn run_metrics(path: &str) -> Result<String, String> {
     wsn_obs::render_metrics(&text)
 }
 
+/// `obs-report postmortem <dump.jsonl>` — renders a black-box dump cut
+/// from a flight-recorder ring (a worker crash, quarantine, budget
+/// expiry, or shed storm) as an incident timeline.
+pub fn run_postmortem(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read dump {path}: {e}"))?;
+    wsn_obs::render_postmortem(&text)
+}
+
+/// `obs-report hotspots <trace.jsonl>...` — profiles one trace (or the
+/// deterministic merge of several per-worker traces) by span path and
+/// renders the top-`top_k` hotspot table; `folded` instead emits
+/// flamegraph-compatible folded stacks (`a;b;c self_time` per line).
+pub fn run_hotspots(paths: &[String], top_k: usize, folded: bool) -> Result<String, String> {
+    let mut traces = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+        traces.push((path.clone(), text));
+    }
+    let text = match &traces[..] {
+        [] => return Err("hotspots: no trace files given".to_string()),
+        [(_, only)] => only.clone(),
+        many => wsn_obs::merge_traces(many)?,
+    };
+    let profile = wsn_obs::profile_trace(&text)?;
+    Ok(if folded { profile.folded() } else { profile.render(top_k) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -170,6 +199,51 @@ mod tests {
         let text = run_merged(&paths, 10).unwrap();
         assert!(text.contains("merged 2 trace(s)"), "{text}");
         assert!(text.contains("solve-left") && text.contains("solve-right"), "{text}");
+    }
+
+    #[test]
+    fn renders_a_postmortem_dump() {
+        let obs = wsn_obs::Obs::with_flight(wsn_obs::Clock::virtual_ticks(), 16);
+        {
+            let _g = wsn_obs::install(obs.clone());
+            let _s = wsn_obs::span("svc.job");
+            wsn_obs::warn("svc.quarantine", vec![wsn_obs::field("failures", 3u64)]);
+        }
+        let dump = obs.blackbox_jsonl("worker-crash", Some(2)).unwrap();
+        let path = write_temp("obs_report_postmortem.jsonl", &dump);
+        let text = run_postmortem(path.to_str().unwrap()).unwrap();
+        assert!(text.contains("worker-crash"), "{text}");
+        assert!(text.contains("svc.job"), "{text}");
+        assert!(text.contains("svc.quarantine"), "{text}");
+    }
+
+    #[test]
+    fn postmortem_rejects_a_plain_trace() {
+        let path = write_temp("obs_report_postmortem_bad.jsonl", &one_span_trace("a"));
+        assert!(run_postmortem(path.to_str().unwrap()).is_err());
+    }
+
+    #[test]
+    fn hotspots_profiles_one_trace_and_a_merged_fleet() {
+        let nested = {
+            let obs = wsn_obs::Obs::with_trace(wsn_obs::Clock::virtual_ticks());
+            {
+                let _g = wsn_obs::install(obs.clone());
+                let _outer = wsn_obs::span("lp-solve");
+                let _inner = wsn_obs::span("lp-primal");
+            }
+            obs.trace_jsonl()
+        };
+        let p0 = write_temp("obs_report_hot_w0.jsonl", &nested);
+        let p1 = write_temp("obs_report_hot_w1.jsonl", &one_span_trace("separation"));
+        let one = [p0.to_str().unwrap().to_string()];
+        let table = run_hotspots(&one, 10, false).unwrap();
+        assert!(table.contains("lp-solve;lp-primal"), "{table}");
+        let folded = run_hotspots(&one, 10, true).unwrap();
+        assert!(folded.lines().any(|l| l.starts_with("lp-solve;lp-primal ")), "{folded}");
+        let both = [one[0].clone(), p1.to_str().unwrap().to_string()];
+        let merged = run_hotspots(&both, 10, false).unwrap();
+        assert!(merged.contains("separation"), "{merged}");
     }
 
     #[test]

@@ -21,7 +21,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
 use wsn_model::{lifetime, EnergyModel};
-use wsn_service::{ChaosConfig, ServiceConfig, SolveRequest, SolveService};
+use wsn_service::{BlackBox, ChaosConfig, ServiceConfig, SolveRequest, SolveService};
 use wsn_testbed::{random_graph, RandomGraphConfig};
 
 /// Storm parameters.
@@ -95,6 +95,9 @@ pub struct StormStats {
     pub quarantined: usize,
     pub parked: usize,
     pub infeasible: usize,
+    /// Solved requests resolved at admission from the duplicate cache
+    /// (`attempts == 0`); the remainder of `solved` ran on a worker.
+    pub cached: usize,
     /// Fleet counters after the drain.
     pub cache_hits: u64,
     pub worker_restarts: u64,
@@ -102,14 +105,21 @@ pub struct StormStats {
     pub wall_ms: f64,
     /// Completed requests per second of storm wall time.
     pub throughput_rps: f64,
-    /// Latency distribution over the *solved* requests only.
+    /// Latency distribution over the *fresh-solved* requests only — cache
+    /// hits resolve in ~0 ms and would otherwise flatten p50 to zero.
     pub p50_ms: f64,
     pub p99_ms: f64,
     pub max_ms: f64,
+    /// Median latency of the cache-hit completions (≈0; kept separate so
+    /// the fresh-solve quantiles above stay meaningful).
+    pub cached_p50_ms: f64,
     /// Every submission resolved to a typed outcome (nothing hung).
     pub all_typed: bool,
     /// The drained fleet joined every worker it ever spawned.
     pub no_leaked_workers: bool,
+    /// Black-box dumps the fleet cut at incidents (worker crashes under
+    /// the chaos kill schedule, shed storms, ...).
+    pub black_boxes: Vec<BlackBox>,
 }
 
 /// Builds the `distinct` seeded instances the mix cycles over.
@@ -178,13 +188,22 @@ pub fn run(cfg: &Config) -> StormStats {
     let report = service.drain();
     let reg = obs.registry();
     let all_typed = completions.iter().all(Option::is_some);
-    let mut solved_latencies: Vec<f64> = Vec::new();
+    // A cache hit resolves at admission with `attempts == 0`; a fresh
+    // solve ran on a worker (attempts >= 1). Quantiles over the combined
+    // population flatten p50 to ~0 the moment hits dominate, so the two
+    // latency populations are kept apart.
+    let mut fresh_latencies: Vec<f64> = Vec::new();
+    let mut cached_latencies: Vec<f64> = Vec::new();
     let (mut solved, mut shed, mut quarantined, mut parked, mut infeasible) = (0, 0, 0, 0, 0);
     for c in completions.iter().flatten() {
         match &c.outcome {
             wsn_service::ServiceOutcome::Solved(_) => {
                 solved += 1;
-                solved_latencies.push(c.latency_ms);
+                if c.attempts == 0 {
+                    cached_latencies.push(c.latency_ms);
+                } else {
+                    fresh_latencies.push(c.latency_ms);
+                }
             }
             wsn_service::ServiceOutcome::Shed(_) => shed += 1,
             wsn_service::ServiceOutcome::Quarantined { .. } => quarantined += 1,
@@ -192,13 +211,13 @@ pub fn run(cfg: &Config) -> StormStats {
             wsn_service::ServiceOutcome::Infeasible { .. } => infeasible += 1,
         }
     }
-    solved_latencies.sort_by(|a, b| a.total_cmp(b));
-    let quantile = |q: f64| -> f64 {
-        if solved_latencies.is_empty() {
+    fresh_latencies.sort_by(|a, b| a.total_cmp(b));
+    cached_latencies.sort_by(|a, b| a.total_cmp(b));
+    let quantile = |lat: &[f64], q: f64| -> f64 {
+        if lat.is_empty() {
             return 0.0;
         }
-        let idx = ((solved_latencies.len() - 1) as f64 * q).round() as usize;
-        solved_latencies[idx]
+        lat[((lat.len() - 1) as f64 * q).round() as usize]
     };
 
     StormStats {
@@ -208,15 +227,18 @@ pub fn run(cfg: &Config) -> StormStats {
         quarantined,
         parked,
         infeasible,
+        cached: cached_latencies.len(),
         cache_hits: reg.counter("svc.cache_hits").get(),
         worker_restarts: reg.counter("svc.worker_restarts").get(),
         wall_ms,
         throughput_rps: cfg.requests as f64 / (wall_ms / 1e3).max(1e-9),
-        p50_ms: quantile(0.50),
-        p99_ms: quantile(0.99),
-        max_ms: solved_latencies.last().copied().unwrap_or(0.0),
+        p50_ms: quantile(&fresh_latencies, 0.50),
+        p99_ms: quantile(&fresh_latencies, 0.99),
+        max_ms: fresh_latencies.last().copied().unwrap_or(0.0),
+        cached_p50_ms: quantile(&cached_latencies, 0.50),
         all_typed,
         no_leaked_workers: report.no_leaked_workers(),
+        black_boxes: report.black_boxes,
     }
 }
 
@@ -224,15 +246,17 @@ pub fn run(cfg: &Config) -> StormStats {
 pub fn to_json(s: &StormStats) -> String {
     format!(
         "{{\"requests\": {}, \"solved\": {}, \"shed\": {}, \"quarantined\": {}, \
-         \"parked\": {}, \"infeasible\": {}, \"cache_hits\": {}, \"worker_restarts\": {}, \
-         \"wall_ms\": {:.3}, \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-         \"max_ms\": {:.3}, \"all_typed\": {}, \"no_leaked_workers\": {}}}",
+         \"parked\": {}, \"infeasible\": {}, \"cached\": {}, \"cache_hits\": {}, \
+         \"worker_restarts\": {}, \"wall_ms\": {:.3}, \"throughput_rps\": {:.2}, \
+         \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"max_ms\": {:.3}, \"cached_p50_ms\": {:.3}, \
+         \"black_boxes\": {}, \"all_typed\": {}, \"no_leaked_workers\": {}}}",
         s.requests,
         s.solved,
         s.shed,
         s.quarantined,
         s.parked,
         s.infeasible,
+        s.cached,
         s.cache_hits,
         s.worker_restarts,
         s.wall_ms,
@@ -240,6 +264,8 @@ pub fn to_json(s: &StormStats) -> String {
         s.p50_ms,
         s.p99_ms,
         s.max_ms,
+        s.cached_p50_ms,
+        s.black_boxes.len(),
         s.all_typed,
         s.no_leaked_workers
     )
@@ -254,13 +280,16 @@ pub fn render(s: &StormStats) -> String {
     t.push(["quarantined".into(), s.quarantined.to_string()]);
     t.push(["parked".into(), s.parked.to_string()]);
     t.push(["infeasible".into(), s.infeasible.to_string()]);
+    t.push(["cached (admission)".into(), s.cached.to_string()]);
     t.push(["cache hits".into(), s.cache_hits.to_string()]);
     t.push(["worker restarts".into(), s.worker_restarts.to_string()]);
+    t.push(["black boxes".into(), s.black_boxes.len().to_string()]);
     t.push(["wall (ms)".into(), f(s.wall_ms, 1)]);
     t.push(["throughput (req/s)".into(), f(s.throughput_rps, 1)]);
-    t.push(["p50 latency (ms)".into(), f(s.p50_ms, 1)]);
-    t.push(["p99 latency (ms)".into(), f(s.p99_ms, 1)]);
-    t.push(["max latency (ms)".into(), f(s.max_ms, 1)]);
+    t.push(["p50 fresh-solve latency (ms)".into(), f(s.p50_ms, 1)]);
+    t.push(["p99 fresh-solve latency (ms)".into(), f(s.p99_ms, 1)]);
+    t.push(["max fresh-solve latency (ms)".into(), f(s.max_ms, 1)]);
+    t.push(["p50 cached latency (ms)".into(), f(s.cached_p50_ms, 1)]);
     let yesno = |b: bool| if b { "yes".to_string() } else { "NO".to_string() };
     t.push(["all typed".into(), yesno(s.all_typed)]);
     t.push(["no leaked workers".into(), yesno(s.no_leaked_workers)]);
@@ -283,14 +312,19 @@ mod tests {
             "outcome kinds partition the storm"
         );
         assert!(stats.solved > 0, "an un-chaosed storm solves most requests");
+        assert!(stats.cached <= stats.solved, "cache hits are a subset of solved");
         assert!(stats.p99_ms >= stats.p50_ms);
         assert!(stats.max_ms >= stats.p99_ms);
+        assert!(stats.p50_ms > 0.0, "fresh-solve p50 excludes the ~0 ms cache hits");
         assert!(stats.throughput_rps > 0.0);
         let json = to_json(&stats);
         assert!(json.contains("\"throughput_rps\""), "{json}");
+        assert!(json.contains("\"cached_p50_ms\""), "{json}");
+        assert!(json.contains("\"black_boxes\""), "{json}");
         assert!(json.contains("\"all_typed\": true"), "{json}");
         let table = render(&stats);
-        assert!(table.contains("p99 latency"), "{table}");
+        assert!(table.contains("p99 fresh-solve latency"), "{table}");
+        assert!(table.contains("p50 cached latency"), "{table}");
     }
 
     #[test]
@@ -304,5 +338,12 @@ mod tests {
             stats.solved + stats.shed + stats.quarantined + stats.parked + stats.infeasible,
             stats.requests
         );
+        assert!(
+            stats.black_boxes.iter().any(|b| b.reason == "worker-crash"),
+            "a seeded kill schedule must leave at least one black box"
+        );
+        for b in &stats.black_boxes {
+            assert!(b.jsonl.starts_with("{\"type\":\"blackbox_header\""), "{}", b.jsonl);
+        }
     }
 }

@@ -480,7 +480,14 @@ impl IncrementalLp {
                     self.record_cold_fallback("nonfinite");
                     return self.verified_cold_solve();
                 }
-                if sol.status != LpStatus::Optimal || self.mirror.is_feasible(&sol.x, 1e-6) {
+                if sol.status != LpStatus::Optimal {
+                    return Ok(sol);
+                }
+                let verified = {
+                    let _s = wsn_obs::span("lp-verify");
+                    self.mirror.is_feasible(&sol.x, 1e-6)
+                };
+                if verified {
                     return Ok(sol);
                 }
                 // Numerical drift: rebuild cold (rare; keeps warm == cold).
@@ -503,6 +510,7 @@ impl IncrementalLp {
     fn verified_cold_solve(&mut self) -> Result<LpSolution, LpError> {
         let sol = self.cold_solve()?;
         if sol.status == LpStatus::Optimal {
+            let _s = wsn_obs::span("lp-verify");
             if !self.solution_is_finite(&sol) {
                 self.record_sentinel("nonfinite_cold");
                 return Err(LpError::Numerical);
@@ -562,12 +570,21 @@ impl IncrementalLp {
 
     /// Mirrors this solve's effort into the ambient metrics registry, if
     /// one is installed (no-op otherwise — detached solvers stay free).
+    /// Beyond the effort counters this publishes the hotspot-profiler
+    /// occupancy view: a pivots-per-solve histogram plus tableau row/col
+    /// and row-density gauges, the evidence base for the ROADMAP's
+    /// sparse-revised-simplex rewrite.
     fn publish_solve_metrics(&self, pivots: usize, was_warm: bool) {
+        const PIVOT_BUCKETS: &[u64] = &[0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
         if let Some(obs) = wsn_obs::current() {
             let reg = obs.registry();
             reg.counter("lp.solves").inc();
             reg.counter("lp.pivots").add(pivots as u64);
             reg.counter("lp.warm_solves").add(u64::from(was_warm));
+            reg.histogram("lp.pivots_per_solve", PIVOT_BUCKETS).observe(pivots as u64);
+            reg.gauge("lp.tableau_rows").set(self.rows.len() as i64);
+            reg.gauge("lp.tableau_cols").set(self.ncols as i64);
+            reg.gauge("lp.tableau_row_nnz_x100").set((self.avg_row_nnz() * 100.0) as i64);
         }
     }
 
@@ -611,6 +628,7 @@ impl IncrementalLp {
 
     fn cold_solve(&mut self) -> Result<LpSolution, LpError> {
         let nvars = self.mirror.num_vars();
+        let build_span = wsn_obs::span("lp-cold-build");
         self.solved_once = true;
         self.ncols = 0;
         self.kind.clear();
@@ -682,11 +700,13 @@ impl IncrementalLp {
             self.in_basis[basic] = true;
         }
 
+        drop(build_span);
         let max_iter = self.max_iter();
         let start_pivots = self.pivots_total;
 
         // ---- Phase 1 (only when artificials exist). ----
         if !artificials.is_empty() {
+            let _s = wsn_obs::span("lp-phase1");
             // Reduced costs for min Σ artificials from the current basis.
             self.drow.iter_mut().for_each(|d| *d = 0.0);
             for &a in &artificials {
@@ -722,10 +742,13 @@ impl IncrementalLp {
         }
 
         // ---- Phase 2. ----
-        self.refresh_drow();
-        self.bland = false;
-        self.degenerate_run = 0;
-        let done = self.primal_optimize(max_iter + self.pivots_total)?;
+        let done = {
+            let _s = wsn_obs::span("lp-primal");
+            self.refresh_drow();
+            self.bland = false;
+            self.degenerate_run = 0;
+            self.primal_optimize(max_iter + self.pivots_total)?
+        };
         if !done {
             return Ok(LpSolution {
                 status: LpStatus::Unbounded,
@@ -734,6 +757,7 @@ impl IncrementalLp {
                 iterations: self.pivots_total - start_pivots,
             });
         }
+        let _s = wsn_obs::span("lp-extract");
         Ok(self.extract(self.pivots_total - start_pivots))
     }
 
@@ -795,12 +819,16 @@ impl IncrementalLp {
     fn warm_solve(&mut self) -> Result<LpSolution, LpError> {
         let start_pivots = self.pivots_total;
         let cap = self.max_iter() + start_pivots;
-        self.refresh_drow(); // numerical hygiene across long solve chains
-        self.bland = false;
-        self.degenerate_run = 0;
-        let repair_start = self.pivots_total;
-        let repaired = self.dual_repair(cap);
-        self.dual_repair_pivots += self.pivots_total - repair_start;
+        let repaired = {
+            let _s = wsn_obs::span("lp-dual-repair");
+            self.refresh_drow(); // numerical hygiene across long solve chains
+            self.bland = false;
+            self.degenerate_run = 0;
+            let repair_start = self.pivots_total;
+            let repaired = self.dual_repair(cap);
+            self.dual_repair_pivots += self.pivots_total - repair_start;
+            repaired
+        };
         if !repaired? {
             return Ok(LpSolution {
                 status: LpStatus::Infeasible,
@@ -809,9 +837,12 @@ impl IncrementalLp {
                 iterations: self.pivots_total - start_pivots,
             });
         }
-        self.bland = false;
-        self.degenerate_run = 0;
-        let done = self.primal_optimize(cap)?;
+        let done = {
+            let _s = wsn_obs::span("lp-primal");
+            self.bland = false;
+            self.degenerate_run = 0;
+            self.primal_optimize(cap)?
+        };
         if !done {
             return Ok(LpSolution {
                 status: LpStatus::Unbounded,
@@ -820,6 +851,7 @@ impl IncrementalLp {
                 iterations: self.pivots_total - start_pivots,
             });
         }
+        let _s = wsn_obs::span("lp-extract");
         Ok(self.extract(self.pivots_total - start_pivots))
     }
 

@@ -14,21 +14,31 @@
 //!   JSONL traces, a strict validator, and the `obs-report` summary
 //!   renderer (per-span self/total time, top-k hot spans).
 //!
+//! Two deep-observability planes ride on the span stream: a
+//! fixed-capacity **flight recorder** ([`ring`]) that keeps the newest
+//! records at bounded cost for black-box postmortem dumps, and a
+//! **hotspot profiler** ([`profile`]) that aggregates self-time by span
+//! path into top-K tables and flamegraph-compatible folded stacks.
+//!
 //! The crate is std-only so it works in the offline build environment,
 //! mirroring `wsn-util`.
 
 pub mod clock;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
+pub mod ring;
 pub mod trace;
 
 pub use clock::{Clock, ManualClock, TimeSource};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use profile::{profile_trace, HotPath, Profile};
 pub use report::{
-    merge_traces, render_metrics, render_summary, validate_trace, validate_trace_lenient, EventAgg,
-    LenientSummary, SpanAgg, TraceSummary,
+    merge_traces, render_metrics, render_postmortem, render_summary, validate_trace,
+    validate_trace_lenient, EventAgg, LenientSummary, SpanAgg, TraceSummary,
 };
+pub use ring::{FlightRecorder, RingRecord};
 pub use trace::{
     counter, current, current_or_detached, event, field, install, span, span_with, warn,
     FieldValue, InstallGuard, Level, Obs, SpanGuard, TraceRecord, TRACE_SCHEMA_VERSION,

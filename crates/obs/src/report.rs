@@ -424,7 +424,8 @@ pub fn render_summary(summary: &TraceSummary, top_k: usize) -> String {
 
 /// Renders a metrics-registry JSON export ([`crate::Registry::to_json`])
 /// as fixed-width tables: every counter (the `ira.*` solver effort and
-/// `sep.*` cut-pool engine counters included), then every gauge.
+/// `sep.*` cut-pool engine counters included), every gauge, and every
+/// histogram with bucket-estimated p50/p90/p99 quantiles.
 /// Deterministic — the registry serializes in name order.
 pub fn render_metrics(text: &str) -> Result<String, String> {
     let doc = parse(text).map_err(|e| format!("invalid metrics JSON: {e}"))?;
@@ -444,6 +445,7 @@ pub fn render_metrics(text: &str) -> Result<String, String> {
     };
     let counters = section("counters")?;
     let gauges = section("gauges")?;
+    let histograms = histogram_section(&doc)?;
     let mut out = String::new();
     out.push_str(&format!("{:<28} {:>16}\n", "counter", "value"));
     for (name, value) in &counters {
@@ -455,10 +457,173 @@ pub fn render_metrics(text: &str) -> Result<String, String> {
             out.push_str(&format!("{:<28} {:>16}\n", name, value));
         }
     }
+    if !histograms.is_empty() {
+        out.push_str(&format!(
+            "\n{:<28} {:>8} {:>12} {:>9} {:>9} {:>9}\n",
+            "histogram", "count", "sum", "p50", "p90", "p99"
+        ));
+        for (name, bounds, counts, sum) in &histograms {
+            let count: u64 = counts.iter().sum();
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>12} {:>9} {:>9} {:>9}\n",
+                name,
+                count,
+                sum,
+                histogram_quantile(bounds, counts, 0.50),
+                histogram_quantile(bounds, counts, 0.90),
+                histogram_quantile(bounds, counts, 0.99),
+            ));
+        }
+    }
     if let Some(digest) = fleet_digest(&counters) {
         out.push('\n');
         out.push_str(&digest);
     }
+    Ok(out)
+}
+
+/// Parses the `"histograms"` export section into
+/// `(name, bounds, per-bucket counts, sum)` rows.
+#[allow(clippy::type_complexity)]
+fn histogram_section(doc: &Json) -> Result<Vec<(String, Vec<u64>, Vec<u64>, u64)>, String> {
+    let entries = match doc.get("histograms") {
+        None => return Ok(Vec::new()),
+        Some(Json::Obj(entries)) => entries,
+        Some(_) => return Err("metrics field \"histograms\" is not an object".to_string()),
+    };
+    let u64_list = |name: &str, v: Option<&Json>, key: &str| -> Result<Vec<u64>, String> {
+        match v {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|x| x.as_u64().ok_or_else(|| format!("histogram {name:?}: bad {key} entry")))
+                .collect(),
+            _ => Err(format!("histogram {name:?} missing {key:?} array")),
+        }
+    };
+    let mut out = Vec::new();
+    for (name, body) in entries {
+        let bounds = u64_list(name, body.get("bounds"), "bounds")?;
+        let counts = u64_list(name, body.get("counts"), "counts")?;
+        if counts.len() != bounds.len() + 1 {
+            return Err(format!("histogram {name:?}: counts/bounds length mismatch"));
+        }
+        let sum = body
+            .get("sum")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("histogram {name:?} missing \"sum\""))?;
+        out.push((name.clone(), bounds, counts, sum));
+    }
+    Ok(out)
+}
+
+/// Quantile estimate from fixed buckets: the inclusive upper bound of the
+/// bucket containing the `q`-th observation, `">last"` when it falls in
+/// the overflow bucket, `"-"` when the histogram is empty.
+fn histogram_quantile(bounds: &[u64], counts: &[u64], q: f64) -> String {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return "-".to_string();
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut acc = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        acc += c;
+        if acc >= target {
+            return match bounds.get(i) {
+                Some(b) => format!("<={b}"),
+                None => format!(">{}", bounds[bounds.len() - 1]),
+            };
+        }
+    }
+    format!(">{}", bounds[bounds.len() - 1])
+}
+
+/// Renders a flight-recorder black-box dump
+/// ([`crate::ring::FlightRecorder::dump_jsonl`]) as an incident timeline:
+/// one line per retained record in ring-sequence order, prefixed by a
+/// header naming the trigger, the worker, and how many older records the
+/// ring had already overwritten.
+pub fn render_postmortem(text: &str) -> Result<String, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or("empty dump: missing blackbox_header line")?;
+    let h = parse(header).map_err(|e| format!("line 1: {e}"))?;
+    if h.get("type").and_then(Json::as_str) != Some("blackbox_header") {
+        return Err("line 1: first record must be a blackbox_header".to_string());
+    }
+    match h.get("schema_version").and_then(Json::as_u64) {
+        Some(TRACE_SCHEMA_VERSION) => {}
+        Some(v) => return Err(format!("line 1: unsupported schema_version {v}")),
+        None => return Err("line 1: blackbox_header missing schema_version".to_string()),
+    }
+    let clock = h.get("clock").and_then(Json::as_str).unwrap_or("?").to_string();
+    let reason = h.get("reason").and_then(Json::as_str).unwrap_or("?").to_string();
+    let worker = h.get("worker").and_then(Json::as_u64);
+    let dropped = h.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+    let unit = if clock == "virtual" { "ticks" } else { "ns" };
+    let mut out = format!(
+        "black box: {reason}{} — {clock} clock, {dropped} older record(s) overwritten\n\n",
+        worker.map(|w| format!(" (worker {w})")).unwrap_or_default()
+    );
+    out.push_str(&format!("{:>6} {:>10}  {:<14} detail\n", "seq", format!("t ({unit})"), "record"));
+    let mut rendered = 0usize;
+    let mut warns = 0usize;
+    for (idx, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let rec = parse(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        let seq = rec
+            .get("seq")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: record missing \"seq\""))?;
+        let t = rec
+            .get("t")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {lineno}: record missing \"t\""))?;
+        let fields = || match rec.get("fields") {
+            Some(Json::Obj(kv)) => {
+                let pairs: Vec<String> =
+                    kv.iter().map(|(k, v)| format!("{k}={}", v.render())).collect();
+                format!(" {{{}}}", pairs.join(", "))
+            }
+            _ => String::new(),
+        };
+        let name = || rec.get("name").and_then(Json::as_str).unwrap_or("?").to_string();
+        let (kind, detail) = match rec.get("type").and_then(Json::as_str) {
+            Some("span_start") => {
+                let id = rec.get("id").and_then(Json::as_u64).unwrap_or(0);
+                let parent = rec
+                    .get("parent")
+                    .and_then(Json::as_u64)
+                    .map(|p| format!(", parent {p}"))
+                    .unwrap_or_default();
+                ("span_start", format!("{} [id {id}{parent}]{}", name(), fields()))
+            }
+            Some("span_end") => {
+                let id = rec.get("id").and_then(Json::as_u64).unwrap_or(0);
+                ("span_end", format!("[id {id}]"))
+            }
+            Some("event") => {
+                let level = rec.get("level").and_then(Json::as_str).unwrap_or("info");
+                if level == "warn" {
+                    warns += 1;
+                    ("event(warn)", format!("{}{}", name(), fields()))
+                } else {
+                    ("event", format!("{}{}", name(), fields()))
+                }
+            }
+            Some("counter_delta") => {
+                let delta = rec.get("delta").and_then(Json::as_u64).unwrap_or(0);
+                ("counter", format!("{} +{delta}", name()))
+            }
+            Some(other) => return Err(format!("line {lineno}: unknown record type {other:?}")),
+            None => return Err(format!("line {lineno}: record missing \"type\"")),
+        };
+        out.push_str(&format!("{seq:>6} {t:>10}  {kind:<14} {detail}\n"));
+        rendered += 1;
+    }
+    out.push_str(&format!("\n{rendered} record(s), {warns} warn(s)\n"));
     Ok(out)
 }
 
@@ -778,6 +943,117 @@ mod tests {
         assert_eq!(lenient.skipped, 0);
         assert_eq!(lenient.unclosed_spans, 1);
         assert_eq!(lenient.summary.span("ok").unwrap().count, 1);
+    }
+
+    #[test]
+    fn merge_of_empty_input_set_is_rejected() {
+        let err = merge_traces(&[]).unwrap_err();
+        assert!(err.contains("nothing to merge"), "{err}");
+    }
+
+    #[test]
+    fn merge_of_a_single_trace_validates_and_is_tagged() {
+        let merged = merge_traces(&[("w0".to_string(), worker_trace(&["solo"]))]).unwrap();
+        let summary = validate_trace(&merged).expect("single-input merge must validate");
+        assert_eq!(summary.span("solo").unwrap().count, 1);
+        assert!(merged.contains("\"merged_from\":1"), "{merged}");
+        assert!(merged.contains("\"w\":\"w0\""), "{merged}");
+    }
+
+    #[test]
+    fn merge_tolerates_duplicate_worker_tags() {
+        // Two incarnations of the same worker slot legitimately share a
+        // label; the (t, input index, line order) sort and the per-input id
+        // remap must keep their records apart anyway.
+        let a = worker_trace(&["first"]);
+        let b = worker_trace(&["second"]);
+        let merged = merge_traces(&[("w0".to_string(), a), ("w0".to_string(), b)]).unwrap();
+        let summary = validate_trace(&merged).expect("duplicate tags must still merge");
+        assert_eq!(summary.span("first").unwrap().count, 1);
+        assert_eq!(summary.span("second").unwrap().count, 1);
+        assert_eq!(merged.matches("\"w\":\"w0\"").count(), summary.records);
+    }
+
+    #[test]
+    fn merge_remaps_id_collisions_across_many_workers() {
+        // Four workers all start their id sequence at 1 and nest spans, so
+        // every raw id collides with every other input. Strict validation
+        // of the merge proves the remap kept ids unique and parent links
+        // intra-worker.
+        let nested = || {
+            let obs = Obs::with_trace(Clock::virtual_ticks());
+            let guard = install(obs.clone());
+            {
+                let _outer = span("outer");
+                let _inner = span("inner");
+            }
+            drop(guard);
+            obs.trace_jsonl()
+        };
+        let inputs: Vec<(String, String)> = (0..4).map(|w| (format!("w{w}"), nested())).collect();
+        let merged = merge_traces(&inputs).unwrap();
+        let summary = validate_trace(&merged).expect("4-way id collision must remap cleanly");
+        assert_eq!(summary.span("outer").unwrap().count, 4);
+        assert_eq!(summary.span("inner").unwrap().count, 4);
+        let outer = summary.span("outer").unwrap();
+        assert!(outer.self_time < outer.total, "nesting survives the remap");
+    }
+
+    #[test]
+    fn render_metrics_reports_every_histogram_quantile() {
+        let obs = Obs::detached();
+        let reg = obs.registry();
+        let h = reg.histogram("svc.latency_solved_ms", &[1, 10, 100]);
+        for v in [5u64, 5, 5, 5, 5, 5, 5, 5, 5, 500] {
+            h.observe(v);
+        }
+        let g = reg.histogram("lp.pivots_per_solve", &[4, 16]);
+        g.observe(3);
+        reg.histogram("empty.hist", &[1]);
+        let text = render_metrics(&reg.to_json()).unwrap();
+        assert!(text.contains("histogram"), "{text}");
+        assert!(text.contains("svc.latency_solved_ms"), "{text}");
+        assert!(text.contains("lp.pivots_per_solve"), "{text}");
+        let line = text.lines().find(|l| l.contains("svc.latency_solved_ms")).unwrap();
+        assert!(line.contains("<=10"), "p50/p90 land in the <=10 bucket: {line}");
+        assert!(line.contains(">100"), "p99 lands in the overflow bucket: {line}");
+        let empty = text.lines().find(|l| l.contains("empty.hist")).unwrap();
+        assert!(empty.contains('-'), "empty histograms render '-': {empty}");
+    }
+
+    #[test]
+    fn render_metrics_rejects_malformed_histograms() {
+        let bad = "{\"counters\":{},\"gauges\":{},\"histograms\":{\"h\":{\"bounds\":[1],\
+                   \"counts\":[0],\"sum\":0,\"count\":0}}}";
+        let err = render_metrics(bad).unwrap_err();
+        assert!(err.contains("length mismatch"), "{err}");
+    }
+
+    #[test]
+    fn postmortem_renders_an_incident_timeline() {
+        let obs = Obs::with_flight(Clock::virtual_ticks(), 8);
+        let guard = install(obs.clone());
+        {
+            let _job = span_with("svc.job", vec![field("id", 3usize)]);
+            warn("lp.cold_fallback", vec![field("reason", "drift")]);
+        }
+        obs.counter_delta("svc.retries", 1);
+        drop(guard);
+        let dump = obs.blackbox_jsonl("worker-crash", Some(2)).unwrap();
+        let text = render_postmortem(&dump).unwrap();
+        assert!(text.contains("black box: worker-crash (worker 2)"), "{text}");
+        assert!(text.contains("svc.job"), "{text}");
+        assert!(text.contains("event(warn)"), "{text}");
+        assert!(text.contains("svc.retries +1"), "{text}");
+        assert!(text.contains("1 warn(s)"), "{text}");
+    }
+
+    #[test]
+    fn postmortem_rejects_traces_and_garbage() {
+        let err = render_postmortem(&sample_trace()).unwrap_err();
+        assert!(err.contains("blackbox_header"), "{err}");
+        assert!(render_postmortem("").is_err());
+        assert!(render_postmortem("not json\n").is_err());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::clock::Clock;
 use crate::metrics::{Counter, Registry};
+use crate::ring::{FlightRecorder, RingRecord};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -115,11 +116,13 @@ pub enum TraceRecord {
     },
 }
 
-/// Observability context: clock + metrics registry + optional trace buffer.
+/// Observability context: clock + metrics registry + optional trace buffer
+/// + optional flight-recorder ring.
 pub struct Obs {
     clock: Clock,
     registry: Registry,
     trace: Option<Mutex<Vec<TraceRecord>>>,
+    flight: Option<Arc<FlightRecorder>>,
     next_span_id: AtomicU64,
 }
 
@@ -130,6 +133,31 @@ impl Obs {
             clock,
             registry: Registry::new(),
             trace: Some(Mutex::new(Vec::new())),
+            flight: None,
+            next_span_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Collector whose only record sink is a fixed-capacity flight ring:
+    /// spans and events land in the ring (newest `capacity` retained),
+    /// never in an unbounded buffer — the "always on" black-box mode.
+    pub fn with_flight(clock: Clock, capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            clock,
+            registry: Registry::new(),
+            trace: None,
+            flight: Some(FlightRecorder::new(capacity)),
+            next_span_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Full trace buffer *and* a flight ring: every record goes to both.
+    pub fn with_trace_and_flight(clock: Clock, capacity: usize) -> Arc<Obs> {
+        Arc::new(Obs {
+            clock,
+            registry: Registry::new(),
+            trace: Some(Mutex::new(Vec::new())),
+            flight: Some(FlightRecorder::new(capacity)),
             next_span_id: AtomicU64::new(1),
         })
     }
@@ -142,6 +170,7 @@ impl Obs {
             clock: Clock::wall(),
             registry: Registry::new(),
             trace: None,
+            flight: None,
             next_span_id: AtomicU64::new(1),
         })
     }
@@ -161,10 +190,57 @@ impl Obs {
         self.trace.is_some()
     }
 
+    /// The flight ring, when one is armed.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.flight.as_ref()
+    }
+
+    /// True if spans/events have at least one sink (trace buffer or ring).
+    fn collecting(&self) -> bool {
+        self.trace.is_some() || self.flight.is_some()
+    }
+
     fn record(&self, rec: TraceRecord) {
-        if let Some(trace) = &self.trace {
-            trace.lock().unwrap().push(rec);
+        match (&self.flight, &self.trace) {
+            (Some(ring), Some(trace)) => {
+                ring.push(RingRecord::Trace(rec.clone()));
+                trace.lock().unwrap().push(rec);
+            }
+            (Some(ring), None) => ring.push(RingRecord::Trace(rec)),
+            (None, Some(trace)) => trace.lock().unwrap().push(rec),
+            (None, None) => {}
         }
+    }
+
+    /// Bumps counter `name` on this registry and, when the flight ring is
+    /// armed, logs the delta into the ring with a clock stamp so
+    /// postmortems can see which counters moved before an incident.
+    pub fn counter_delta(&self, name: &str, delta: u64) {
+        self.registry.counter(name).add(delta);
+        if let Some(ring) = &self.flight {
+            ring.push(RingRecord::CounterDelta {
+                name: name.to_string(),
+                delta,
+                t: self.clock.now(),
+            });
+        }
+    }
+
+    /// Records an unparented event directly on this collector (no ambient
+    /// install required) — used by admission paths whose calling threads
+    /// never install the service collector.
+    pub fn emit_event(&self, level: Level, name: &str, fields: Vec<(String, FieldValue)>) {
+        if !self.collecting() {
+            return;
+        }
+        let t = self.clock.now();
+        self.record(TraceRecord::Event { span: None, name: name.to_string(), t, level, fields });
+    }
+
+    /// Serializes the flight ring as a black-box JSONL dump, or `None`
+    /// when no ring is armed. See [`FlightRecorder::dump_jsonl`].
+    pub fn blackbox_jsonl(&self, reason: &str, worker: Option<usize>) -> Option<String> {
+        self.flight.as_ref().map(|ring| ring.dump_jsonl(self.clock.kind(), reason, worker))
     }
 
     /// Serializes the buffered trace as JSONL: a header line followed by
@@ -185,7 +261,7 @@ impl Obs {
     }
 }
 
-fn record_json(rec: &TraceRecord) -> String {
+pub(crate) fn record_json(rec: &TraceRecord) -> String {
     match rec {
         TraceRecord::SpanStart { id, parent, name, t, fields } => {
             let mut s = format!("{{\"type\":\"span_start\",\"id\":{id},\"t\":{t}");
@@ -324,7 +400,7 @@ pub fn span_with(name: &str, fields: Vec<(String, FieldValue)>) -> SpanGuard {
     let Some(obs) = current() else {
         return SpanGuard { active: None };
     };
-    if !obs.tracing_enabled() {
+    if !obs.collecting() {
         return SpanGuard { active: None };
     }
     let id = obs.next_span_id.fetch_add(1, Ordering::Relaxed);
@@ -378,7 +454,7 @@ pub fn warn(name: &str, fields: Vec<(String, FieldValue)>) {
 
 fn emit(level: Level, name: &str, fields: Vec<(String, FieldValue)>) {
     let Some(obs) = current() else { return };
-    if !obs.tracing_enabled() {
+    if !obs.collecting() {
         return;
     }
     let span = SPAN_STACK.with(|s| s.borrow().last().copied());
@@ -467,6 +543,39 @@ mod tests {
     fn json_string_escapes() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn flight_only_collector_records_spans_into_the_ring() {
+        let obs = Obs::with_flight(Clock::virtual_ticks(), 16);
+        assert!(!obs.tracing_enabled(), "no unbounded buffer in flight-only mode");
+        let guard = install(obs.clone());
+        {
+            let outer = span("job");
+            assert!(outer.id().is_some(), "flight arming keeps spans live");
+            event("inside", vec![field("k", 1usize)]);
+        }
+        obs.counter_delta("svc.completed", 1);
+        drop(guard);
+        assert_eq!(obs.registry().counter("svc.completed").get(), 1);
+        let dump = obs.blackbox_jsonl("unit-test", Some(0)).unwrap();
+        assert!(dump.contains("\"type\":\"blackbox_header\""), "{dump}");
+        assert!(dump.contains("\"name\":\"job\""), "{dump}");
+        assert!(dump.contains("\"type\":\"counter_delta\""), "{dump}");
+        // Same pushes, same bytes: the dump is deterministic.
+        assert!(obs.trace_jsonl().lines().count() == 1, "trace stays header-only");
+    }
+
+    #[test]
+    fn trace_and_flight_both_receive_records() {
+        let obs = Obs::with_trace_and_flight(Clock::virtual_ticks(), 4);
+        let guard = install(obs.clone());
+        {
+            let _s = span("dual");
+        }
+        drop(guard);
+        assert!(obs.trace_jsonl().contains("\"name\":\"dual\""));
+        assert!(obs.blackbox_jsonl("x", None).unwrap().contains("\"name\":\"dual\""));
     }
 
     #[test]

@@ -18,5 +18,5 @@ mod service;
 
 pub use request::{instance_hash, Completion, ServiceOutcome, ShedReason, SolveRequest, Ticket};
 pub use service::{
-    ChaosConfig, DrainReport, ParkedSolve, QuarantineEntry, ServiceConfig, SolveService,
+    BlackBox, ChaosConfig, DrainReport, ParkedSolve, QuarantineEntry, ServiceConfig, SolveService,
 };

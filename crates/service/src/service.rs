@@ -41,7 +41,7 @@ use mrlc_core::{
     IraCheckpoint, MrlcInstance, ResilienceConfig, ResilienceError, ResilientRun, SolveOutcome,
 };
 use wsn_lp::SolveCtx;
-use wsn_obs::{Counter, Gauge, Histogram, Obs, TimeSource};
+use wsn_obs::{Clock, Counter, Gauge, Histogram, Level, Obs, TimeSource};
 
 use crate::queue::{AdmissionQueue, Popped};
 use crate::request::{
@@ -91,6 +91,12 @@ pub struct ServiceConfig {
     pub chaos: ChaosConfig,
     /// Give each worker a virtual-clock trace, collected on drain.
     pub trace_workers: bool,
+    /// Flight-recorder ring capacity (records kept per worker, plus one
+    /// service-level ring on the admission path); `0` disables the
+    /// recorder. When armed, a worker crash, a quarantine decision, a
+    /// budget expiry, or a shed storm snapshots the relevant ring into a
+    /// deterministic black-box dump carried by [`DrainReport`].
+    pub flight_recorder: usize,
 }
 
 impl Default for ServiceConfig {
@@ -108,8 +114,33 @@ impl Default for ServiceConfig {
             clock: TimeSource::wall(),
             chaos: ChaosConfig::default(),
             trace_workers: false,
+            flight_recorder: 128,
         }
     }
+}
+
+/// Consecutive sheds (with no admission in between) that count as a shed
+/// storm and trigger a service-ring black-box dump. One dump per storm:
+/// the trigger fires when the streak *reaches* the threshold, and re-arms
+/// only after an admission resets the streak.
+const SHED_STORM_STREAK: u64 = 8;
+
+/// A black-box dump snapshotted from a flight-recorder ring at an
+/// incident. `jsonl` is a `blackbox_header` line plus the retained
+/// records (see `wsn_obs::FlightRecorder::dump_jsonl`), renderable with
+/// `obs-report postmortem`. Worker rings run on virtual clocks with
+/// per-incarnation span ids, so identically-seeded runs dump
+/// byte-identical black boxes.
+#[derive(Clone, Debug)]
+pub struct BlackBox {
+    /// Worker id for worker-ring dumps; `None` for the service-level
+    /// admission ring (shed storms).
+    pub worker: Option<usize>,
+    /// Incident kind: `worker-crash`, `quarantine`, `budget-expiry`, or
+    /// `shed-storm`.
+    pub reason: String,
+    /// The JSONL dump.
+    pub jsonl: String,
 }
 
 /// A solve the drain protocol handed back instead of finishing.
@@ -154,6 +185,9 @@ pub struct DrainReport {
     /// Per-worker JSONL traces when `trace_workers` was set, in worker-id
     /// order (a respawned worker id appears once per incarnation).
     pub worker_traces: Vec<(usize, String)>,
+    /// Black-box dumps snapshotted at incidents (crash, quarantine,
+    /// budget expiry, shed storm), in incident order.
+    pub black_boxes: Vec<BlackBox>,
 }
 
 impl DrainReport {
@@ -177,7 +211,12 @@ struct Metrics {
     infeasible: Counter,
     queue_depth: Gauge,
     latency_ms: Histogram,
+    latency_cached_ms: Histogram,
+    latency_solved_ms: Histogram,
 }
+
+const LATENCY_BOUNDS: &[u64] =
+    &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000];
 
 impl Metrics {
     fn new(obs: &Obs) -> Self {
@@ -195,10 +234,9 @@ impl Metrics {
             parked: reg.counter("svc.parked"),
             infeasible: reg.counter("svc.infeasible"),
             queue_depth: reg.gauge("svc.queue_depth"),
-            latency_ms: reg.histogram(
-                "svc.latency_ms",
-                &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000, 30000, 60000],
-            ),
+            latency_ms: reg.histogram("svc.latency_ms", LATENCY_BOUNDS),
+            latency_cached_ms: reg.histogram("svc.latency_cached_ms", LATENCY_BOUNDS),
+            latency_solved_ms: reg.histogram("svc.latency_solved_ms", LATENCY_BOUNDS),
         }
     }
 }
@@ -244,6 +282,11 @@ struct Shared {
     next_id: AtomicU64,
     parked: Mutex<Vec<ParkedSolve>>,
     traces: Mutex<Vec<(usize, String)>>,
+    black_boxes: Mutex<Vec<BlackBox>>,
+    /// Service-level flight ring fed by admission-path shed events; the
+    /// virtual clock keeps shed-storm dumps deterministic.
+    svc_ring: Option<Arc<Obs>>,
+    shed_streak: AtomicU64,
 }
 
 impl Shared {
@@ -264,6 +307,45 @@ impl Shared {
             .iter()
             .filter(|s| s.lock().unwrap_or_else(|e| e.into_inner()).is_some())
             .count()
+    }
+
+    fn push_black_box(&self, worker: Option<usize>, reason: &str, jsonl: String) {
+        self.black_boxes.lock().unwrap_or_else(|e| e.into_inner()).push(BlackBox {
+            worker,
+            reason: reason.to_string(),
+            jsonl,
+        });
+    }
+
+    /// Snapshot the ambient (worker) ring into a black box, when armed.
+    fn dump_ambient_ring(&self, worker: Option<usize>, reason: &str) {
+        if let Some(obs) = wsn_obs::current() {
+            if let Some(jsonl) = obs.blackbox_jsonl(reason, worker) {
+                self.push_black_box(worker, reason, jsonl);
+            }
+        }
+    }
+
+    /// Record a shed on the service ring and fire the shed-storm trigger
+    /// when the consecutive-shed streak reaches the threshold.
+    fn note_shed(&self, reason: &ShedReason) {
+        let Some(ring) = &self.svc_ring else { return };
+        ring.emit_event(
+            Level::Warn,
+            "svc.shed",
+            vec![wsn_obs::field("reason", reason.to_string())],
+        );
+        let streak = self.shed_streak.fetch_add(1, Ordering::SeqCst) + 1;
+        if streak == SHED_STORM_STREAK {
+            if let Some(jsonl) = ring.blackbox_jsonl("shed-storm", None) {
+                self.push_black_box(None, "shed-storm", jsonl);
+            }
+        }
+    }
+
+    /// An admission (or cache hit) breaks any shed streak.
+    fn note_admitted(&self) {
+        self.shed_streak.store(0, Ordering::SeqCst);
     }
 
     fn resolve(&self, job: Job, outcome: ServiceOutcome) {
@@ -320,6 +402,10 @@ impl SolveService {
             next_id: AtomicU64::new(0),
             parked: Mutex::new(Vec::new()),
             traces: Mutex::new(Vec::new()),
+            black_boxes: Mutex::new(Vec::new()),
+            svc_ring: (cfg.flight_recorder > 0)
+                .then(|| Obs::with_flight(Clock::virtual_ticks(), cfg.flight_recorder)),
+            shed_streak: AtomicU64::new(0),
             cfg: ServiceConfig { workers, ..cfg },
         });
         let sup_shared = shared.clone();
@@ -361,6 +447,7 @@ impl SolveService {
 
         if sh.draining.load(Ordering::SeqCst) {
             sh.metrics.shed.inc();
+            sh.note_shed(&ShedReason::Draining);
             immediate(ServiceOutcome::Shed(ShedReason::Draining));
             return ticket;
         }
@@ -375,6 +462,8 @@ impl SolveService {
             if let Some(out) = cached {
                 sh.metrics.accepted.inc();
                 sh.metrics.cache_hits.inc();
+                sh.metrics.latency_cached_ms.observe(0);
+                sh.note_admitted();
                 immediate(ServiceOutcome::Solved(out));
                 return ticket;
             }
@@ -386,10 +475,9 @@ impl SolveService {
             let deadline_ms = deadline.as_secs_f64() * 1e3;
             if projected_ms > deadline_ms {
                 sh.metrics.shed.inc();
-                immediate(ServiceOutcome::Shed(ShedReason::ProjectedWait {
-                    projected_ms,
-                    deadline_ms,
-                }));
+                let reason = ShedReason::ProjectedWait { projected_ms, deadline_ms };
+                sh.note_shed(&reason);
+                immediate(ServiceOutcome::Shed(reason));
                 return ticket;
             }
         }
@@ -408,9 +496,11 @@ impl SolveService {
             Ok(()) => {
                 sh.metrics.accepted.inc();
                 sh.metrics.queue_depth.set(sh.queue.len() as i64);
+                sh.note_admitted();
             }
             Err(job) => {
                 sh.metrics.shed.inc();
+                sh.note_shed(&ShedReason::QueueFull);
                 sh.resolve(job, ServiceOutcome::Shed(ShedReason::QueueFull));
             }
         }
@@ -454,12 +544,15 @@ impl SolveService {
             std::mem::take(&mut *sh.traces.lock().unwrap_or_else(|e| e.into_inner()));
         worker_traces.sort_by_key(|(wid, _)| *wid);
         let parked = std::mem::take(&mut *sh.parked.lock().unwrap_or_else(|e| e.into_inner()));
+        let black_boxes =
+            std::mem::take(&mut *sh.black_boxes.lock().unwrap_or_else(|e| e.into_inner()));
         DrainReport {
             parked,
             quarantined,
             workers_spawned: stats.spawned,
             workers_joined: stats.joined,
             worker_traces,
+            black_boxes,
         }
     }
 }
@@ -529,18 +622,35 @@ fn spawn_worker(shared: &Arc<Shared>, wid: usize, tx: Sender<Epitaph>) -> JoinHa
     std::thread::Builder::new()
         .name(format!("wsn-svc-worker-{wid}"))
         .spawn(move || {
-            let obs =
-                shared.cfg.trace_workers.then(|| Obs::with_trace(wsn_obs::Clock::virtual_ticks()));
+            // Each incarnation gets a fresh virtual clock and span-id
+            // sequence, so its trace — and any black-box dump cut from its
+            // flight ring — is deterministic under a fixed seed.
+            let ring = shared.cfg.flight_recorder;
+            let obs = match (shared.cfg.trace_workers, ring > 0) {
+                (true, true) => Some(Obs::with_trace_and_flight(Clock::virtual_ticks(), ring)),
+                (true, false) => Some(Obs::with_trace(Clock::virtual_ticks())),
+                (false, true) => Some(Obs::with_flight(Clock::virtual_ticks(), ring)),
+                (false, false) => None,
+            };
             let result = catch_unwind(AssertUnwindSafe(|| {
                 let _guard = obs.as_ref().map(|o| wsn_obs::install(o.clone()));
                 worker_loop(&shared, wid)
             }));
-            if let Some(obs) = obs {
-                shared
-                    .traces
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((wid, obs.trace_jsonl()));
+            if let Some(obs) = &obs {
+                if shared.cfg.trace_workers {
+                    shared
+                        .traces
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((wid, obs.trace_jsonl()));
+                }
+                // An unwind that escaped the per-job guard killed this
+                // worker; cut the black box before the thread is gone.
+                if result.is_err() {
+                    if let Some(jsonl) = obs.blackbox_jsonl("worker-crash", Some(wid)) {
+                        shared.push_black_box(Some(wid), "worker-crash", jsonl);
+                    }
+                }
             }
             let epitaph = match result {
                 Ok(()) => Epitaph::Exited { wid },
@@ -574,6 +684,7 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
             if waited_ns > u64::try_from(deadline.as_nanos()).unwrap_or(u64::MAX) {
                 shared.inflight[wid].lock().unwrap_or_else(|e| e.into_inner()).take();
                 shared.metrics.shed.inc();
+                shared.note_shed(&ShedReason::ExpiredInQueue);
                 shared.resolve(job, ServiceOutcome::Shed(ShedReason::ExpiredInQueue));
                 continue;
             }
@@ -616,7 +727,16 @@ fn worker_loop(shared: &Arc<Shared>, wid: usize) {
                 mrlc_core::solve_resilient_ctx(instance, resilience, budget, &ctx, checkpoint)
             }))
         };
-        shared.inflight[wid].lock().unwrap_or_else(|e| e.into_inner()).take();
+        let expired = shared.inflight[wid]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .is_some_and(|inf| inf.ctx.is_expired());
+        if expired {
+            // The budget ran out mid-solve: snapshot what the worker was
+            // doing when the deadline hit, whatever the ladder salvaged.
+            shared.dump_ambient_ring(Some(wid), "budget-expiry");
+        }
 
         match outcome {
             Ok(Ok(ResilientRun::Done(out))) => complete(shared, job, out),
@@ -648,6 +768,7 @@ fn complete(shared: &Arc<Shared>, job: Job, out: SolveOutcome) {
     shared.metrics.completed.inc();
     shared.obs.registry().counter(&format!("svc.outcome.{}", out.tier)).inc();
     shared.metrics.latency_ms.observe(latency_ms.max(0.0) as u64);
+    shared.metrics.latency_solved_ms.observe(latency_ms.max(0.0) as u64);
     wsn_obs::event("svc.outcome", vec![wsn_obs::field("kind", out.tier.to_string())]);
     shared.resolve(job, ServiceOutcome::Solved(out));
 }
@@ -687,6 +808,10 @@ fn retry_or_quarantine(
         }
         shared.metrics.quarantined.inc();
         wsn_obs::warn("svc.quarantine", vec![wsn_obs::field("failures", u64::from(failures))]);
+        // On the worker-panic path the ambient ring holds the attempts
+        // that opened the breaker; on the supervisor's crash-recovery
+        // path there is no ambient ring (the crash dump already fired).
+        shared.dump_ambient_ring(None, "quarantine");
         shared.resolve(job, ServiceOutcome::Quarantined { why });
         return;
     }

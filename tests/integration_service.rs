@@ -399,3 +399,62 @@ fn worker_traces_are_collected_and_reportable() {
         assert_eq!(lenient.skipped, 0, "worker {wid}");
     }
 }
+
+/// Acceptance: a seeded kill schedule cuts at least one worker-crash
+/// black box, and two identically-seeded runs dump byte-identical boxes
+/// (the worker ring runs on a per-incarnation virtual clock with seeded
+/// ids, so the dump is part of the deterministic surface).
+#[test]
+fn seeded_worker_kills_cut_byte_identical_black_boxes() {
+    // One worker and strictly serial submit-then-wait clients make the
+    // dequeue order — and so the kill schedule and ring contents — a pure
+    // function of the seeds.
+    let run_once = || {
+        let svc = SolveService::start(ServiceConfig {
+            workers: 1,
+            // A ring deep enough to retain whole jobs: at the 128-slot
+            // default a single solve wraps the ring, so only the innermost
+            // LP spans of the newest job would survive to the dump.
+            flight_recorder: 4096,
+            chaos: ChaosConfig { kill_every: Some(4), ..ChaosConfig::default() },
+            ..ServiceConfig::default()
+        });
+        for s in 0..6u64 {
+            let done = wait(&svc.submit(SolveRequest::new(instance(500 + s, 16))));
+            assert!(matches!(done.outcome, ServiceOutcome::Solved(_)), "{done:?}");
+        }
+        let report = svc.drain();
+        assert!(report.no_leaked_workers(), "{report:?}");
+        report.black_boxes
+    };
+    let a = run_once();
+    let b = run_once();
+    assert!(!a.is_empty(), "the kill schedule must cut at least one black box");
+    assert_eq!(a.len(), b.len(), "same schedule, same incident count");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.reason, "worker-crash");
+        assert_eq!(x.worker, Some(0));
+        assert!(x.jsonl.starts_with("{\"type\":\"blackbox_header\""), "{}", x.jsonl);
+        assert!(x.jsonl.contains("svc.job"), "the ring must hold the jobs before the kill");
+        assert_eq!(x.jsonl, y.jsonl, "identically-seeded runs must dump byte-identical boxes");
+    }
+}
+
+/// A poison pill that exhausts its retries leaves a quarantine black box
+/// holding the attempts that opened the breaker.
+#[test]
+fn quarantined_poison_pills_leave_a_black_box() {
+    let inst = instance(91, 16);
+    let hash = instance_hash(&inst);
+    let svc = SolveService::start(ServiceConfig {
+        workers: 1,
+        quarantine_after: 2,
+        chaos: ChaosConfig { panic_hashes: vec![hash], ..ChaosConfig::default() },
+        ..ServiceConfig::default()
+    });
+    let done = wait(&svc.submit(SolveRequest::new(inst)));
+    assert!(matches!(done.outcome, ServiceOutcome::Quarantined { .. }), "{done:?}");
+    let report = svc.drain();
+    let reasons: Vec<&str> = report.black_boxes.iter().map(|b| b.reason.as_str()).collect();
+    assert!(reasons.contains(&"quarantine"), "{reasons:?}");
+}
